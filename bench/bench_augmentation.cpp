@@ -1,0 +1,42 @@
+// Extension experiment (paper Section 4.5): does synthetic training-data
+// augmentation improve fine-tuning? Runs the Table-4 cross validation for
+// StarChat-beta with increasing numbers of generated kernels added to
+// each fold's training split.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace drbml;
+  std::printf("%s",
+              heading("Extension -- synthetic data augmentation for "
+                      "fine-tuning (StarChat, 5-fold CV, detection)")
+                  .c_str());
+  TextTable t({"Training data", "AVG of R", "AVG of P", "AVG of F1",
+               "SD of F1"});
+  const auto base =
+      eval::run_cv(llm::starchat_persona(), eval::Objective::Detection,
+                   /*finetuned=*/false);
+  t.add_row({"pretrained (no FT)", format_double(base.recall.avg, 3),
+             format_double(base.precision.avg, 3),
+             format_double(base.f1.avg, 3), format_double(base.f1.sd, 3)});
+  for (int synth : {0, 100, 300, 600}) {
+    const auto cv =
+        eval::run_cv(llm::starchat_persona(), eval::Objective::Detection,
+                     /*finetuned=*/true, 5, 2023, synth);
+    char label[64];
+    std::snprintf(label, sizeof(label), "FT: 158 DRB-ML + %d synthetic",
+                  synth);
+    t.add_row({label, format_double(cv.recall.avg, 3),
+               format_double(cv.precision.avg, 3),
+               format_double(cv.f1.avg, 3), format_double(cv.f1.sd, 3)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nSection 4.5 proposes synthetic data generation as a remedy for\n"
+      "the scarce fine-tuning data. The generated kernels carry\n"
+      "by-construction labels (validated against the dynamic detector in\n"
+      "tests/synth_test.cpp); augmentation grows each fold's training set\n"
+      "without touching the DRB-ML test folds.\n");
+  return 0;
+}

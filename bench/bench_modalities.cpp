@@ -1,0 +1,38 @@
+// Extension experiment (paper Section 5 future work): input modalities
+// beyond plain text. Compares detection quality when prompts carry the
+// code alone, the code plus a pretty-printed AST, and the code plus a
+// serialized data-dependence graph.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace drbml;
+  std::printf("%s",
+              heading("Extension -- input modalities (text / +AST / "
+                      "+dependence graph), detection with p1").c_str());
+  const auto subset = eval::token_filtered_subset();
+  TextTable t({"Model", "text F1", "+AST F1", "+depgraph F1"});
+  for (const llm::Persona& persona : llm::all_personas()) {
+    llm::ChatModel model(persona);
+    std::vector<std::string> row = {persona.name};
+    for (prompts::Modality m :
+         {prompts::Modality::Text, prompts::Modality::Ast,
+          prompts::Modality::DepGraph}) {
+      const auto cm =
+          eval::run_detection_modal(model, prompts::Style::P1, m, subset);
+      row.push_back(format_double(cm.f1(), 3));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nHypothesis from the paper's future-work section: structured\n"
+      "representations (dependence graphs in particular) should lift LLM\n"
+      "detection quality by making the conflict explicit. The simulated\n"
+      "models encode that as reduced uncertainty plus confidence\n"
+      "sharpening; the harness measures the end-to-end effect through the\n"
+      "full prompt/parse pipeline (including the larger prompts' token\n"
+      "cost against each model's context window).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 1: the end-to-end two-branch pipeline -- DRB-ML
+// dataset construction feeding (a) prompt-engineering evaluation of four
+// pretrained LLMs and (b) fine-tuning of the open-source ones -- with
+// per-stage timing and throughput.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/detector.hpp"
+#include "dataset/drbml.hpp"
+#include "llm/finetune.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace drbml;
+  std::printf("%s", heading("Figure 1 -- end-to-end pipeline stages").c_str());
+
+  TextTable t({"Stage", "Items", "Time (ms)", "Output"});
+
+  // Stage 1: DRB corpus -> DRB-ML dataset.
+  auto t0 = Clock::now();
+  const auto& entries = dataset::dataset();
+  t.add_row({"1. DRB -> DRB-ML labels + JSON", std::to_string(entries.size()),
+             format_double(ms_since(t0), 1), "201 JSON entries"});
+
+  // Stage 2: prompt-response pair generation (Listings 8/9).
+  t0 = Clock::now();
+  int pairs = 0;
+  for (const auto& e : entries) {
+    pairs += static_cast<int>(dataset::make_detection_pair(e).prompt.size() >
+                              0);
+    pairs += static_cast<int>(dataset::make_varid_pair(e).prompt.size() > 0);
+  }
+  t.add_row({"2. prompt-response pairs", std::to_string(pairs),
+             format_double(ms_since(t0), 1), "2 sets x 201"});
+
+  // Stage 3: token filter (16k/8k/4k context accounting).
+  t0 = Clock::now();
+  const auto subset = eval::token_filtered_subset();
+  t.add_row({"3. 4k-token subset filter", std::to_string(subset.size()),
+             format_double(ms_since(t0), 1), "198 of 201"});
+
+  // Stage 4: prompting branch (one model x one prompt as representative).
+  t0 = Clock::now();
+  llm::ChatModel gpt4(llm::gpt4_persona());
+  const auto cm = eval::run_detection(gpt4, prompts::Style::P1, subset);
+  t.add_row({"4. prompting branch (GPT-4/p1)", std::to_string(cm.total()),
+             format_double(ms_since(t0), 1),
+             "F1=" + format_double(cm.f1(), 3)});
+
+  // Stage 5: fine-tuning branch (one fold as representative).
+  t0 = Clock::now();
+  const auto cv = eval::run_cv(llm::starchat_persona(),
+                               eval::Objective::Detection, true);
+  t.add_row({"5. fine-tuning branch (SC, 5-fold)",
+             std::to_string(static_cast<int>(cv.folds.size())),
+             format_double(ms_since(t0), 1),
+             "F1=" + format_double(cv.f1.avg, 3)});
+
+  // Stage 6: comparison against the traditional tool.
+  t0 = Clock::now();
+  const auto tool = eval::run_traditional_tool(subset);
+  t.add_row({"6. traditional-tool comparison", std::to_string(tool.total()),
+             format_double(ms_since(t0), 1),
+             "F1=" + format_double(tool.f1(), 3)});
+
+  std::printf("%s", t.render().c_str());
+  std::printf("\nAll stages deterministic; rerunning reproduces identical "
+              "numbers.\n");
+  return 0;
+}

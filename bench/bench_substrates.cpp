@@ -1,0 +1,120 @@
+// Substrate microbenchmarks (google-benchmark): frontend, static
+// analysis, dynamic interpreter, tokenizers, feature extraction, adapter
+// training step. These are the ablation-grade cost measurements for the
+// systems DESIGN.md inventories.
+#include <benchmark/benchmark.h>
+
+#include "analysis/race.hpp"
+#include "drb/corpus.hpp"
+#include "llm/features.hpp"
+#include "llm/finetune.hpp"
+#include "llm/tokenizer.hpp"
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "runtime/dynamic.hpp"
+
+namespace {
+
+using namespace drbml;
+
+const std::string& sample_code() {
+  static const std::string code =
+      drb::resolve_entry(drb::corpus().front()).trimmed;
+  return code;
+}
+
+void BM_LexTrimmedCode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::lex(sample_code()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample_code().size()));
+}
+BENCHMARK(BM_LexTrimmedCode);
+
+void BM_ParseProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::parse_program(sample_code()));
+  }
+}
+BENCHMARK(BM_ParseProgram);
+
+void BM_StripComments(benchmark::State& state) {
+  const std::string code = drb::drb_code(drb::corpus().front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::strip_comments(code));
+  }
+}
+BENCHMARK(BM_StripComments);
+
+void BM_StaticRaceDetection(benchmark::State& state) {
+  analysis::StaticRaceDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.analyze_source(sample_code()));
+  }
+}
+BENCHMARK(BM_StaticRaceDetection);
+
+void BM_DynamicRaceDetection(benchmark::State& state) {
+  runtime::DynamicDetectorOptions opts;
+  opts.schedule_seeds = {1};
+  runtime::DynamicRaceDetector detector(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.analyze_source(sample_code()));
+  }
+}
+BENCHMARK(BM_DynamicRaceDetection);
+
+void BM_SimpleTokenizer(benchmark::State& state) {
+  llm::SimpleTokenizer tok;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.count_tokens(sample_code()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample_code().size()));
+}
+BENCHMARK(BM_SimpleTokenizer);
+
+void BM_BpeEncode(benchmark::State& state) {
+  static llm::BpeTokenizer bpe = [] {
+    llm::BpeTokenizer t;
+    std::vector<std::string> texts;
+    for (std::size_t i = 0; i < 20; ++i) {
+      texts.push_back(drb::resolve_entry(drb::corpus()[i]).trimmed);
+    }
+    t.train(texts, 200);
+    return t;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bpe.encode(sample_code()));
+  }
+}
+BENCHMARK(BM_BpeEncode);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llm::extract_features(sample_code()));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_AdapterFeaturize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llm::featurize(sample_code()));
+  }
+}
+BENCHMARK(BM_AdapterFeaturize);
+
+void BM_AdapterPredict(benchmark::State& state) {
+  const llm::FeatureVec f = llm::featurize(sample_code());
+  llm::Adapter adapter;
+  adapter.u.fill(0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapter.predict(f));
+  }
+}
+BENCHMARK(BM_AdapterPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

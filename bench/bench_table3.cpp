@@ -1,0 +1,33 @@
+// Reproduces Table 3: data race detection results of a representative
+// traditional tool and four LLMs under prompt strategies p1/p2/p3 on the
+// 198-entry DRB-ML subset.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace drbml;
+  std::printf("%s", heading("Table 3 -- detection: traditional tool vs LLMs "
+                            "x {p1,p2,p3} (198-entry DRB-ML subset)").c_str());
+  const auto rows = eval::table3_rows();
+  std::printf("%s", bench::detection_table(rows).c_str());
+  bench::print_reference(
+      "\nPaper reference (Correctness'23, Table 3):\n"
+      "  Ins   N/A TP=88 FP=44 TN=53 FN=11  R=0.889 P=0.667 F1=0.762\n"
+      "  GPT3  p1  TP=66 FP=55 TN=43 FN=34  R=0.660 P=0.545 F1=0.597\n"
+      "  GPT3  p2  TP=63 FP=56 TN=42 FN=37  R=0.630 P=0.529 F1=0.575\n"
+      "  GPT3  p3  TP=69 FP=54 TN=44 FN=31  R=0.690 P=0.561 F1=0.619\n"
+      "  GPT4  p1  TP=77 FP=28 TN=70 FN=23  R=0.770 P=0.733 F1=0.751\n"
+      "  GPT4  p2  TP=78 FP=30 TN=68 FN=22  R=0.780 P=0.722 F1=0.750\n"
+      "  GPT4  p3  TP=78 FP=28 TN=68 FN=22  R=0.780 P=0.736 F1=0.757\n"
+      "  SC    p1  TP=63 FP=68 TN=30 FN=37  R=0.630 P=0.481 F1=0.545\n"
+      "  SC    p2  TP=62 FP=67 TN=31 FN=38  R=0.620 P=0.481 F1=0.541\n"
+      "  SC    p3  TP=63 FP=61 TN=37 FN=37  R=0.630 P=0.508 F1=0.563\n"
+      "  LM    p1  TP=65 FP=57 TN=41 FN=35  R=0.650 P=0.533 F1=0.586\n"
+      "  LM    p2  TP=65 FP=57 TN=41 FN=35  R=0.650 P=0.533 F1=0.586\n"
+      "  LM    p3  TP=66 FP=55 TN=43 FN=34  R=0.660 P=0.545 F1=0.597\n"
+      "\nNote: the traditional-tool row runs this repository's hybrid\n"
+      "static+dynamic detector over the simulated corpus; it is stronger\n"
+      "than Intel Inspector on real DRB (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Table 6: 5-fold cross-validated fine-tuning for variable
+// identification with StarChat-beta and Llama2-7b.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace drbml;
+  std::printf("%s", heading("Table 6 -- 5-fold CV fine-tuning, variable "
+                            "identification").c_str());
+  std::printf("%s", bench::cv_table(eval::table6_rows()).c_str());
+  bench::print_reference(
+      "\nPaper reference (Correctness'23, Table 6):\n"
+      "  SC     R=0.070 (0.045)  P=0.096 (0.063)  F1=0.081 (0.052)\n"
+      "  SC-FT  R=0.070 (0.057)  P=0.103 (0.087)  F1=0.083 (0.069)\n"
+      "  LM     R=0.050 (0.050)  P=0.085 (0.087)  F1=0.063 (0.064)\n"
+      "  LM-FT  R=0.050 (0.050)  P=0.092 (0.086)  F1=0.064 (0.063)\n"
+      "\nShape to reproduce: fine-tuning moves variable identification\n"
+      "barely at all -- tiny precision gains, flat recall.\n");
+  return 0;
+}

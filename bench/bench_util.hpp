@@ -1,0 +1,46 @@
+// Shared rendering helpers for the table-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiments.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace drbml::bench {
+
+/// Renders detection rows in the paper's Table 2/3 layout.
+inline std::string detection_table(
+    const std::vector<eval::DetectionRow>& rows) {
+  TextTable t({"Choice", "Prompt", "TP", "FP", "TN", "FN", "R", "P", "F1"});
+  for (const auto& row : rows) {
+    const auto& cm = row.cm;
+    t.add_row({row.model, row.prompt, std::to_string(cm.tp),
+               std::to_string(cm.fp), std::to_string(cm.tn),
+               std::to_string(cm.fn), format_double(cm.recall(), 3),
+               format_double(cm.precision(), 3), format_double(cm.f1(), 3)});
+  }
+  return t.render();
+}
+
+/// Renders CV rows in the paper's Table 4/6 layout.
+inline std::string cv_table(const std::vector<eval::CvRow>& rows) {
+  TextTable t({"Model", "AVG of R", "SD of R", "AVG of P", "SD of P",
+               "AVG of F1", "SD of F1"});
+  for (const auto& row : rows) {
+    t.add_row({row.model, format_double(row.recall.avg, 3),
+               format_double(row.recall.sd, 3),
+               format_double(row.precision.avg, 3),
+               format_double(row.precision.sd, 3),
+               format_double(row.f1.avg, 3), format_double(row.f1.sd, 3)});
+  }
+  return t.render();
+}
+
+inline void print_reference(const char* text) {
+  std::printf("%s", text);
+}
+
+}  // namespace drbml::bench

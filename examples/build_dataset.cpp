@@ -1,0 +1,54 @@
+// Builds the DRB-ML dataset on disk: one JSON file per microbenchmark
+// (DRB-ML-001.json ... DRB-ML-201.json) plus the two fine-tuning
+// prompt-response sets, mirroring the artifacts of paper Section 3.1.
+//
+//   $ ./build_dataset [output_dir]        (default: ./drb-ml)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "dataset/drbml.hpp"
+#include "support/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drbml;
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "drb-ml";
+  std::filesystem::create_directories(out_dir);
+  std::filesystem::create_directories(out_dir / "finetune");
+
+  int written = 0;
+  json::Array detection_set;
+  json::Array varid_set;
+  for (const dataset::Entry& e : dataset::dataset()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "DRB-ML-%03d.json", e.id);
+    std::ofstream file(out_dir / name);
+    file << e.to_json().dump_pretty() << "\n";
+    ++written;
+
+    const dataset::PromptResponse det = dataset::make_detection_pair(e);
+    json::Object det_obj;
+    det_obj.set("prompt", json::Value(det.prompt));
+    det_obj.set("response", json::Value(det.response));
+    detection_set.emplace_back(std::move(det_obj));
+
+    const dataset::PromptResponse var = dataset::make_varid_pair(e);
+    json::Object var_obj;
+    var_obj.set("prompt", json::Value(var.prompt));
+    var_obj.set("response", json::Value(var.response));
+    varid_set.emplace_back(std::move(var_obj));
+  }
+
+  {
+    std::ofstream file(out_dir / "finetune" / "detection_pairs.json");
+    file << json::Value(std::move(detection_set)).dump_pretty() << "\n";
+  }
+  {
+    std::ofstream file(out_dir / "finetune" / "varid_pairs.json");
+    file << json::Value(std::move(varid_set)).dump_pretty() << "\n";
+  }
+
+  std::printf("wrote %d DRB-ML JSON entries and 2 fine-tuning sets to %s/\n",
+              written, out_dir.string().c_str());
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "analysis/affine.hpp"
+
+namespace drbml::analysis {
+
+using namespace minic;
+
+LinearForm& LinearForm::operator+=(const LinearForm& o) {
+  if (!o.is_affine) is_affine = false;
+  if (!is_affine) return *this;
+  constant += o.constant;
+  for (const auto& [v, c] : o.coeffs) coeffs[v] += c;
+  return *this;
+}
+
+LinearForm& LinearForm::operator-=(const LinearForm& o) {
+  if (!o.is_affine) is_affine = false;
+  if (!is_affine) return *this;
+  constant -= o.constant;
+  for (const auto& [v, c] : o.coeffs) coeffs[v] -= c;
+  return *this;
+}
+
+void LinearForm::scale(std::int64_t k) {
+  constant *= k;
+  for (auto& [v, c] : coeffs) c *= k;
+}
+
+LinearForm linearize(const Expr& e, const ConstantMap& consts) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      LinearForm f;
+      f.constant = static_cast<const IntLit&>(e).value;
+      return f;
+    }
+    case ExprKind::CharLit: {
+      LinearForm f;
+      f.constant = static_cast<const CharLit&>(e).value;
+      return f;
+    }
+    case ExprKind::Ident: {
+      const auto& id = static_cast<const Ident&>(e);
+      LinearForm f;
+      if (id.decl == nullptr) return LinearForm::non_affine();
+      if (auto v = consts.value_of(id.decl)) {
+        f.constant = *v;
+      } else {
+        f.coeffs[id.decl] = 1;
+      }
+      return f;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const Unary&>(e);
+      LinearForm f = linearize(*u.operand, consts);
+      switch (u.op) {
+        case UnaryOp::Plus: return f;
+        case UnaryOp::Neg: f.scale(-1); return f;
+        default: return LinearForm::non_affine();
+      }
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const Binary&>(e);
+      LinearForm l = linearize(*b.lhs, consts);
+      LinearForm r = linearize(*b.rhs, consts);
+      switch (b.op) {
+        case BinaryOp::Add: l += r; return l;
+        case BinaryOp::Sub: l -= r; return l;
+        case BinaryOp::Mul:
+          if (l.is_affine && l.is_constant()) {
+            r.scale(l.constant);
+            return r;
+          }
+          if (r.is_affine && r.is_constant()) {
+            l.scale(r.constant);
+            return l;
+          }
+          return LinearForm::non_affine();
+        case BinaryOp::Div:
+          if (r.is_affine && r.is_constant() && r.constant != 0 &&
+              l.is_affine && l.is_constant() &&
+              l.constant % r.constant == 0) {
+            LinearForm f;
+            f.constant = l.constant / r.constant;
+            return f;
+          }
+          return LinearForm::non_affine();
+        default:
+          // %, shifts, comparisons: constant-fold or give up.
+          if (l.is_affine && l.is_constant() && r.is_affine &&
+              r.is_constant()) {
+            // Delegate to ConstantMap::eval-equivalent folding.
+            LinearForm f;
+            switch (b.op) {
+              case BinaryOp::Mod:
+                if (r.constant == 0) return LinearForm::non_affine();
+                f.constant = l.constant % r.constant;
+                return f;
+              case BinaryOp::Shl: f.constant = l.constant << r.constant; return f;
+              case BinaryOp::Shr: f.constant = l.constant >> r.constant; return f;
+              default: return LinearForm::non_affine();
+            }
+          }
+          return LinearForm::non_affine();
+      }
+    }
+    case ExprKind::Cast:
+      return linearize(*static_cast<const Cast&>(e).operand, consts);
+    default:
+      // Subscript (indirect indexing), calls, assignments: non-affine.
+      return LinearForm::non_affine();
+  }
+}
+
+}  // namespace drbml::analysis

@@ -1,0 +1,56 @@
+// Affine (linear) forms over program variables.
+//
+// A subscript like `2*i + j + len - 1` becomes the linear form
+// {i: 2, j: 1, len: 1} + (-1). Dependence tests subtract two forms and
+// reason about integer solutions (GCD + Banerjee-style bounds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "analysis/consteval.hpp"
+#include "minic/ast.hpp"
+
+namespace drbml::analysis {
+
+/// A linear form: sum of coeff*var plus a constant. `is_affine` is false
+/// when the source expression contains multiplication of variables, calls,
+/// array reads (indirect indexing), or other non-linear constructs.
+struct LinearForm {
+  std::map<const minic::VarDecl*, std::int64_t> coeffs;
+  std::int64_t constant = 0;
+  bool is_affine = true;
+
+  [[nodiscard]] std::int64_t coeff(const minic::VarDecl* v) const noexcept {
+    auto it = coeffs.find(v);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+
+  /// True if the form involves no variables at all.
+  [[nodiscard]] bool is_constant() const noexcept {
+    if (!is_affine) return false;
+    for (const auto& [v, c] : coeffs) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+
+  LinearForm& operator+=(const LinearForm& o);
+  LinearForm& operator-=(const LinearForm& o);
+  void scale(std::int64_t k);
+
+  [[nodiscard]] static LinearForm non_affine() {
+    LinearForm f;
+    f.is_affine = false;
+    return f;
+  }
+};
+
+/// Builds the linear form of `e`. Variables with known constant values (per
+/// `consts`) fold into the constant term; other variables appear with their
+/// coefficients. Non-linear constructs yield `is_affine == false`.
+[[nodiscard]] LinearForm linearize(const minic::Expr& e,
+                                   const ConstantMap& consts);
+
+}  // namespace drbml::analysis

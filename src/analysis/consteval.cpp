@@ -1,0 +1,257 @@
+#include "analysis/consteval.hpp"
+
+namespace drbml::analysis {
+
+using namespace minic;
+
+namespace {
+
+/// Collects constant bindings. `conditional` is true inside branches and
+/// loops, where assignments poison rather than bind.
+class Scanner {
+ public:
+  Scanner(std::map<const VarDecl*, std::int64_t>& values,
+          std::map<const VarDecl*, bool>& poisoned)
+      : values_(values), poisoned_(poisoned) {}
+
+  void scan_stmt(const Stmt& s, bool conditional) {
+    switch (s.kind) {
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        for (const auto& v : d.decls) {
+          if (v->is_array() || v->type.is_pointer() ||
+              v->type.is_floating()) {
+            continue;
+          }
+          if (v->init) {
+            bind(v.get(), v->init.get(), conditional);
+          }
+        }
+        break;
+      }
+      case StmtKind::Expr:
+        scan_expr(*static_cast<const ExprStmt&>(s).expr, conditional);
+        break;
+      case StmtKind::Compound:
+        for (const auto& st : static_cast<const CompoundStmt&>(s).body) {
+          scan_stmt(*st, conditional);
+        }
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        scan_stmt(*i.then_branch, true);
+        if (i.else_branch) scan_stmt(*i.else_branch, true);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.init) scan_stmt(*f.init, true);
+        if (f.inc) scan_expr(*f.inc, true);
+        scan_stmt(*f.body, true);
+        break;
+      }
+      case StmtKind::While:
+        scan_stmt(*static_cast<const WhileStmt&>(s).body, true);
+        break;
+      case StmtKind::Do:
+        scan_stmt(*static_cast<const DoStmt&>(s).body, true);
+        break;
+      case StmtKind::Omp: {
+        const auto& o = static_cast<const OmpStmt&>(s);
+        // Everything under an OpenMP directive executes concurrently;
+        // treat as conditional.
+        if (o.body) scan_stmt(*o.body, true);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// Scans for assignments (anywhere in an expression tree).
+  void scan_expr(const Expr& e, bool conditional) {
+    switch (e.kind) {
+      case ExprKind::Assign: {
+        const auto& a = static_cast<const Assign&>(e);
+        if (const auto* id = expr_cast<Ident>(a.target.get())) {
+          if (id->decl != nullptr) {
+            if (a.op == AssignOp::Assign && !conditional) {
+              bind(id->decl, a.value.get(), conditional);
+            } else {
+              poison(id->decl);
+            }
+          }
+        }
+        scan_expr(*a.value, conditional);
+        break;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const Unary&>(e);
+        if (u.op == UnaryOp::PreInc || u.op == UnaryOp::PreDec ||
+            u.op == UnaryOp::PostInc || u.op == UnaryOp::PostDec ||
+            u.op == UnaryOp::AddrOf) {
+          if (const auto* id = expr_cast<Ident>(u.operand.get())) {
+            if (id->decl != nullptr) poison(id->decl);
+          }
+        }
+        scan_expr(*u.operand, conditional);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const Binary&>(e);
+        scan_expr(*b.lhs, conditional);
+        scan_expr(*b.rhs, conditional);
+        break;
+      }
+      case ExprKind::Subscript: {
+        const auto& sub = static_cast<const Subscript&>(e);
+        scan_expr(*sub.base, conditional);
+        scan_expr(*sub.index, conditional);
+        break;
+      }
+      case ExprKind::Conditional: {
+        const auto& c = static_cast<const Conditional&>(e);
+        scan_expr(*c.cond, conditional);
+        scan_expr(*c.then_expr, true);
+        scan_expr(*c.else_expr, true);
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const Call&>(e);
+        for (const auto& arg : c.args) scan_expr(*arg, conditional);
+        // scanf-style writes through &x poison handled by AddrOf above.
+        break;
+      }
+      case ExprKind::Cast:
+        scan_expr(*static_cast<const Cast&>(e).operand, conditional);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void bind(const VarDecl* v, const Expr* init, bool conditional) {
+    if (conditional || poisoned_[v]) {
+      poison(v);
+      return;
+    }
+    if (values_.count(v) != 0) {
+      // Second unconditional binding: keep the latest only if constant;
+      // simplest sound choice is to poison.
+      poison(v);
+      return;
+    }
+    // Literal or foldable initializer, evaluated against current bindings.
+    ConstantMap snapshot;
+    snapshot.set_for_scan(values_, poisoned_);
+    if (auto val = snapshot.eval(*init)) {
+      values_[v] = *val;
+    } else {
+      poison(v);
+    }
+  }
+
+  void poison(const VarDecl* v) {
+    poisoned_[v] = true;
+    values_.erase(v);
+  }
+
+  std::map<const VarDecl*, std::int64_t>& values_;
+  std::map<const VarDecl*, bool>& poisoned_;
+
+  friend class drbml::analysis::ConstantMap;
+};
+
+}  // namespace
+
+void ConstantMap::set_for_scan(
+    const std::map<const minic::VarDecl*, std::int64_t>& values,
+    const std::map<const minic::VarDecl*, bool>& poisoned) {
+  values_ = values;
+  poisoned_ = poisoned;
+}
+
+ConstantMap ConstantMap::build(const TranslationUnit& unit,
+                               const FunctionDecl& fn) {
+  ConstantMap cm;
+  Scanner scanner(cm.values_, cm.poisoned_);
+  for (const auto& g : unit.globals) {
+    if (g->init && !g->is_array() && !g->type.is_pointer() &&
+        !g->type.is_floating()) {
+      if (auto val = cm.eval(*g->init)) cm.values_[g.get()] = *val;
+    }
+  }
+  if (fn.body) scanner.scan_stmt(*fn.body, false);
+  return cm;
+}
+
+std::optional<std::int64_t> ConstantMap::value_of(const VarDecl* v) const {
+  auto p = poisoned_.find(v);
+  if (p != poisoned_.end() && p->second) return std::nullopt;
+  auto it = values_.find(v);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> ConstantMap::eval(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const IntLit&>(e).value;
+    case ExprKind::CharLit:
+      return static_cast<std::int64_t>(static_cast<const CharLit&>(e).value);
+    case ExprKind::Ident: {
+      const auto& id = static_cast<const Ident&>(e);
+      if (id.decl == nullptr) return std::nullopt;
+      return value_of(id.decl);
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const Unary&>(e);
+      auto v = eval(*u.operand);
+      if (!v) return std::nullopt;
+      switch (u.op) {
+        case UnaryOp::Plus: return v;
+        case UnaryOp::Neg: return -*v;
+        case UnaryOp::Not: return *v == 0 ? 1 : 0;
+        case UnaryOp::BitNot: return ~*v;
+        default: return std::nullopt;
+      }
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const Binary&>(e);
+      auto l = eval(*b.lhs);
+      auto r = eval(*b.rhs);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case BinaryOp::Add: return *l + *r;
+        case BinaryOp::Sub: return *l - *r;
+        case BinaryOp::Mul: return *l * *r;
+        case BinaryOp::Div: return *r == 0 ? std::nullopt
+                                           : std::optional(*l / *r);
+        case BinaryOp::Mod: return *r == 0 ? std::nullopt
+                                           : std::optional(*l % *r);
+        case BinaryOp::Shl: return *l << *r;
+        case BinaryOp::Shr: return *l >> *r;
+        case BinaryOp::Lt: return *l < *r ? 1 : 0;
+        case BinaryOp::Gt: return *l > *r ? 1 : 0;
+        case BinaryOp::Le: return *l <= *r ? 1 : 0;
+        case BinaryOp::Ge: return *l >= *r ? 1 : 0;
+        case BinaryOp::Eq: return *l == *r ? 1 : 0;
+        case BinaryOp::Ne: return *l != *r ? 1 : 0;
+        case BinaryOp::LogicalAnd: return (*l != 0 && *r != 0) ? 1 : 0;
+        case BinaryOp::LogicalOr: return (*l != 0 || *r != 0) ? 1 : 0;
+        case BinaryOp::BitAnd: return *l & *r;
+        case BinaryOp::BitOr: return *l | *r;
+        case BinaryOp::BitXor: return *l ^ *r;
+        case BinaryOp::Comma: return r;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Cast:
+      return eval(*static_cast<const Cast&>(e).operand);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace drbml::analysis

@@ -1,0 +1,42 @@
+// Best-effort constant propagation for scalar integers.
+//
+// DRB-style microbenchmarks bind loop bounds to constants near the top of
+// main (`int len = 1000;`). The static race detector folds those constants
+// into affine subscripts and loop bounds. The propagation is deliberately
+// conservative: a variable that is ever reassigned a non-constant value, or
+// assigned under a branch or loop, is treated as unknown.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "minic/ast.hpp"
+
+namespace drbml::analysis {
+
+class ConstantMap {
+ public:
+  /// Scans `fn`'s body (and `unit` globals) and records scalar integer
+  /// variables with a single, unconditional constant binding.
+  static ConstantMap build(const minic::TranslationUnit& unit,
+                           const minic::FunctionDecl& fn);
+
+  [[nodiscard]] std::optional<std::int64_t> value_of(
+      const minic::VarDecl* v) const;
+
+  /// Evaluates `e` to an integer constant if possible, folding known
+  /// variables, literals, and arithmetic.
+  [[nodiscard]] std::optional<std::int64_t> eval(const minic::Expr& e) const;
+
+  /// Internal: seeds a map from in-progress scan state so initializers can
+  /// fold previously bound constants. Not part of the public API.
+  void set_for_scan(const std::map<const minic::VarDecl*, std::int64_t>& values,
+                    const std::map<const minic::VarDecl*, bool>& poisoned);
+
+ private:
+  std::map<const minic::VarDecl*, std::int64_t> values_;
+  std::map<const minic::VarDecl*, bool> poisoned_;
+};
+
+}  // namespace drbml::analysis

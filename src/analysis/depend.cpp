@@ -1,0 +1,317 @@
+#include "analysis/depend.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "analysis/affine.hpp"
+
+namespace drbml::analysis {
+
+using namespace minic;
+
+namespace {
+
+const LoopInfo* find_loop(const std::vector<LoopInfo>& loops,
+                          const VarDecl* v) {
+  for (const auto& li : loops) {
+    if (li.induction == v) return &li;
+  }
+  return nullptr;
+}
+
+/// A free (independent-instance) term in a dimension's difference form.
+struct FreeTerm {
+  std::int64_t coeff = 0;
+  std::optional<std::int64_t> lo;
+  std::optional<std::int64_t> hi;
+  bool is_dist = false;  // variable is a distributed induction variable
+};
+
+/// Per-dimension analysis result.
+struct DimResult {
+  bool possible = true;  // difference can be zero
+  bool slack = false;    // zero achievable without constraining distances
+  bool free_dist = false;  // a distributed var participates unconstrained
+  /// When !slack: equation sum(dcoeff[v] * d_v) + cst == 0 must hold.
+  std::map<const VarDecl*, std::int64_t> dcoeff;
+  std::int64_t cst = 0;
+};
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  a = std::abs(a);
+  b = std::abs(b);
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Interval + GCD feasibility of `cst + sum(coeff_k * x_k) == 0` where each
+/// x_k ranges over its (possibly unknown) bounds.
+bool interval_feasible(std::int64_t cst, const std::vector<FreeTerm>& terms) {
+  // GCD test.
+  std::int64_t g = 0;
+  for (const auto& t : terms) g = gcd64(g, t.coeff);
+  if (g != 0 && cst % g != 0) return false;
+  if (terms.empty()) return cst == 0;
+
+  // Interval test (Banerjee bounds); unknown bounds widen to infinity.
+  bool lo_inf = false;
+  bool hi_inf = false;
+  std::int64_t lo_sum = cst;
+  std::int64_t hi_sum = cst;
+  for (const auto& t : terms) {
+    if (!t.lo || !t.hi) {
+      if (t.coeff != 0) {
+        lo_inf = true;
+        hi_inf = true;
+      }
+      continue;
+    }
+    const std::int64_t a = t.coeff * *t.lo;
+    const std::int64_t b = t.coeff * *t.hi;
+    lo_sum += std::min(a, b);
+    hi_sum += std::max(a, b);
+  }
+  const bool lo_ok = lo_inf || lo_sum <= 0;
+  const bool hi_ok = hi_inf || hi_sum >= 0;
+  return lo_ok && hi_ok;
+}
+
+}  // namespace
+
+ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
+                               const ConstantMap& consts,
+                               const DependOptions& opts) {
+  // Dimensionality mismatch (e.g. `*p` vs `p[i][j]`): unknown overlap.
+  if (A.subscripts.size() != B.subscripts.size()) {
+    return opts.conservative_nonaffine ? ConflictKind::CrossThread
+                                       : ConflictKind::None;
+  }
+
+  const bool same_nest = !A.dist_loops.empty() && !B.dist_loops.empty() &&
+                         A.dist_loops[0].loop == B.dist_loops[0].loop;
+
+  bool any_free_dist = false;
+  std::map<const VarDecl*, std::int64_t> forced;  // distance per dist var
+  std::set<const VarDecl*> constrained;
+
+  std::vector<DimResult> dims;
+  for (std::size_t d = 0; d < A.subscripts.size(); ++d) {
+    const Expr* ea = A.subscripts[d];
+    const Expr* eb = B.subscripts[d];
+    DimResult dim;
+    auto conservative_dim = [&]() {
+      dim.possible = true;
+      dim.slack = true;
+      // Unknown indexing may vary across threads.
+      dim.free_dist = !A.dist_loops.empty() || !B.dist_loops.empty();
+      dims.push_back(dim);
+    };
+    if (ea == nullptr || eb == nullptr) {
+      if (!opts.conservative_nonaffine) return ConflictKind::None;
+      conservative_dim();
+      continue;
+    }
+    LinearForm la = linearize(*ea, consts);
+    LinearForm lb = linearize(*eb, consts);
+    if (!la.is_affine || !lb.is_affine) {
+      if (!opts.conservative_nonaffine) return ConflictKind::None;
+      conservative_dim();
+      continue;
+    }
+
+    std::set<const VarDecl*> vars;
+    for (const auto& [v, c] : la.coeffs) vars.insert(v);
+    for (const auto& [v, c] : lb.coeffs) vars.insert(v);
+
+    std::vector<FreeTerm> free_terms;
+    bool symbolic_mismatch = false;
+    dim.cst = la.constant - lb.constant;
+
+    for (const VarDecl* v : vars) {
+      const std::int64_t ca = la.coeff(v);
+      const std::int64_t cb = lb.coeff(v);
+      const LoopInfo* da = find_loop(A.dist_loops, v);
+      const LoopInfo* db = find_loop(B.dist_loops, v);
+      const LoopInfo* sa = find_loop(A.seq_loops, v);
+      const LoopInfo* sb = find_loop(B.seq_loops, v);
+      const bool induction_a = da != nullptr || sa != nullptr;
+      const bool induction_b = db != nullptr || sb != nullptr;
+
+      if (same_nest && da != nullptr && db != nullptr && ca == cb) {
+        // Equal-coefficient distributed var: contributes ca * d_v.
+        if (ca != 0) {
+          dim.dcoeff[v] += ca;
+        }
+        continue;
+      }
+      if (!induction_a && !induction_b) {
+        // Loop-invariant symbol: assume equal on both sides; must cancel.
+        if (ca != cb) symbolic_mismatch = true;
+        continue;
+      }
+      // Independent instances per side.
+      if (ca != 0) {
+        const LoopInfo* li = da != nullptr ? da : sa;
+        FreeTerm t;
+        t.coeff = ca;
+        if (li != nullptr) {
+          t.lo = li->lower;
+          t.hi = li->upper;
+        }
+        t.is_dist = da != nullptr;
+        free_terms.push_back(t);
+      }
+      if (cb != 0) {
+        const LoopInfo* li = db != nullptr ? db : sb;
+        FreeTerm t;
+        t.coeff = -cb;
+        if (li != nullptr) {
+          t.lo = li->lower;
+          t.hi = li->upper;
+        }
+        t.is_dist = db != nullptr;
+        free_terms.push_back(t);
+      }
+    }
+
+    if (symbolic_mismatch) {
+      // e.g. a[x] vs a[2*x] with x unknown: overlap cannot be excluded.
+      if (!opts.conservative_nonaffine) return ConflictKind::None;
+      conservative_dim();
+      continue;
+    }
+
+    if (!free_terms.empty()) {
+      // Treat distance terms as additional bounded free variables for the
+      // feasibility check.
+      std::vector<FreeTerm> all = free_terms;
+      for (const auto& [v, c] : dim.dcoeff) {
+        const LoopInfo* li = find_loop(A.dist_loops, v);
+        FreeTerm t;
+        t.coeff = c;
+        if (li != nullptr && li->lower && li->upper) {
+          const std::int64_t range = *li->upper - *li->lower;
+          t.lo = -range;
+          t.hi = range;
+        }
+        all.push_back(t);
+      }
+      dim.possible = interval_feasible(dim.cst, all);
+      dim.slack = true;
+      for (const auto& t : free_terms) {
+        if (t.is_dist && t.coeff != 0) dim.free_dist = true;
+      }
+      if (!dim.dcoeff.empty()) dim.free_dist = true;
+      dims.push_back(dim);
+      continue;
+    }
+
+    // Pure distance equation: sum(dcoeff * d_v) + cst == 0.
+    if (dim.dcoeff.empty()) {
+      dim.possible = dim.cst == 0;
+      dims.push_back(dim);
+      continue;
+    }
+    if (dim.dcoeff.size() == 1) {
+      const auto& [v, c] = *dim.dcoeff.begin();
+      if (dim.cst % c != 0) {
+        dim.possible = false;
+        dims.push_back(dim);
+        continue;
+      }
+      const std::int64_t dist = -dim.cst / c;
+      const LoopInfo* li = find_loop(A.dist_loops, v);
+      if (li != nullptr) {
+        // Distance must be a multiple of the step and within range.
+        const std::int64_t step = li->step == 0 ? 1 : std::abs(li->step);
+        if (dist % step != 0) {
+          dim.possible = false;
+          dims.push_back(dim);
+          continue;
+        }
+        if (li->lower && li->upper) {
+          const std::int64_t range = *li->upper - *li->lower;
+          if (std::abs(dist) > range) {
+            dim.possible = false;
+            dims.push_back(dim);
+            continue;
+          }
+        }
+      }
+      auto it = forced.find(v);
+      if (it != forced.end() && it->second != dist) {
+        return ConflictKind::None;  // inconsistent across dimensions
+      }
+      forced[v] = dist;
+      constrained.insert(v);
+      dims.push_back(dim);
+      continue;
+    }
+    // Multiple distance variables in one equation: GCD feasibility, then
+    // distances are flexible.
+    std::int64_t g = 0;
+    for (const auto& [v, c] : dim.dcoeff) g = gcd64(g, c);
+    if (g != 0 && dim.cst % g != 0) {
+      dim.possible = false;
+    } else {
+      dim.free_dist = true;
+      dim.slack = true;
+      for (const auto& [v, c] : dim.dcoeff) constrained.insert(v);
+    }
+    dims.push_back(dim);
+  }
+
+  for (const auto& dim : dims) {
+    if (!dim.possible) return ConflictKind::None;
+    if (dim.free_dist) any_free_dist = true;
+  }
+
+  if (!same_nest) {
+    // Different worksharing nests, plain region code, or one side of each:
+    // overlap implies different threads can touch the same element.
+    return ConflictKind::CrossThread;
+  }
+
+  // Same nest: a race needs a nonzero distance on some distributed var.
+  bool nonzero_forced = false;
+  const VarDecl* nonzero_var = nullptr;
+  std::int64_t nonzero_dist = 0;
+  for (const auto& [v, dist] : forced) {
+    if (dist != 0) {
+      nonzero_forced = true;
+      nonzero_var = v;
+      nonzero_dist = dist;
+    }
+  }
+  bool unconstrained_dist = false;
+  for (const auto& li : A.dist_loops) {
+    if (constrained.count(li.induction) == 0) {
+      // Not pinned by any dimension: free to differ across threads --
+      // unless the loop has at most one iteration.
+      if (li.lower && li.upper && *li.upper <= *li.lower) continue;
+      unconstrained_dist = true;
+    }
+  }
+
+  if (!nonzero_forced && !any_free_dist && !unconstrained_dist) {
+    return ConflictKind::SameThread;
+  }
+
+  // SIMD safelen: a forced distance >= safelen on a simd loop is safe.
+  if (nonzero_forced && nonzero_var != nullptr) {
+    const LoopInfo* li = find_loop(A.dist_loops, nonzero_var);
+    if (li != nullptr && li->simd && li->safelen > 0 &&
+        std::abs(nonzero_dist) >= li->safelen && forced.size() == 1 &&
+        !any_free_dist && !unconstrained_dist) {
+      return ConflictKind::SameThread;
+    }
+  }
+  return ConflictKind::CrossThread;
+}
+
+}  // namespace drbml::analysis

@@ -1,0 +1,38 @@
+// Cross-thread conflict classification between two memory accesses.
+//
+// Implements an affine dependence test (GCD + Banerjee-style interval
+// reasoning) over the collected access annotations:
+//   - distributed-loop induction variables appear as bounded distance
+//     variables (same worksharing nest) or independent instances
+//     (different nests / plain region code),
+//   - sequential-loop induction variables are independent per side,
+//   - other variables are assumed loop-invariant and must cancel.
+#pragma once
+
+#include "analysis/access.hpp"
+#include "analysis/consteval.hpp"
+
+namespace drbml::analysis {
+
+enum class ConflictKind {
+  None,        // accesses can never touch the same element concurrently
+  SameThread,  // overlap exists but always within one thread's iteration
+  CrossThread, // a data race is possible
+};
+
+struct DependOptions {
+  /// Treat non-affine subscripts (indirect indexing, calls, unknown
+  /// pointers) as conflicting. True mirrors conservative static tools;
+  /// false mirrors optimistic ones (and produces false negatives instead
+  /// of false positives).
+  bool conservative_nonaffine = true;
+};
+
+/// Decides whether accesses `a` and `b` (same canonical variable, already
+/// filtered for phase/sync by the caller) may conflict across threads.
+[[nodiscard]] ConflictKind classify_conflict(const AccessInfo& a,
+                                             const AccessInfo& b,
+                                             const ConstantMap& consts,
+                                             const DependOptions& opts);
+
+}  // namespace drbml::analysis

@@ -1,0 +1,65 @@
+// Explicit data-dependence graphs (the paper's future-work modality:
+// "explore different modalities beyond text as input, such as abstract
+// syntax trees, dependence graphs, and control-flow graphs").
+//
+// Nodes are the shared-memory accesses of each parallel construct; edges
+// are dependence relations classified by the affine tester. Serializers
+// produce a compact text form (fed to models as an auxiliary modality)
+// and Graphviz DOT (for humans).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace drbml::analysis {
+
+struct DepNode {
+  int id = 0;
+  std::string access;  // source spelling, e.g. "a[i+1]"
+  int line = 0;
+  int col = 0;
+  char op = 'r';
+  std::string sharing;  // data-sharing class
+};
+
+enum class DepEdgeKind {
+  TrueDep,    // write -> read
+  AntiDep,    // read -> write
+  OutputDep,  // write -> write
+  SameThread, // overlap confined to one thread's iteration
+};
+
+[[nodiscard]] const char* dep_edge_kind_name(DepEdgeKind k) noexcept;
+
+struct DepEdge {
+  int src = 0;  // node id of the earlier access (source order)
+  int dst = 0;
+  DepEdgeKind kind = DepEdgeKind::TrueDep;
+  bool cross_thread = false;  // a potential data race
+};
+
+struct DependenceGraph {
+  std::vector<DepNode> nodes;
+  std::vector<DepEdge> edges;
+
+  [[nodiscard]] int cross_thread_edges() const noexcept;
+
+  /// Compact text serialization for model prompts.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Graphviz DOT rendering.
+  [[nodiscard]] std::string to_dot() const;
+};
+
+/// Builds the dependence graph over all parallel constructs of a resolved
+/// unit (resolution is performed internally).
+[[nodiscard]] DependenceGraph build_dependence_graph(
+    minic::TranslationUnit& unit);
+
+/// Convenience: parse + build from source text.
+[[nodiscard]] DependenceGraph build_dependence_graph(
+    const std::string& source);
+
+}  // namespace drbml::analysis

@@ -1,0 +1,141 @@
+#include "analysis/race.hpp"
+
+#include <algorithm>
+
+#include "minic/parser.hpp"
+#include "support/strings.hpp"
+
+namespace drbml::analysis {
+
+using namespace minic;
+
+namespace {
+
+bool locks_intersect(const std::vector<const VarDecl*>& a,
+                     const std::vector<const VarDecl*>& b) {
+  for (const auto* l : a) {
+    if (std::find(b.begin(), b.end(), l) != b.end()) return true;
+  }
+  return false;
+}
+
+/// True if both tasks carry depend clauses on the same variable with at
+/// least one writer-side dependence type, which orders them.
+bool depends_order(const SyncContext& a, const SyncContext& b,
+                   const std::string& var_name) {
+  auto mentions = [&](const SyncContext& c, bool& has_out) {
+    bool found = false;
+    for (const auto& [type, text] : c.depends) {
+      const std::string base = text.substr(0, text.find('['));
+      if (base == var_name) {
+        found = true;
+        if (type == "out" || type == "inout") has_out = true;
+      }
+    }
+    return found;
+  };
+  bool out_a = false;
+  bool out_b = false;
+  const bool ma = mentions(a, out_a);
+  const bool mb = mentions(b, out_b);
+  return ma && mb && (out_a || out_b);
+}
+
+RaceAccess to_race_access(const AccessInfo& a) {
+  RaceAccess r;
+  r.expr_text = a.text;
+  r.var_name = a.var != nullptr ? a.var->name : "?";
+  r.loc = a.loc;
+  r.op = a.is_write ? 'w' : 'r';
+  return r;
+}
+
+}  // namespace
+
+bool StaticRaceDetector::may_race(const AccessInfo& a, const AccessInfo& b,
+                                  const ParallelRegion& region) const {
+  if (a.var == nullptr || b.var == nullptr || a.var != b.var) return false;
+  if (!a.is_write && !b.is_write) return false;
+  if (a.sharing != Sharing::Shared || b.sharing != Sharing::Shared) {
+    return false;
+  }
+  if (a.via_call && !opts_.collect.track_call_effects) return false;
+  if (b.via_call && !opts_.collect.track_call_effects) return false;
+
+  // Barrier phases separate accesses.
+  if (a.ctx.phase != b.ctx.phase) return false;
+
+  // Same single/master/section instance executes on one thread.
+  if (a.ctx.exec_once_id != -1 && a.ctx.exec_once_id == b.ctx.exec_once_id) {
+    // Same instance: racy only through a self-concurrent task inside it.
+    if (a.ctx.task_id == b.ctx.task_id && !a.ctx.task_in_loop) return false;
+  }
+
+  // Task ordering.
+  if (a.ctx.task_id != -1 || b.ctx.task_id != -1) {
+    if (a.ctx.task_phase != b.ctx.task_phase) return false;  // taskwait
+    if (a.ctx.task_id == b.ctx.task_id && a.ctx.task_id != -1 &&
+        !a.ctx.task_in_loop) {
+      return false;  // same single task instance
+    }
+    if (opts_.model_depend_clauses && a.ctx.task_id != b.ctx.task_id &&
+        a.ctx.task_id != -1 && b.ctx.task_id != -1 &&
+        depends_order(a.ctx, b.ctx, a.var->name)) {
+      return false;
+    }
+  }
+
+  // Mutual exclusion.
+  if (a.ctx.in_critical && b.ctx.in_critical &&
+      a.ctx.critical_name == b.ctx.critical_name) {
+    return false;
+  }
+  if (a.ctx.atomic && b.ctx.atomic) return false;
+  if (opts_.model_locks && locks_intersect(a.ctx.locks, b.ctx.locks)) {
+    return false;
+  }
+  if (opts_.model_ordered && a.ctx.ordered && b.ctx.ordered) return false;
+
+  return classify_conflict(a, b, region.consts, opts_.depend) ==
+         ConflictKind::CrossThread;
+}
+
+RaceReport StaticRaceDetector::analyze_unit(TranslationUnit& unit) const {
+  Resolution res = resolve(unit);
+  std::vector<ParallelRegion> regions =
+      collect_regions(unit, res, opts_.collect);
+
+  RaceReport report;
+  for (const auto& region : regions) {
+    const auto& acc = region.accesses;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      for (std::size_t j = i; j < acc.size(); ++j) {
+        // j == i covers the self-conflict of a single statement executed
+        // by many threads/iterations (e.g. `x = x + 1;`).
+        if (j == i && !acc[i].is_write) continue;
+        if (static_cast<int>(report.pairs.size()) >= opts_.max_pairs) break;
+        if (!may_race(acc[i], acc[j], region)) continue;
+        // Writer first, matching DRB's pair convention.
+        const AccessInfo& first = acc[i].is_write ? acc[i] : acc[j];
+        const AccessInfo& second = acc[i].is_write ? acc[j] : acc[i];
+        RacePair pair;
+        pair.first = to_race_access(first);
+        pair.second = to_race_access(second);
+        pair.note = "static: conflicting accesses to shared '" +
+                    first.var->name + "'";
+        report.add_pair(std::move(pair));
+      }
+    }
+  }
+  if (!report.race_detected) {
+    report.diagnostics.push_back("static: no conflicting pair found");
+  }
+  return report;
+}
+
+RaceReport StaticRaceDetector::analyze_source(std::string_view source) const {
+  Program prog = parse_program(source);
+  return analyze_unit(*prog.unit);
+}
+
+}  // namespace drbml::analysis

@@ -1,0 +1,57 @@
+// Static data race detector for Mini-C/OpenMP programs.
+//
+// Pipeline: resolve names -> collect parallel regions with annotated
+// accesses -> pairwise synchronization filtering -> affine dependence test
+// -> race pairs in DRB label format.
+//
+// Fidelity knobs (StaticDetectorOptions) select between a conservative
+// tool (flags anything it cannot prove disjoint; false positives on
+// runtime-disjoint or flag-synchronized programs) and an optimistic one
+// (silent on non-affine indexing; false negatives instead). Both behaviours
+// exist in real static race detectors; the benchmark harness exercises
+// both.
+#pragma once
+
+#include "analysis/access.hpp"
+#include "analysis/depend.hpp"
+#include "analysis/report.hpp"
+#include "minic/ast.hpp"
+
+namespace drbml::analysis {
+
+struct StaticDetectorOptions {
+  CollectOptions collect;
+  DependOptions depend;
+  /// Honour omp_set_lock/omp_unset_lock pairs as mutual exclusion.
+  bool model_locks = true;
+  /// Honour task depend(in/out/inout) clauses as ordering.
+  bool model_depend_clauses = true;
+  /// Treat `#pragma omp ordered` bodies as serialized.
+  bool model_ordered = true;
+  /// Cap on reported pairs per program (diagnostic noise control).
+  int max_pairs = 16;
+};
+
+class StaticRaceDetector {
+ public:
+  explicit StaticRaceDetector(StaticDetectorOptions opts = {})
+      : opts_(opts) {}
+
+  /// Analyzes a resolved translation unit.
+  [[nodiscard]] RaceReport analyze_unit(minic::TranslationUnit& unit) const;
+
+  /// Convenience: parse + resolve + analyze source text.
+  [[nodiscard]] RaceReport analyze_source(std::string_view source) const;
+
+  [[nodiscard]] const StaticDetectorOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  [[nodiscard]] bool may_race(const AccessInfo& a, const AccessInfo& b,
+                              const ParallelRegion& region) const;
+
+  StaticDetectorOptions opts_;
+};
+
+}  // namespace drbml::analysis

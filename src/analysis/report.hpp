@@ -1,0 +1,52 @@
+// Race report types shared by the static and dynamic detectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minic/source.hpp"
+
+namespace drbml::analysis {
+
+/// One side of a racing pair, in DRB-ML label terms: the source spelling of
+/// the access, its location in *trimmed-code* coordinates, and whether it
+/// reads or writes.
+struct RaceAccess {
+  std::string expr_text;  // e.g. "a[i+1]"
+  std::string var_name;   // base variable, e.g. "a"
+  minic::SourceLoc loc;
+  char op = 'r';  // 'r' or 'w'
+
+  friend bool operator==(const RaceAccess&, const RaceAccess&) = default;
+};
+
+/// A conflicting access pair. Mirrors DRB's annotation
+/// `Data race pair: a[i+1]@64:10:R vs. a[i]@64:5:W`.
+struct RacePair {
+  RaceAccess first;
+  RaceAccess second;
+  std::string note;  // detector-specific diagnostic
+
+  friend bool operator==(const RacePair& a, const RacePair& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+};
+
+/// Output of a race detector run over one program.
+struct RaceReport {
+  bool race_detected = false;
+  std::vector<RacePair> pairs;
+  std::vector<std::string> diagnostics;
+
+  void add_pair(RacePair p) {
+    for (const auto& q : pairs) {
+      if (q == p) return;
+      // Symmetric duplicates collapse too.
+      if (q.first == p.second && q.second == p.first) return;
+    }
+    pairs.push_back(std::move(p));
+    race_detected = true;
+  }
+};
+
+}  // namespace drbml::analysis

@@ -1,0 +1,267 @@
+#include "analysis/resolve.hpp"
+
+#include <string>
+
+namespace drbml::analysis {
+
+using namespace minic;
+
+namespace {
+
+class Resolver {
+ public:
+  explicit Resolver(Resolution& out) : out_(out) {}
+
+  void run(TranslationUnit& tu) {
+    push_scope();
+    for (auto& g : tu.globals) {
+      declare(g.get());
+      if (g->init) resolve_expr(*g->init);
+      for (auto& d : g->array_dims) {
+        if (d) resolve_expr(*d);
+      }
+    }
+    for (auto& f : tu.functions) {
+      push_scope();
+      for (auto& p : f->params) declare(p.get());
+      if (f->body) resolve_stmt(*f->body);
+      pop_scope();
+    }
+    // threadprivate directives name globals.
+    for (const auto& dir : tu.global_directives) {
+      if (dir.kind != OmpDirectiveKind::Threadprivate) continue;
+      for (const auto& clause : dir.clauses) {
+        for (const auto& name : clause.vars) {
+          if (const VarDecl* d = lookup_global(tu, name)) {
+            out_.threadprivate.push_back(d);
+          }
+        }
+      }
+    }
+    pop_scope();
+  }
+
+ private:
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare(const VarDecl* d) {
+    scopes_.back()[d->name] = d;
+    out_.all_decls.push_back(d);
+  }
+
+  [[nodiscard]] const VarDecl* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] static const VarDecl* lookup_global(
+      const TranslationUnit& tu, const std::string& name) {
+    for (const auto& g : tu.globals) {
+      if (g->name == name) return g.get();
+    }
+    return nullptr;
+  }
+
+  void resolve_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Decl: {
+        auto& d = static_cast<DeclStmt&>(s);
+        for (auto& v : d.decls) {
+          for (auto& dim : v->array_dims) {
+            if (dim) resolve_expr(*dim);
+          }
+          if (v->init) {
+            resolve_expr(*v->init);
+            note_alias(v.get(), v->init.get());
+          }
+          declare(v.get());
+        }
+        break;
+      }
+      case StmtKind::Expr:
+        resolve_expr(*static_cast<ExprStmt&>(s).expr);
+        break;
+      case StmtKind::Compound: {
+        push_scope();
+        for (auto& st : static_cast<CompoundStmt&>(s).body) {
+          resolve_stmt(*st);
+        }
+        pop_scope();
+        break;
+      }
+      case StmtKind::If: {
+        auto& i = static_cast<IfStmt&>(s);
+        resolve_expr(*i.cond);
+        resolve_stmt(*i.then_branch);
+        if (i.else_branch) resolve_stmt(*i.else_branch);
+        break;
+      }
+      case StmtKind::For: {
+        auto& f = static_cast<ForStmt&>(s);
+        push_scope();
+        if (f.init) resolve_stmt(*f.init);
+        if (f.cond) resolve_expr(*f.cond);
+        if (f.inc) resolve_expr(*f.inc);
+        resolve_stmt(*f.body);
+        pop_scope();
+        break;
+      }
+      case StmtKind::While: {
+        auto& w = static_cast<WhileStmt&>(s);
+        resolve_expr(*w.cond);
+        resolve_stmt(*w.body);
+        break;
+      }
+      case StmtKind::Do: {
+        auto& d = static_cast<DoStmt&>(s);
+        resolve_stmt(*d.body);
+        resolve_expr(*d.cond);
+        break;
+      }
+      case StmtKind::Return: {
+        auto& r = static_cast<ReturnStmt&>(s);
+        if (r.value) resolve_expr(*r.value);
+        break;
+      }
+      case StmtKind::Omp: {
+        auto& o = static_cast<OmpStmt&>(s);
+        for (auto& c : o.directive.clauses) {
+          if (c.expr) resolve_expr(*c.expr);
+        }
+        if (o.body) resolve_stmt(*o.body);
+        break;
+      }
+      case StmtKind::Break:
+      case StmtKind::Continue:
+      case StmtKind::Null:
+        break;
+    }
+  }
+
+  void resolve_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Ident: {
+        auto& id = static_cast<Ident&>(e);
+        id.decl = lookup(id.name);
+        break;
+      }
+      case ExprKind::Subscript: {
+        auto& s = static_cast<Subscript&>(e);
+        resolve_expr(*s.base);
+        resolve_expr(*s.index);
+        break;
+      }
+      case ExprKind::Unary:
+        resolve_expr(*static_cast<Unary&>(e).operand);
+        break;
+      case ExprKind::Binary: {
+        auto& b = static_cast<Binary&>(e);
+        resolve_expr(*b.lhs);
+        resolve_expr(*b.rhs);
+        break;
+      }
+      case ExprKind::Assign: {
+        auto& a = static_cast<Assign&>(e);
+        resolve_expr(*a.target);
+        resolve_expr(*a.value);
+        // `p = a;` makes p alias a.
+        if (a.op == AssignOp::Assign) {
+          if (const auto* target = expr_cast<Ident>(a.target.get())) {
+            if (target->decl != nullptr && target->decl->type.is_pointer()) {
+              note_alias(target->decl, a.value.get());
+            }
+          }
+        }
+        break;
+      }
+      case ExprKind::Conditional: {
+        auto& c = static_cast<Conditional&>(e);
+        resolve_expr(*c.cond);
+        resolve_expr(*c.then_expr);
+        resolve_expr(*c.else_expr);
+        break;
+      }
+      case ExprKind::Call: {
+        auto& c = static_cast<Call&>(e);
+        for (auto& arg : c.args) resolve_expr(*arg);
+        break;
+      }
+      case ExprKind::Cast:
+        resolve_expr(*static_cast<Cast&>(e).operand);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Records `ptr aliases obj` for initializers/assignments of the forms
+  /// `p = a`, `p = &a[...]`, `p = a + k`, `p = (T*)malloc(...)`.
+  void note_alias(const VarDecl* ptr, const Expr* value) {
+    if (ptr == nullptr || !ptr->type.is_pointer()) return;
+    const Expr* v = value;
+    while (true) {
+      if (const auto* cast = expr_cast<Cast>(v)) {
+        v = cast->operand.get();
+        continue;
+      }
+      if (const auto* un = expr_cast<Unary>(v)) {
+        if (un->op == UnaryOp::AddrOf) {
+          v = un->operand.get();
+          continue;
+        }
+      }
+      if (const auto* bin = expr_cast<Binary>(v)) {
+        if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
+          v = bin->lhs.get();
+          continue;
+        }
+      }
+      if (const auto* sub = expr_cast<Subscript>(v)) {
+        v = sub->base.get();
+        continue;
+      }
+      break;
+    }
+    if (const auto* id = expr_cast<Ident>(v)) {
+      if (id->decl != nullptr && id->decl != ptr) {
+        out_.alias_target[ptr] = id->decl;
+      }
+    }
+  }
+
+  Resolution& out_;
+  std::vector<std::map<std::string, const VarDecl*>> scopes_;
+};
+
+}  // namespace
+
+const minic::VarDecl* Resolution::canonical(
+    const minic::VarDecl* v) const noexcept {
+  const minic::VarDecl* cur = v;
+  // Follow alias links with a bound to stay safe against cycles.
+  for (int i = 0; i < 8; ++i) {
+    auto it = alias_target.find(cur);
+    if (it == alias_target.end()) return cur;
+    cur = it->second;
+  }
+  return cur;
+}
+
+bool Resolution::is_threadprivate(const minic::VarDecl* v) const noexcept {
+  for (const auto* t : threadprivate) {
+    if (t == v) return true;
+  }
+  return false;
+}
+
+Resolution resolve(minic::TranslationUnit& unit) {
+  Resolution out;
+  Resolver(out).run(unit);
+  return out;
+}
+
+}  // namespace drbml::analysis

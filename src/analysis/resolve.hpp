@@ -1,0 +1,34 @@
+// Name resolution: binds every Ident to its VarDecl and tracks simple
+// pointer aliases (`double* p = a;`).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace drbml::analysis {
+
+/// Resolution output. `alias_target` maps a pointer variable to the array
+/// (or pointer) variable it was observed to point into; detectors use it to
+/// canonicalize the memory object behind an access.
+struct Resolution {
+  /// All declarations in the unit, in declaration order.
+  std::vector<const minic::VarDecl*> all_decls;
+  /// Pointer variable -> canonical memory object it aliases (if known).
+  std::map<const minic::VarDecl*, const minic::VarDecl*> alias_target;
+  /// Variables named in a `threadprivate` directive.
+  std::vector<const minic::VarDecl*> threadprivate;
+
+  [[nodiscard]] const minic::VarDecl* canonical(
+      const minic::VarDecl* v) const noexcept;
+  [[nodiscard]] bool is_threadprivate(
+      const minic::VarDecl* v) const noexcept;
+};
+
+/// Resolves the unit in place (fills Ident::decl) and returns alias and
+/// threadprivate info. Unknown identifiers (externs like `stdout`) are left
+/// unbound rather than failing.
+Resolution resolve(minic::TranslationUnit& unit);
+
+}  // namespace drbml::analysis

@@ -1,0 +1,52 @@
+// Unified detector interface -- the library's primary public API.
+//
+// Four interchangeable detectors analyze OpenMP C source for data races:
+//   - "static":  dependence-based static analysis (RELAY/ompVerify-style)
+//   - "dynamic": interpreted execution with vector-clock happens-before
+//                checking (ThreadSanitizer/Inspector-style)
+//   - "hybrid":  static union dynamic (the paper's traditional-tool column)
+//   - "llm:<persona>[:<prompt>]": a simulated LLM queried through the
+//     paper's prompt pipeline, e.g. "llm:gpt4:p3"
+//
+// Quickstart:
+//   auto detector = drbml::core::make_detector("hybrid");
+//   auto verdict = detector->analyze(source_code);
+//   if (verdict.race) { ... verdict.pairs ... }
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace drbml::core {
+
+/// A detector's answer for one program.
+struct RaceVerdict {
+  bool race = false;
+  std::vector<analysis::RacePair> pairs;
+  /// The raw model reply (LLM detectors only).
+  std::string model_response;
+  std::vector<std::string> diagnostics;
+};
+
+class RaceDetector {
+ public:
+  virtual ~RaceDetector() = default;
+
+  /// Analyzes OpenMP C source text.
+  [[nodiscard]] virtual RaceVerdict analyze(const std::string& code) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Creates a detector by specification string (see file comment).
+/// Throws Error for unknown specifications.
+[[nodiscard]] std::unique_ptr<RaceDetector> make_detector(
+    const std::string& spec);
+
+/// Names accepted by make_detector.
+[[nodiscard]] std::vector<std::string> available_detectors();
+
+}  // namespace drbml::core

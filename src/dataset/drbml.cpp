@@ -1,0 +1,230 @@
+#include "dataset/drbml.hpp"
+
+#include <cctype>
+
+#include "minic/source.hpp"
+#include "prompts/prompts.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace drbml::dataset {
+
+namespace {
+
+/// Parses "expr@L:C:OP" starting at `pos`; advances pos past it.
+bool parse_side(const std::string& s, std::size_t& pos, std::string& expr,
+                int& line, int& col, char& op) {
+  const std::size_t at = s.find('@', pos);
+  if (at == std::string::npos) return false;
+  expr = std::string(trim(s.substr(pos, at - pos)));
+  std::size_t i = at + 1;
+  auto read_int = [&](int& out) {
+    std::size_t start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i == start) return false;
+    out = std::stoi(s.substr(start, i - start));
+    return true;
+  };
+  if (!read_int(line)) return false;
+  if (i >= s.size() || s[i] != ':') return false;
+  ++i;
+  if (!read_int(col)) return false;
+  if (i >= s.size() || s[i] != ':') return false;
+  ++i;
+  if (i >= s.size()) return false;
+  op = static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+  ++i;
+  pos = i;
+  return expr.size() > 0 && (op == 'r' || op == 'w');
+}
+
+}  // namespace
+
+bool parse_annotation(const std::string& comment_line, RawAnnotation& out) {
+  static const std::string kPrefix = "Data race pair:";
+  const std::size_t start = comment_line.find(kPrefix);
+  if (start == std::string::npos) return false;
+  std::size_t pos = start + kPrefix.size();
+  if (!parse_side(comment_line, pos, out.var1_expr, out.var1_line,
+                  out.var1_col, out.var1_op)) {
+    return false;
+  }
+  const std::size_t vs = comment_line.find("vs.", pos);
+  if (vs == std::string::npos) return false;
+  pos = vs + 3;
+  return parse_side(comment_line, pos, out.var0_expr, out.var0_line,
+                    out.var0_col, out.var0_op);
+}
+
+Entry build_entry(const drb::CorpusEntry& source) {
+  Entry e;
+  e.id = source.id;
+  e.name = source.name;
+  e.drb_code = drb::drb_code(source);
+
+  const minic::StripResult strip = minic::strip_comments(e.drb_code);
+  e.trimmed_code = strip.trimmed;
+  e.code_len = static_cast<int>(e.trimmed_code.size());
+  // The file name carries the yes/no verdict, as in DataRaceBench.
+  e.data_race = ends_with(e.name, "-yes.c") ? 1 : 0;
+  e.data_race_label = source.label;
+
+  // Re-extract pair labels from the header comments.
+  for (const std::string& comment : minic::extract_comments(e.drb_code)) {
+    for (const std::string& line : split_lines(comment)) {
+      RawAnnotation raw;
+      if (!parse_annotation(line, raw)) continue;
+      VarPairLabel label;
+      label.name = {raw.var0_expr, raw.var1_expr};
+      label.line = {strip.to_trimmed_line(raw.var0_line),
+                    strip.to_trimmed_line(raw.var1_line)};
+      label.col = {raw.var0_col, raw.var1_col};
+      label.operation = {std::string(1, raw.var0_op),
+                         std::string(1, raw.var1_op)};
+      e.var_pairs.push_back(std::move(label));
+    }
+  }
+  if (e.data_race == 1 && e.var_pairs.empty()) {
+    throw Error("dataset: race-yes entry without annotations: " + e.name);
+  }
+  return e;
+}
+
+json::Value Entry::to_json() const {
+  json::Object obj;
+  obj.set("ID", json::Value(id));
+  obj.set("name", json::Value(name));
+  obj.set("DRB_code", json::Value(drb_code));
+  obj.set("trimmed_code", json::Value(trimmed_code));
+  obj.set("code_len", json::Value(code_len));
+  obj.set("data_race", json::Value(data_race));
+  obj.set("data_race_label", json::Value(data_race_label));
+  json::Array pair_keys;
+  for (std::size_t i = 0; i < var_pairs.size(); ++i) {
+    pair_keys.emplace_back("pair" + std::to_string(i));
+  }
+  obj.set("var_pairs", json::Value(std::move(pair_keys)));
+  for (std::size_t i = 0; i < var_pairs.size(); ++i) {
+    const VarPairLabel& p = var_pairs[i];
+    json::Object pair_obj;
+    json::Array names;
+    for (const auto& n : p.name) names.emplace_back(n);
+    json::Array lines;
+    for (int l : p.line) lines.emplace_back(l);
+    json::Array cols;
+    for (int c : p.col) cols.emplace_back(c);
+    json::Array ops;
+    for (const auto& o : p.operation) ops.emplace_back(o);
+    pair_obj.set("name", json::Value(std::move(names)));
+    pair_obj.set("line", json::Value(std::move(lines)));
+    pair_obj.set("col", json::Value(std::move(cols)));
+    pair_obj.set("operation", json::Value(std::move(ops)));
+    obj.set("pair" + std::to_string(i), json::Value(std::move(pair_obj)));
+  }
+  return json::Value(std::move(obj));
+}
+
+Entry Entry::from_json(const json::Value& v) {
+  const json::Object& obj = v.as_object();
+  Entry e;
+  e.id = static_cast<int>(obj.at("ID").as_int());
+  e.name = obj.at("name").as_string();
+  e.drb_code = obj.at("DRB_code").as_string();
+  e.trimmed_code = obj.at("trimmed_code").as_string();
+  e.code_len = static_cast<int>(obj.at("code_len").as_int());
+  e.data_race = static_cast<int>(obj.at("data_race").as_int());
+  e.data_race_label = obj.at("data_race_label").as_string();
+  for (const auto& key : obj.at("var_pairs").as_array()) {
+    const json::Object& p = obj.at(key.as_string()).as_object();
+    VarPairLabel label;
+    for (const auto& n : p.at("name").as_array()) {
+      label.name.push_back(n.as_string());
+    }
+    for (const auto& l : p.at("line").as_array()) {
+      label.line.push_back(static_cast<int>(l.as_int()));
+    }
+    for (const auto& c : p.at("col").as_array()) {
+      label.col.push_back(static_cast<int>(c.as_int()));
+    }
+    for (const auto& o : p.at("operation").as_array()) {
+      label.operation.push_back(o.as_string());
+    }
+    e.var_pairs.push_back(std::move(label));
+  }
+  return e;
+}
+
+const std::vector<Entry>& dataset() {
+  static const std::vector<Entry> entries = [] {
+    std::vector<Entry> out;
+    out.reserve(drb::corpus().size());
+    for (const auto& src : drb::corpus()) {
+      out.push_back(build_entry(src));
+    }
+    return out;
+  }();
+  return entries;
+}
+
+PromptResponse make_detection_pair(const Entry& e) {
+  PromptResponse pr;
+  pr.prompt = prompts::finetune_detection_prompt(e.trimmed_code);
+  pr.response = prompts::finetune_detection_response(e.data_race == 1);
+  return pr;
+}
+
+PromptResponse make_varid_pair(const Entry& e) {
+  PromptResponse pr;
+  pr.prompt = prompts::finetune_varid_prompt(e.trimmed_code);
+  if (e.data_race == 0) {
+    pr.response = "no";
+    return pr;
+  }
+  // Listing 9 response: "yes" plus a JSON object describing the pair.
+  const VarPairLabel& p = e.var_pairs.front();
+  json::Object obj;
+  obj.set("data_race", json::Value(1));
+  json::Array names;
+  for (const auto& n : p.name) names.emplace_back(n);
+  json::Array lines;
+  for (int l : p.line) lines.emplace_back(l);
+  json::Array ops;
+  for (const auto& o : p.operation) {
+    ops.emplace_back(o == "w" ? "write" : "read");
+  }
+  obj.set("variable_names", json::Value(std::move(names)));
+  obj.set("variable_locations", json::Value(std::move(lines)));
+  obj.set("operation_types", json::Value(std::move(ops)));
+  pr.response = "yes\n" + json::Value(std::move(obj)).dump_pretty();
+  return pr;
+}
+
+PromptResponse make_varid_pair_prose(const Entry& e) {
+  PromptResponse pr;
+  pr.prompt =
+      "You are an HPC expert. Examine the following code and identify if "
+      "there's a data race. If a data race is present, specify the "
+      "variable pairs causing it, along with their line numbers and "
+      "operations. Code: " +
+      e.trimmed_code;
+  if (e.data_race == 0) {
+    pr.response = "No, the provided code is free of data races.";
+    return pr;
+  }
+  const VarPairLabel& p = e.var_pairs.front();
+  auto op_word = [](const std::string& op) {
+    return op == "w" ? std::string("write") : std::string("read");
+  };
+  pr.response = "Yes, the provided code exhibits data race issues. The "
+                "data race is caused by the variable '" +
+                p.name[0] + "' at line " + std::to_string(p.line[0]) +
+                " and the variable '" + p.name[1] + "' at line " +
+                std::to_string(p.line[1]) + ". The first access is a " +
+                op_word(p.operation[0]) + " operation and the second is a " +
+                op_word(p.operation[1]) + " operation.";
+  return pr;
+}
+
+}  // namespace drbml::dataset

@@ -1,0 +1,89 @@
+// The DRB-ML dataset (paper Section 3.1, Table 1, Listings 2/3/8/9).
+//
+// Each corpus microbenchmark becomes one JSON entry with keys:
+//   ID, name, DRB_code, trimmed_code, code_len, data_race,
+//   data_race_label, var_pairs, pair0..pairN
+// Labels are *re-extracted from the DRB header comments* (mirroring the
+// paper's scripts), with "Data race pair: expr@L:C:OP vs. expr@L:C:OP"
+// annotations mapped from original-file coordinates to trimmed-code
+// coordinates. Tests cross-validate the extraction against the corpus
+// registry's authored ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drb/corpus.hpp"
+#include "support/json.hpp"
+
+namespace drbml::dataset {
+
+/// One labelled variable pair in DRB-ML form: two parallel arrays of
+/// attributes, index 0 = VAR0 (writer side), index 1 = VAR1.
+struct VarPairLabel {
+  std::vector<std::string> name;       // 2 entries
+  std::vector<int> line;               // trimmed-code lines
+  std::vector<int> col;                // trimmed-code columns
+  std::vector<std::string> operation;  // "w" / "r"
+
+  friend bool operator==(const VarPairLabel&, const VarPairLabel&) = default;
+};
+
+/// One DRB-ML entry (Table 1 schema).
+struct Entry {
+  int id = 0;
+  std::string name;
+  std::string drb_code;
+  std::string trimmed_code;
+  int code_len = 0;
+  int data_race = 0;
+  std::string data_race_label;
+  std::vector<VarPairLabel> var_pairs;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static Entry from_json(const json::Value& v);
+};
+
+/// Builds one entry from a corpus microbenchmark by rendering its DRB
+/// file, stripping comments, and parsing the header annotations.
+[[nodiscard]] Entry build_entry(const drb::CorpusEntry& source);
+
+/// Builds the full DRB-ML dataset (201 entries). Built once and cached.
+[[nodiscard]] const std::vector<Entry>& dataset();
+
+/// Parses one "Data race pair: a[i+1]@64:10:R vs. a[i]@64:5:W" annotation.
+/// Coordinates are in the coordinate system of the text the annotation was
+/// found in (original file); the caller remaps lines. Returns false if the
+/// line is not an annotation.
+struct RawAnnotation {
+  std::string var1_expr;  // the dependent side, printed first by DRB
+  int var1_line = 0;
+  int var1_col = 0;
+  char var1_op = 'r';
+  std::string var0_expr;
+  int var0_line = 0;
+  int var0_col = 0;
+  char var0_op = 'w';
+};
+[[nodiscard]] bool parse_annotation(const std::string& comment_line,
+                                    RawAnnotation& out);
+
+/// The paper's prompt-response pairs for LLM fine-tuning.
+struct PromptResponse {
+  std::string prompt;
+  std::string response;
+};
+
+/// Listing 8: detection pair ("yes"/"no" response).
+[[nodiscard]] PromptResponse make_detection_pair(const Entry& e);
+
+/// Listing 9: variable-identification pair (JSON response).
+[[nodiscard]] PromptResponse make_varid_pair(const Entry& e);
+
+/// Listing 3: the dataset's *original* natural-language response format.
+/// Section 4.5 describes transitioning from this to structured JSON
+/// because prose is hard to parse; both formats are kept so the harness
+/// can quantify that difficulty.
+[[nodiscard]] PromptResponse make_varid_pair_prose(const Entry& e);
+
+}  // namespace drbml::dataset

@@ -1,0 +1,46 @@
+#include "dataset/folds.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace drbml::dataset {
+
+std::vector<FoldSplit> StratifiedKFold::split(
+    const std::vector<bool>& labels) const {
+  if (k_ < 2) throw Error("StratifiedKFold: k must be >= 2");
+  std::vector<int> pos;
+  std::vector<int> neg;
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    (labels[static_cast<std::size_t>(i)] ? pos : neg).push_back(i);
+  }
+  Rng rng(seed_);
+  rng.shuffle(pos);
+  rng.shuffle(neg);
+
+  // Deal each class round-robin into folds; fold f gets every k-th sample.
+  std::vector<std::vector<int>> test_sets(static_cast<std::size_t>(k_));
+  auto deal = [&](const std::vector<int>& cls) {
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+      test_sets[i % static_cast<std::size_t>(k_)].push_back(cls[i]);
+    }
+  };
+  deal(pos);
+  deal(neg);
+
+  std::vector<FoldSplit> out;
+  out.reserve(static_cast<std::size_t>(k_));
+  for (int f = 0; f < k_; ++f) {
+    FoldSplit split;
+    split.test_indices = test_sets[static_cast<std::size_t>(f)];
+    for (int g = 0; g < k_; ++g) {
+      if (g == f) continue;
+      const auto& other = test_sets[static_cast<std::size_t>(g)];
+      split.train_indices.insert(split.train_indices.end(), other.begin(),
+                                 other.end());
+    }
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+}  // namespace drbml::dataset

@@ -1,0 +1,190 @@
+#include "drb/corpus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+#include "minic/source.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds the n-th whole-word occurrence of `needle` in `text`; returns the
+/// byte offset or npos.
+std::size_t find_occurrence(const std::string& text, const std::string& needle,
+                            int occurrence) {
+  int seen = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(text[pos - 1]) ||
+                         !is_word_char(needle.front());
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= text.size() || !is_word_char(text[end]) ||
+                          !is_word_char(needle.back());
+    // `a[i]` must not match inside `a[i]x`-like spellings; also reject a
+    // match whose next char extends the subscript (e.g. "a[i" in "a[i+1]").
+    if (left_ok && right_ok) {
+      if (seen == occurrence) return pos;
+      ++seen;
+    }
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// Converts a byte offset into 1-based (line, col).
+std::pair<int, int> offset_to_linecol(const std::string& text,
+                                      std::size_t offset) {
+  int line = 1;
+  int col = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
+}
+
+ResolvedVar resolve_var(const std::string& trimmed, const VarSpec& spec,
+                        const CorpusEntry& entry) {
+  const std::size_t pos =
+      find_occurrence(trimmed, spec.expr, spec.occurrence);
+  if (pos == std::string::npos) {
+    throw Error("corpus entry " + entry.name + ": cannot locate occurrence " +
+                std::to_string(spec.occurrence) + " of '" + spec.expr + "'");
+  }
+  auto [line, col] = offset_to_linecol(trimmed, pos);
+  ResolvedVar out;
+  out.name = spec.expr;
+  out.line = line;
+  out.col = col;
+  out.op = spec.op;
+  return out;
+}
+
+}  // namespace
+
+ResolvedEntry resolve_entry(const CorpusEntry& entry) {
+  ResolvedEntry out;
+  out.trimmed = minic::strip_comments(entry.body).trimmed;
+  for (const auto& pair : entry.pairs) {
+    ResolvedPair rp;
+    rp.var0 = resolve_var(out.trimmed, pair.var0, entry);
+    rp.var1 = resolve_var(out.trimmed, pair.var1, entry);
+    out.pairs.push_back(std::move(rp));
+  }
+  return out;
+}
+
+std::string drb_code(const CorpusEntry& entry) {
+  // The body may itself contain comments/blank lines; annotation
+  // coordinates must be in *original file* coordinates. Render the header
+  // first with a fixed line count, then compute each variable's original
+  // line as: header_lines + (body line of the trimmed position).
+  ResolvedEntry resolved = resolve_entry(entry);
+  const minic::StripResult strip = minic::strip_comments(entry.body);
+
+  // Inverse of the line map: trimmed line -> original body line.
+  auto body_line_of = [&](int trimmed_line) {
+    for (std::size_t i = 0; i < strip.line_map.size(); ++i) {
+      if (strip.line_map[i] == trimmed_line) return static_cast<int>(i) + 1;
+    }
+    return trimmed_line;
+  };
+
+  // Header layout: "/*", name, description, one annotation line per pair,
+  // "*/" -- a fixed count once pairs.size() is known.
+  const int header_lines = 4 + static_cast<int>(resolved.pairs.size());
+
+  std::string header = "/*\n";
+  header += entry.name + "\n";
+  header += entry.description + "\n";
+  for (const auto& pair : resolved.pairs) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "Data race pair: %s@%d:%d:%c vs. %s@%d:%d:%c\n",
+                  pair.var1.name.c_str(),
+                  header_lines + body_line_of(pair.var1.line), pair.var1.col,
+                  static_cast<char>(std::toupper(pair.var1.op)),
+                  pair.var0.name.c_str(),
+                  header_lines + body_line_of(pair.var0.line), pair.var0.col,
+                  static_cast<char>(std::toupper(pair.var0.op)));
+    header += buf;
+  }
+  header += "*/\n";
+  return header + entry.body;
+}
+
+void CorpusBuilder::add(std::string stem, CorpusEntry entry) {
+  entry.id = static_cast<int>(entries_.size()) + 1;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "DRB%03d-", entry.id);
+  entry.name = std::string(buf) + stem + (entry.race ? "-yes.c" : "-no.c");
+  if (entry.label.empty()) entry.label = entry.race ? "Y1" : "N1";
+  entries_.push_back(std::move(entry));
+}
+
+void CorpusBuilder::add_variant(
+    const CorpusEntry& base, const std::string& stem,
+    const std::vector<std::pair<std::string, std::string>>& substitutions) {
+  CorpusEntry v = base;
+  for (const auto& [from, to] : substitutions) {
+    v.body = replace_all(v.body, from, to);
+    for (auto& pair : v.pairs) {
+      pair.var0.expr = replace_all(pair.var0.expr, from, to);
+      pair.var1.expr = replace_all(pair.var1.expr, from, to);
+    }
+    v.description = replace_all(v.description, from, to);
+  }
+  v.category = Category::AutoGen;
+  add(stem, std::move(v));
+}
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> entries = [] {
+    CorpusBuilder b;
+    register_dep_entries(b);
+    register_sync_entries(b);
+    register_datashare_entries(b);
+    register_task_entries(b);
+    register_simd_target_entries(b);
+    register_misc_entries(b);
+    register_extra_entries(b);
+    register_app_entries(b);
+    register_variant_entries(b);
+    return b.take();
+  }();
+  return entries;
+}
+
+const CorpusEntry* find_entry(const std::string& name) {
+  for (const auto& e : corpus()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+CorpusStats corpus_stats() {
+  CorpusStats s;
+  for (const auto& e : corpus()) {
+    ++s.total;
+    if (e.race) {
+      ++s.race_yes;
+    } else {
+      ++s.race_no;
+    }
+  }
+  return s;
+}
+
+}  // namespace drbml::drb

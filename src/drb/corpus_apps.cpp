@@ -1,0 +1,435 @@
+// Corpus entries: kernels derived from applications (DataRaceBench's
+// "from real scientific applications" category) -- linear algebra,
+// Monte Carlo, particle scatter, norms, heat diffusion, and transaction
+// processing.
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_app_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "prefix-sum";
+    e.category = Category::FromApps;
+    e.description = "Naive parallel prefix sum carries a true dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int v[128];
+  int scan[128];
+
+  for (i = 0; i < 128; i++)
+    v[i] = i % 5;
+  scan[0] = v[0];
+#pragma omp parallel for
+  for (i = 1; i < 128; i++)
+    scan[i] = scan[i-1] + v[i];
+  printf("scan[127]=%d\n", scan[127]);
+  return 0;
+}
+)";
+    e.pairs = {pair("scan[i]", 0, 'w', "scan[i-1]", 0, 'r')};
+    b.add("prefixsum-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "monte-carlo";
+    e.category = Category::FromApps;
+    e.description = "Monte Carlo hit counter updated without reduction.";
+    e.body = R"(#include <stdio.h>
+#include <stdlib.h>
+int main()
+{
+  int i;
+  int hits = 0;
+
+  srand(42);
+#pragma omp parallel for
+  for (i = 0; i < 200; i++) {
+    double x = (rand() % 1000) / 1000.0;
+    double y = (rand() % 1000) / 1000.0;
+    if (x * x + y * y <= 1.0)
+      hits = hits + 1;
+  }
+  printf("hits=%d\n", hits);
+  return 0;
+}
+)";
+    e.pairs = {pair("hits", 1, 'w', "hits", 2, 'r')};
+    b.add("montecarlo-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "particle-scatter";
+    e.category = Category::FromApps;
+    e.description =
+        "Force scatter through a particle-pair index collides on shared "
+        "entries.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int k;
+  int partner[96];
+  double force[32];
+
+  for (k = 0; k < 96; k++)
+    partner[k] = (k * 7) % 32;
+  for (k = 0; k < 32; k++)
+    force[k] = 0.0;
+#pragma omp parallel for
+  for (k = 0; k < 96; k++)
+    force[partner[k]] = force[partner[k]] + 0.5;
+  printf("%f\n", force[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("force[partner[k]]", 0, 'w', "force[partner[k]]", 1, 'r')};
+    b.add("scatterforce-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "residual-norm";
+    e.category = Category::FromApps;
+    e.description = "Residual max-norm accumulated without reduction(max:).";
+    e.body = R"(#include <stdio.h>
+#include <math.h>
+int main()
+{
+  int i;
+  double res = 0.0;
+  double r[144];
+
+  for (i = 0; i < 144; i++)
+    r[i] = (i % 9) - 4.0;
+#pragma omp parallel for
+  for (i = 0; i < 144; i++)
+    res = fmax(res, fabs(r[i]));
+  printf("res=%f\n", res);
+  return 0;
+}
+)";
+    e.pairs = {pair("res", 1, 'w', "res", 2, 'r')};
+    b.add("residualnorm-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "heat-2d";
+    e.category = Category::FromApps;
+    e.description = "2-D heat diffusion updated in place races on the halo.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double u[14][14];
+
+  for (i = 0; i < 14; i++)
+    for (j = 0; j < 14; j++)
+      u[i][j] = (i == 0) ? 100.0 : 0.0;
+#pragma omp parallel for private(j)
+  for (i = 1; i < 13; i++)
+    for (j = 1; j < 13; j++)
+      u[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]);
+  printf("%f\n", u[6][6]);
+  return 0;
+}
+)";
+    e.pairs = {pair("u[i][j]", 1, 'w', "u[i-1][j]", 0, 'r'),
+               pair("u[i][j]", 1, 'w', "u[i+1][j]", 0, 'r')};
+    b.add("heat2dinplace-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "transactions";
+    e.category = Category::FromApps;
+    e.description =
+        "Concurrent transfers update indirect account balances unguarded.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int k;
+  int src_acct[48];
+  int dst_acct[48];
+  int balance[12];
+
+  for (k = 0; k < 12; k++)
+    balance[k] = 100;
+  for (k = 0; k < 48; k++) {
+    src_acct[k] = k % 12;
+    dst_acct[k] = (k + 5) % 12;
+  }
+#pragma omp parallel for
+  for (k = 0; k < 48; k++) {
+    balance[src_acct[k]] = balance[src_acct[k]] - 1;
+    balance[dst_acct[k]] = balance[dst_acct[k]] + 1;
+  }
+  printf("balance[0]=%d\n", balance[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("balance[src_acct[k]]", 0, 'w',
+                    "balance[dst_acct[k]]", 1, 'r')};
+    b.add("transfers-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "chars-total";
+    e.category = Category::FromApps;
+    e.description = "Document length accumulator left shared.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int chars_total = 0;
+  int doclen[80];
+
+  for (i = 0; i < 80; i++)
+    doclen[i] = 40 + (i % 25);
+#pragma omp parallel for
+  for (i = 0; i < 80; i++)
+    chars_total = chars_total + doclen[i];
+  printf("%d\n", chars_total);
+  return 0;
+}
+)";
+    e.pairs = {pair("chars_total", 1, 'w', "chars_total", 2, 'r')};
+    b.add("charstotal-app", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "matvec";
+    e.category = Category::FromApps;
+    e.description = "Matrix-vector product: each row sum is private.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double mat[24][24];
+  double x[24];
+  double y[24];
+
+  for (i = 0; i < 24; i++) {
+    x[i] = 0.5 * i;
+    for (j = 0; j < 24; j++)
+      mat[i][j] = 1.0 / (1 + i + j);
+  }
+#pragma omp parallel for private(j)
+  for (i = 0; i < 24; i++) {
+    double acc = 0.0;
+    for (j = 0; j < 24; j++)
+      acc = acc + mat[i][j] * x[j];
+    y[i] = acc;
+  }
+  printf("%f\n", y[3]);
+  return 0;
+}
+)";
+    b.add("matvec-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "monte-carlo-reduction";
+    e.category = Category::FromApps;
+    e.description = "Monte Carlo hit counter with reduction(+:hits).";
+    e.body = R"(#include <stdio.h>
+#include <stdlib.h>
+int main()
+{
+  int i;
+  int hits = 0;
+
+  srand(42);
+#pragma omp parallel for reduction(+:hits)
+  for (i = 0; i < 200; i++) {
+    double x = (rand() % 1000) / 1000.0;
+    double y = (rand() % 1000) / 1000.0;
+    if (x * x + y * y <= 1.0)
+      hits = hits + 1;
+  }
+  printf("hits=%d\n", hits);
+  return 0;
+}
+)";
+    b.add("montecarloreduction-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "particle-scatter-atomic";
+    e.category = Category::FromApps;
+    e.description = "Force scatter protected by atomic updates.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int k;
+  int partner[96];
+  double force[32];
+
+  for (k = 0; k < 96; k++)
+    partner[k] = (k * 7) % 32;
+  for (k = 0; k < 32; k++)
+    force[k] = 0.0;
+#pragma omp parallel for
+  for (k = 0; k < 96; k++) {
+#pragma omp atomic
+    force[partner[k]] += 0.5;
+  }
+  printf("%f\n", force[0]);
+  return 0;
+}
+)";
+    b.add("scatteratomic-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "residual-norm-reduction";
+    e.category = Category::FromApps;
+    e.description = "Residual max-norm with reduction(max:).";
+    e.body = R"(#include <stdio.h>
+#include <math.h>
+int main()
+{
+  int i;
+  double res = 0.0;
+  double r[144];
+
+  for (i = 0; i < 144; i++)
+    r[i] = (i % 9) - 4.0;
+#pragma omp parallel for reduction(max:res)
+  for (i = 0; i < 144; i++)
+    res = fmax(res, fabs(r[i]));
+  printf("res=%f\n", res);
+  return 0;
+}
+)";
+    b.add("residualreduction-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "heat-2d-buffered";
+    e.category = Category::FromApps;
+    e.description = "2-D heat diffusion with separate read/write grids.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double u[14][14];
+  double unew[14][14];
+
+  for (i = 0; i < 14; i++)
+    for (j = 0; j < 14; j++)
+      u[i][j] = (i == 0) ? 100.0 : 0.0;
+#pragma omp parallel for private(j)
+  for (i = 1; i < 13; i++)
+    for (j = 1; j < 13; j++)
+      unew[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]);
+  printf("%f\n", unew[6][6]);
+  return 0;
+}
+)";
+    b.add("heat2dbuffered-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "transactions-critical";
+    e.category = Category::FromApps;
+    e.description = "Transfers serialized through a critical section.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int k;
+  int src_acct[48];
+  int dst_acct[48];
+  int balance[12];
+
+  for (k = 0; k < 12; k++)
+    balance[k] = 100;
+  for (k = 0; k < 48; k++) {
+    src_acct[k] = k % 12;
+    dst_acct[k] = (k + 5) % 12;
+  }
+#pragma omp parallel for
+  for (k = 0; k < 48; k++) {
+#pragma omp critical
+    {
+      balance[src_acct[k]] = balance[src_acct[k]] - 1;
+      balance[dst_acct[k]] = balance[dst_acct[k]] + 1;
+    }
+  }
+  printf("balance[0]=%d\n", balance[0]);
+  return 0;
+}
+)";
+    b.add("transferscritical-app", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "chars-total-reduction";
+    e.category = Category::FromApps;
+    e.description = "Document length accumulated with reduction(+:).";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int chars_total = 0;
+  int doclen[80];
+
+  for (i = 0; i < 80; i++)
+    doclen[i] = 40 + (i % 25);
+#pragma omp parallel for reduction(+:chars_total)
+  for (i = 0; i < 80; i++)
+    chars_total = chars_total + doclen[i];
+  printf("%d\n", chars_total);
+  return 0;
+}
+)";
+    b.add("charsreduction-app", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

@@ -1,0 +1,442 @@
+// Corpus entries: data-sharing pattern family (missing/present private,
+// firstprivate, lastprivate, reduction, threadprivate, shared induction
+// variables).
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_datashare_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "missing-private";
+    e.description = "Temporary scalar shared across iterations.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int tmp = 0;
+  int a[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+    tmp = a[i] + 1;
+    a[i] = tmp * 2;
+  }
+  printf("a[10]=%d\n", a[10]);
+  return 0;
+}
+)";
+    e.pairs = {pair("tmp", 1, 'w', "tmp", 2, 'r')};
+    b.add("tmpshared-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "shared-induction";
+    e.description =
+        "Inner sequential loop uses an induction variable that is shared.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double a[20][20];
+
+#pragma omp parallel for
+  for (i = 0; i < 20; i++)
+    for (j = 0; j < 20; j++)
+      a[i][j] = 1.0;
+  printf("%f\n", a[5][5]);
+  return 0;
+}
+)";
+    e.pairs = {pair("j", 1, 'w', "j", 2, 'r')};
+    b.add("innersharedj-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "missing-reduction";
+    e.description = "Sum accumulated without a reduction clause.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double total = 0.0;
+  double v[100];
+
+  for (i = 0; i < 100; i++)
+    v[i] = 0.5 * i;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    total = total + v[i];
+  printf("%f\n", total);
+  return 0;
+}
+)";
+    e.pairs = {pair("total", 1, 'w', "total", 2, 'r')};
+    b.add("sumnoreduction-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "missing-reduction";
+    e.description = "Maximum search without a reduction clause.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int best = -1;
+  int v[128];
+
+  for (i = 0; i < 128; i++)
+    v[i] = (i * 37) % 128;
+#pragma omp parallel for
+  for (i = 0; i < 128; i++) {
+    if (v[i] > best)
+      best = v[i];
+  }
+  printf("best=%d\n", best);
+  return 0;
+}
+)";
+    e.pairs = {pair("best", 2, 'w', "best", 1, 'r')};
+    b.add("maxnoreduction-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "firstprivate-missing";
+    e.description =
+        "A seed scalar is rewritten by each iteration before use.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int seed = 3;
+  int out[64];
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    seed = i;
+    out[i] = seed * 2;
+  }
+  printf("out[1]=%d\n", out[1]);
+  return 0;
+}
+)";
+    e.pairs = {pair("seed", 1, 'w', "seed", 2, 'r')};
+    b.add("seedshared-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "private-leak";
+    e.description =
+        "Pointer stored from one iteration dereferenced by another.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int current = 0;
+  int sink[64];
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    current = i * i;
+    sink[i] = current + 1;
+  }
+  printf("sink[5]=%d\n", sink[5]);
+  return 0;
+}
+)";
+    e.pairs = {pair("current", 1, 'w', "current", 2, 'r')};
+    b.add("scalarleak-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "threadprivate-missing";
+    e.description = "Global accumulator updated by all threads unprotected.";
+    e.body = R"(#include <stdio.h>
+int gsum = 0;
+int main()
+{
+  int i;
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    gsum = gsum + i;
+  printf("gsum=%d\n", gsum);
+  return 0;
+}
+)";
+    e.pairs = {pair("gsum", 1, 'w', "gsum", 2, 'r')};
+    b.add("globalsum-orig", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "private";
+    e.description = "Temporary scalar correctly privatized.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int tmp = 0;
+  int a[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp parallel for private(tmp)
+  for (i = 0; i < 100; i++) {
+    tmp = a[i] + 1;
+    a[i] = tmp * 2;
+  }
+  printf("a[10]=%d\n", a[10]);
+  return 0;
+}
+)";
+    b.add("tmpprivate-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "private";
+    e.description = "Inner induction variable declared inside the loop.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double a[20][20];
+
+#pragma omp parallel for
+  for (i = 0; i < 20; i++)
+    for (int j = 0; j < 20; j++)
+      a[i][j] = 1.0;
+  printf("%f\n", a[5][5]);
+  return 0;
+}
+)";
+    b.add("innerdeclared-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "private-clause";
+    e.description = "Inner induction variable listed in private().";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double a[20][20];
+
+#pragma omp parallel for private(j)
+  for (i = 0; i < 20; i++)
+    for (j = 0; j < 20; j++)
+      a[i][j] = 1.0;
+  printf("%f\n", a[5][5]);
+  return 0;
+}
+)";
+    b.add("innerprivatej-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "reduction";
+    e.description = "Sum accumulated with a reduction clause.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double total = 0.0;
+  double v[100];
+
+  for (i = 0; i < 100; i++)
+    v[i] = 0.5 * i;
+#pragma omp parallel for reduction(+:total)
+  for (i = 0; i < 100; i++)
+    total = total + v[i];
+  printf("%f\n", total);
+  return 0;
+}
+)";
+    b.add("sumreduction-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "reduction-max";
+    e.description = "Maximum search with reduction(max:).";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int best = -1;
+  int v[128];
+
+  for (i = 0; i < 128; i++)
+    v[i] = (i * 37) % 128;
+#pragma omp parallel for reduction(max:best)
+  for (i = 0; i < 128; i++) {
+    if (v[i] > best)
+      best = v[i];
+  }
+  printf("best=%d\n", best);
+  return 0;
+}
+)";
+    b.add("maxreduction-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "firstprivate";
+    e.description = "Read-only seed captured firstprivate.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int seed = 3;
+  int out[64];
+
+#pragma omp parallel for firstprivate(seed)
+  for (i = 0; i < 64; i++)
+    out[i] = seed + i;
+  printf("out[1]=%d\n", out[1]);
+  return 0;
+}
+)";
+    b.add("seedfirstprivate-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "lastprivate";
+    e.description = "Final iteration value published via lastprivate.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int x0 = -1;
+  double d[100];
+
+  for (i = 0; i < 100; i++)
+    d[i] = 0.5 * i;
+#pragma omp parallel for lastprivate(x0)
+  for (i = 0; i < 100; i++)
+    x0 = (int)d[i];
+  printf("x0=%d\n", x0);
+  return 0;
+}
+)";
+    b.add("lastprivatepub-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "threadprivate";
+    e.description = "Per-thread global declared threadprivate.";
+    e.body = R"(#include <stdio.h>
+int counter = 0;
+#pragma omp threadprivate(counter)
+int main()
+{
+  int i;
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    counter = counter + 1;
+  printf("done\n");
+  return 0;
+}
+)";
+    b.add("threadprivatecounter-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "private-region";
+    e.description = "Region-level private clause on a parallel construct.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int scratch = 0;
+  int out[16];
+
+#pragma omp parallel private(scratch) num_threads(4)
+  {
+    scratch = omp_get_thread_num() * 10;
+    out[omp_get_thread_num()] = scratch;
+  }
+  printf("out[0]=%d\n", out[0]);
+  return 0;
+}
+)";
+    b.add("regionprivate-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "declared-in-region";
+    e.description = "Scratch variables declared inside the region body.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double norm[100];
+  double v[100];
+
+  for (i = 0; i < 100; i++)
+    v[i] = 1.0 * i;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+    double sq = v[i] * v[i];
+    norm[i] = sq + 1.0;
+  }
+  printf("%f\n", norm[2]);
+  return 0;
+}
+)";
+    b.add("blocklocal-orig", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

@@ -1,0 +1,548 @@
+// Corpus entries: data-dependence pattern family (anti/true/output
+// dependences, strides, collapse, multi-dimensional kernels, and their
+// race-free counterparts).
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_dep_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "antidep";
+    e.category = Category::Manual;
+    e.description = "A loop with loop-carried anti-dependence.";
+    e.body = R"(#include <stdio.h>
+int main(int argc, char* argv[])
+{
+  int i;
+  int len = 100;
+  int a[100];
+
+  for (i = 0; i < len; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < len - 1; i++)
+    a[i] = a[i+1] + 1;
+  printf("a[50]=%d\n", a[50]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+1]", 0, 'r')};
+    b.add("antidep1-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "antidep";
+    e.description =
+        "Two-dimensional loop nest with an anti-dependence across rows.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double a[20][20];
+
+  for (i = 0; i < 20; i++)
+    for (j = 0; j < 20; j++)
+      a[i][j] = 1.0;
+#pragma omp parallel for private(j)
+  for (i = 0; i < 19; i++)
+    for (j = 0; j < 20; j++)
+      a[i][j] = a[i+1][j] + 1.0;
+  printf("%f\n", a[0][0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i][j]", 1, 'w', "a[i+1][j]", 0, 'r')};
+    b.add("antidep2-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "truedep";
+    e.description = "A loop with loop-carried true dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 100;
+  int a[100];
+
+  for (i = 0; i < len; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < len - 1; i++)
+    a[i+1] = a[i] + 1;
+  printf("a[99]=%d\n", a[99]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i+1]", 0, 'w', "a[i]", 1, 'r')};
+    b.add("truedep1-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "truedep";
+    e.description =
+        "True dependence between a[2*i] writes and a[i] reads for even i.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 50;
+  int a[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < len; i++)
+    a[2*i] = a[i] + 1;
+  printf("a[8]=%d\n", a[8]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[2*i]", 0, 'w', "a[i]", 1, 'r')};
+    b.add("lineardep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "outputdep";
+    e.description =
+        "Output dependence: x is written by every iteration and read back.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 100;
+  int x = 10;
+  int a[100];
+
+#pragma omp parallel for
+  for (i = 0; i < len; i++) {
+    a[i] = x;
+    x = i;
+  }
+  printf("x=%d\n", x);
+  return 0;
+}
+)";
+    e.pairs = {pair("x", 2, 'w', "x", 1, 'r')};
+    b.add("outputdep1-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "stride";
+    e.description =
+        "Strided accesses overlap: a[2*i] written, a[2*i+2] read.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[130];
+
+  for (i = 0; i < 130; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[2*i] = a[2*i+2] + 1;
+  printf("a[4]=%d\n", a[4]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[2*i]", 0, 'w', "a[2*i+2]", 0, 'r')};
+    b.add("strideoverlap-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "collapse";
+    e.description =
+        "collapse(2) distributes the inner loop, exposing its dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double m[16][16];
+
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++)
+      m[i][j] = 0.5;
+#pragma omp parallel for collapse(2)
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 15; j++)
+      m[i][j] = m[i][j+1] * 0.5;
+  printf("%f\n", m[3][3]);
+  return 0;
+}
+)";
+    e.pairs = {pair("m[i][j]", 1, 'w', "m[i][j+1]", 0, 'r')};
+    b.add("collapsedep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "truedep";
+    e.description = "Long-distance dependence still inside the bounds.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[110];
+
+  for (i = 0; i < 110; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    a[i] = a[i+10] + 1;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+10]", 0, 'r')};
+    b.add("longdistdep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "nonunit-stride";
+    e.description =
+        "Non-unit-stride loop carries a dependence of distance one step.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[104];
+
+  for (i = 0; i < 104; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 100; i += 2)
+    a[i] = a[i+2] + 1;
+  printf("a[2]=%d\n", a[2]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+2]", 0, 'r')};
+    b.add("stridecarried-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "stencil";
+    e.description =
+        "1-D Jacobi-style stencil updated in place races on neighbours.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int n = 64;
+  double u[64];
+
+  for (i = 0; i < n; i++)
+    u[i] = 1.0 * i;
+#pragma omp parallel for
+  for (i = 1; i < n - 1; i++)
+    u[i] = 0.5 * (u[i-1] + u[i+1]);
+  printf("%f\n", u[10]);
+  return 0;
+}
+)";
+    e.pairs = {pair("u[i]", 1, 'w', "u[i-1]", 0, 'r'),
+               pair("u[i]", 1, 'w', "u[i+1]", 0, 'r')};
+    b.add("jacobiinplace-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "multidim";
+    e.description = "Column-shift write races across distributed rows.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double g[12][12];
+
+  for (i = 0; i < 12; i++)
+    for (j = 0; j < 12; j++)
+      g[i][j] = i + j;
+#pragma omp parallel for private(j)
+  for (i = 1; i < 12; i++)
+    for (j = 0; j < 12; j++)
+      g[i-1][j] = g[i][j] + 1.0;
+  printf("%f\n", g[0][0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("g[i-1][j]", 0, 'w', "g[i][j]", 1, 'r')};
+    b.add("rowshift-orig", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "doall";
+    e.description = "Embarrassingly parallel elementwise update.";
+    e.body = R"(#include <stdio.h>
+int main(int argc, char* argv[])
+{
+  int i;
+  int len = 100;
+  int a[100];
+
+#pragma omp parallel for
+  for (i = 0; i < len; i++)
+    a[i] = i * 2;
+  printf("a[50]=%d\n", a[50]);
+  return 0;
+}
+)";
+    b.add("doall1-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "doall";
+    e.description = "Two-dimensional doall with collapse(2).";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double a[20][20];
+
+#pragma omp parallel for collapse(2)
+  for (i = 0; i < 20; i++)
+    for (j = 0; j < 20; j++)
+      a[i][j] = 1.0 * i * j;
+  printf("%f\n", a[3][4]);
+  return 0;
+}
+)";
+    b.add("doall2-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "distance-out-of-range";
+    e.description =
+        "Offset accesses never overlap: reads start beyond the write range.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[192];
+
+  for (i = 0; i < 192; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[i] = a[i+128] + 1;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    b.add("offsetdisjoint-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "stride-disjoint";
+    e.description = "Even and odd elements written by disjoint expressions.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[200];
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+    a[2*i] = i;
+    a[2*i+1] = i;
+  }
+  printf("a[9]=%d\n", a[9]);
+  return 0;
+}
+)";
+    b.add("stridedisjoint-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "stencil-double-buffer";
+    e.description = "Stencil with separate input and output buffers.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int n = 64;
+  double u[64];
+  double v[64];
+
+  for (i = 0; i < n; i++)
+    u[i] = 1.0 * i;
+#pragma omp parallel for
+  for (i = 1; i < n - 1; i++)
+    v[i] = 0.5 * (u[i-1] + u[i+1]);
+  printf("%f\n", v[10]);
+  return 0;
+}
+)";
+    b.add("jacobibuffered-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "reverse-loop";
+    e.description = "Descending loop with independent iterations.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+
+#pragma omp parallel for
+  for (i = 99; i >= 0; i--)
+    a[i] = i * i;
+  printf("a[99]=%d\n", a[99]);
+  return 0;
+}
+)";
+    b.add("reverseloop-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "gather";
+    e.description = "Gather reads shared input; each output element private.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int n = 100;
+  double a[101];
+  double bb[100];
+
+  for (i = 0; i <= n; i++)
+    a[i] = 1.0 * i;
+#pragma omp parallel for
+  for (i = 0; i < n; i++)
+    bb[i] = a[i] + a[i+1];
+  printf("%f\n", bb[5]);
+  return 0;
+}
+)";
+    b.add("gatherreads-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "phase-split";
+    e.description =
+        "Dependent phases run in separate parallel regions (implicit join).";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+  int c[100];
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 99; i++)
+    c[i] = a[i+1];
+  printf("%d\n", c[42]);
+  return 0;
+}
+)";
+    b.add("phasesplit-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "nonunit-stride";
+    e.description = "Non-unit stride without any carried dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i += 4)
+    a[i] = i;
+  printf("a[96]=%d\n", a[96]);
+  return 0;
+}
+)";
+    b.add("stridesafe-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "triangular";
+    e.description =
+        "Triangular nest writes row i only; inner loop is thread-local.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double t[24][24];
+
+#pragma omp parallel for private(j)
+  for (i = 0; i < 24; i++)
+    for (j = 0; j <= i; j++)
+      t[i][j] = 1.0 * (i - j);
+  printf("%f\n", t[20][3]);
+  return 0;
+}
+)";
+    b.add("triangular-orig", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

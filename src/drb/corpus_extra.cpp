@@ -1,0 +1,476 @@
+// Corpus entries: additional pattern families -- transposed subscripts,
+// while/do-while regions, memset, partial atomics, thread-range
+// partitioning, buffer swaps, and multiplicative reductions.
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_extra_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "transpose";
+    e.description =
+        "Transposed subscripts: element (i,j) written while (j,i) is read.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double t[18][18];
+
+  for (i = 0; i < 18; i++)
+    for (j = 0; j < 18; j++)
+      t[i][j] = i + 2 * j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < 18; i++)
+    for (j = 0; j < 18; j++)
+      t[i][j] = t[j][i] + 1.0;
+  printf("%f\n", t[2][3]);
+  return 0;
+}
+)";
+    e.pairs = {pair("t[i][j]", 1, 'w', "t[j][i]", 0, 'r')};
+    b.add("transpose-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "while-region";
+    e.description = "While loop inside the region pops a shared cursor.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int next = 0;
+  int taken[40];
+
+#pragma omp parallel num_threads(4)
+  {
+    while (next < 16) {
+      taken[next] = omp_get_thread_num();
+      next = next + 1;
+    }
+  }
+  printf("next=%d\n", next);
+  return 0;
+}
+)";
+    e.pairs = {pair("next", 3, 'w', "next", 2, 'r')};
+    b.add("whilecursor-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "memset-overlap";
+    e.description = "memset inside the loop clears a shared prefix.";
+    e.body = R"(#include <stdio.h>
+#include <string.h>
+int main()
+{
+  int i;
+  int buf[64];
+
+  for (i = 0; i < 64; i++)
+    buf[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 32; i++) {
+    memset(buf, 0, 8);
+    buf[i + 8] = i;
+  }
+  printf("buf[0]=%d\n", buf[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("buf", 2, 'w', "buf", 2, 'w')};
+    b.add("memsetprefix-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "atomic-read-partial";
+    e.description =
+        "Reads use atomic read but the update itself is unprotected.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int level = 0;
+  int probe[64];
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    int snap;
+#pragma omp atomic read
+    snap = level;
+    probe[i] = snap;
+    level = level + 1;
+  }
+  printf("level=%d\n", level);
+  return 0;
+}
+)";
+    e.pairs = {pair("level", 2, 'w', "level", 1, 'r')};
+    b.add("atomicreadpartial-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "reduction-wrong-var";
+    e.description =
+        "Reduction clause covers one accumulator; a second one is left "
+        "shared.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int total = 0;
+  int worst = 0;
+  int v[96];
+
+  for (i = 0; i < 96; i++)
+    v[i] = (i * 13) % 31;
+#pragma omp parallel for reduction(+:total)
+  for (i = 0; i < 96; i++) {
+    total = total + v[i];
+    if (v[i] > worst)
+      worst = v[i];
+  }
+  printf("%d %d\n", total, worst);
+  return 0;
+}
+)";
+    e.pairs = {pair("worst", 2, 'w', "worst", 1, 'r')};
+    b.add("reductionwrongvar-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "sections-nowait";
+    e.description =
+        "sections nowait lets a later read overlap the section writes.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int left = 0;
+  int right = 0;
+  int joined[16];
+
+#pragma omp parallel num_threads(4)
+  {
+#pragma omp sections nowait
+    {
+#pragma omp section
+      { left = 5; }
+#pragma omp section
+      { right = 7; }
+    }
+    joined[omp_get_thread_num()] = left + right;
+  }
+  printf("%d\n", joined[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("left", 1, 'w', "left", 2, 'r'),
+               pair("right", 1, 'w', "right", 2, 'r')};
+    b.add("sectionsnowait-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "dowhile-region";
+    e.description = "Do-while retry loop bumps a shared attempt counter.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int attempts = 0;
+  int done[16];
+
+#pragma omp parallel num_threads(4)
+  {
+    int mine = 0;
+    do {
+      attempts = attempts + 1;
+      mine = mine + 1;
+    } while (mine < 3);
+    done[omp_get_thread_num()] = mine;
+  }
+  printf("attempts=%d\n", attempts);
+  return 0;
+}
+)";
+    e.pairs = {pair("attempts", 1, 'w', "attempts", 2, 'r')};
+    b.add("dowhileattempts-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y2";
+    e.pattern = "lastprivate-read";
+    e.description =
+        "lastprivate variable read inside the loop before its write-back.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int carry = 0;
+  int out[72];
+
+#pragma omp parallel for
+  for (i = 0; i < 72; i++) {
+    out[i] = carry + i;
+    carry = out[i] % 7;
+  }
+  printf("carry=%d\n", carry);
+  return 0;
+}
+)";
+    e.pairs = {pair("carry", 2, 'w', "carry", 1, 'r')};
+    b.add("carrychain-orig", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "transpose-safe";
+    e.description = "Transpose into a separate output matrix.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int j;
+  double t[18][18];
+  double u[18][18];
+
+  for (i = 0; i < 18; i++)
+    for (j = 0; j < 18; j++)
+      t[i][j] = i + 2 * j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < 18; i++)
+    for (j = 0; j < 18; j++)
+      u[i][j] = t[j][i];
+  printf("%f\n", u[2][3]);
+  return 0;
+}
+)";
+    b.add("transposebuffered-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "while-critical";
+    e.description = "Shared cursor advanced only inside a critical section.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int next = 0;
+  int count = 0;
+
+#pragma omp parallel num_threads(4)
+  {
+    int stop = 0;
+    while (stop == 0) {
+#pragma omp critical
+      {
+        if (next < 16) {
+          next = next + 1;
+          count = count + 1;
+        } else {
+          stop = 1;
+        }
+      }
+    }
+  }
+  printf("count=%d\n", count);
+  return 0;
+}
+)";
+    b.add("whilecritical-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "memset-before";
+    e.description = "memset completes before the parallel region starts.";
+    e.body = R"(#include <stdio.h>
+#include <string.h>
+int main()
+{
+  int i;
+  int buf[64];
+
+  memset(buf, 0, 64);
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    buf[i] = buf[i] + i;
+  printf("buf[5]=%d\n", buf[5]);
+  return 0;
+}
+)";
+    b.add("memsetbefore-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "atomic-both-sides";
+    e.description = "Both the update and the read use atomic directives.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int level = 0;
+  int probe[64];
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    int snap;
+#pragma omp atomic update
+    level += 1;
+#pragma omp atomic read
+    snap = level;
+    probe[i] = snap;
+  }
+  printf("level=%d\n", level);
+  return 0;
+}
+)";
+    b.add("atomicbothsides-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "reduction-two-vars";
+    e.description = "Both accumulators listed in reduction clauses.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int total = 0;
+  int worst = 0;
+  int v[96];
+
+  for (i = 0; i < 96; i++)
+    v[i] = (i * 13) % 31;
+#pragma omp parallel for reduction(+:total) reduction(max:worst)
+  for (i = 0; i < 96; i++) {
+    total = total + v[i];
+    if (v[i] > worst)
+      worst = v[i];
+  }
+  printf("%d %d\n", total, worst);
+  return 0;
+}
+)";
+    b.add("reductiontwovars-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "thread-range";
+    e.description =
+        "Threads partition the array into disjoint ranges by thread id.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int grid[64];
+  int i;
+
+  for (i = 0; i < 64; i++)
+    grid[i] = 0;
+#pragma omp parallel num_threads(4)
+  {
+    int tid = omp_get_thread_num();
+    int lo = tid * 16;
+    int k;
+    for (k = lo; k < lo + 16; k++)
+      grid[k] = tid;
+  }
+  printf("grid[0]=%d\n", grid[0]);
+  return 0;
+}
+)";
+    b.add("threadrange-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N2";
+    e.pattern = "reduction-multiply";
+    e.description = "Multiplicative reduction over a small factor table.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double product = 1.0;
+  double f[24];
+
+  for (i = 0; i < 24; i++)
+    f[i] = 1.0 + 0.01 * i;
+#pragma omp parallel for reduction(*:product)
+  for (i = 0; i < 24; i++)
+    product = product * f[i];
+  printf("%f\n", product);
+  return 0;
+}
+)";
+    b.add("reductionproduct-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N1";
+    e.pattern = "buffer-swap";
+    e.description =
+        "Ping-pong buffers via pointers; each phase reads one, writes the "
+        "other.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double ping[48];
+  double pong[48];
+  double* src;
+  double* dst;
+
+  for (i = 0; i < 48; i++)
+    ping[i] = 1.0 * i;
+  src = ping;
+  dst = pong;
+#pragma omp parallel for
+  for (i = 1; i < 47; i++)
+    dst[i] = 0.5 * (src[i-1] + src[i+1]);
+  printf("%f\n", dst[5]);
+  return 0;
+}
+)";
+    b.add("bufferswap-orig", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

@@ -1,0 +1,436 @@
+// Corpus entries: miscellaneous family -- indirect indexing, pointer
+// aliasing, interprocedural effects, sequential controls, and the three
+// oversized programs that exceed the 4k-token model input limit (the
+// paper's 201 -> 198 subset cut).
+#include "drb/corpus.hpp"
+
+#include <string>
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+/// Builds an oversized body: a long chain of distinct scalar statements
+/// around a parallel loop. `racy` controls whether the loop carries a
+/// dependence.
+std::string make_long_body(bool racy, int stmt_count) {
+  std::string body = "#include <stdio.h>\nint main()\n{\n  int i;\n";
+  body += "  int acc0 = 0;\n";
+  for (int k = 0; k < stmt_count; ++k) {
+    body += "  int t" + std::to_string(k) + " = " + std::to_string(k * 3 + 1) +
+            ";\n";
+    body += "  acc0 = acc0 + t" + std::to_string(k) + " * " +
+            std::to_string(k % 7 + 1) + ";\n";
+  }
+  body += "  int a[200];\n";
+  body += "  for (i = 0; i < 200; i++)\n    a[i] = i + acc0;\n";
+  body += "#pragma omp parallel for\n";
+  if (racy) {
+    body += "  for (i = 0; i < 199; i++)\n    a[i] = a[i+1] + 1;\n";
+  } else {
+    body += "  for (i = 0; i < 200; i++)\n    a[i] = a[i] + 1;\n";
+  }
+  body += "  printf(\"%d\\n\", a[0]);\n  return 0;\n}\n";
+  return body;
+}
+
+}  // namespace
+
+void register_misc_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "indirect-collision";
+    e.description =
+        "Indirect index array maps many iterations onto the same element.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int idx[64];
+  int a[64];
+
+  for (i = 0; i < 64; i++)
+    idx[i] = (i * 2) % 8;
+  for (i = 0; i < 64; i++)
+    a[i] = 0;
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[idx[i]] = a[idx[i]] + i;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[idx[i]]", 0, 'w', "a[idx[i]]", 1, 'r')};
+    b.add("indirectcollide-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "pointer-alias";
+    e.description = "Aliased pointer hides the dependence on the array.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+  int* p;
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+  p = a;
+#pragma omp parallel for
+  for (i = 0; i < 99; i++)
+    p[i] = a[i+1] + 1;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("p[i]", 0, 'w', "a[i+1]", 0, 'r')};
+    b.add("aliasdep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "interproc";
+    e.description =
+        "Callee updates a shared accumulator with no synchronization.";
+    e.body = R"(#include <stdio.h>
+int bump(int* cell, int delta)
+{
+  cell[0] = cell[0] + delta;
+  return cell[0];
+}
+int main()
+{
+  int i;
+  int acc = 0;
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    bump(&acc, i);
+  printf("acc=%d\n", acc);
+  return 0;
+}
+)";
+    e.pairs = {pair("cell[0]", 0, 'w', "cell[0]", 1, 'r')};
+    b.add("interprocacc-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "heap";
+    e.description = "Heap buffer carries a dependence across iterations.";
+    e.body = R"(#include <stdio.h>
+#include <stdlib.h>
+int main()
+{
+  int i;
+  int* h;
+
+  h = (int*)malloc(100 * sizeof(int));
+  for (i = 0; i < 100; i++)
+    h[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < 99; i++)
+    h[i] = h[i+1] + 1;
+  printf("h[0]=%d\n", h[0]);
+  free(h);
+  return 0;
+}
+)";
+    e.pairs = {pair("h[i]", 1, 'w', "h[i+1]", 0, 'r')};
+    b.add("heapdep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "conditional-write";
+    e.description = "Guarded write still collides across iterations.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int found = -1;
+  int v[128];
+
+  for (i = 0; i < 128; i++)
+    v[i] = i % 9;
+#pragma omp parallel for
+  for (i = 0; i < 128; i++) {
+    if (v[i] == 0)
+      found = i;
+  }
+  printf("found=%d\n", found);
+  return 0;
+}
+)";
+    e.pairs = {pair("found", 1, 'w', "found", 1, 'w')};
+    b.add("condfound-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "minusminus";
+    e.description = "Shared countdown decremented by every iteration.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int remaining = 128;
+
+#pragma omp parallel for
+  for (i = 0; i < 128; i++)
+    remaining--;
+  printf("remaining=%d\n", remaining);
+  return 0;
+}
+)";
+    e.pairs = {pair("remaining", 1, 'w', "remaining", 1, 'r')};
+    b.add("countdown-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "oversized";
+    e.category = Category::AutoGen;
+    e.description =
+        "Oversized unrolled program (exceeds the 4k-token input limit).";
+    e.body = make_long_body(/*racy=*/true, 500);
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+1]", 0, 'r')};
+    b.add("hugeunrolled1", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "indirect-permutation";
+    e.description =
+        "Indirect index array is a permutation: writes never collide.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int idx[64];
+  int a[64];
+
+  for (i = 0; i < 64; i++)
+    idx[i] = (i * 5) % 64;
+  for (i = 0; i < 64; i++)
+    a[i] = 0;
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    a[idx[i]] = i;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    b.add("indirectperm-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "pointer-alias-clean";
+    e.description = "Aliased pointer used for disjoint element writes.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+  int* p;
+
+  p = a;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    p[i] = i;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    b.add("aliasclean-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "interproc-clean";
+    e.description = "Callee writes only the element it is handed.";
+    e.body = R"(#include <stdio.h>
+void set_cell(int* cell, int value)
+{
+  cell[0] = value;
+}
+int main()
+{
+  int i;
+  int a[64];
+
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    set_cell(&a[i], i);
+  printf("a[5]=%d\n", a[5]);
+  return 0;
+}
+)";
+    b.add("interproccell-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "heap-clean";
+    e.description = "Heap buffer updated elementwise.";
+    e.body = R"(#include <stdio.h>
+#include <stdlib.h>
+int main()
+{
+  int i;
+  int* h;
+
+  h = (int*)malloc(100 * sizeof(int));
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    h[i] = i * 3;
+  printf("h[4]=%d\n", h[4]);
+  free(h);
+  return 0;
+}
+)";
+    b.add("heapclean-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N7";
+    e.pattern = "noomp";
+    e.description = "Sequential program: no OpenMP constructs at all.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+  int s = 0;
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+  for (i = 0; i < 100; i++)
+    s = s + a[i];
+  printf("s=%d\n", s);
+  return 0;
+}
+)";
+    b.add("sequential-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "if-serialized";
+    e.description = "if(0) clause forces serial execution of the region.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int x = 0;
+  int cond = 0;
+
+#pragma omp parallel for if(cond)
+  for (i = 0; i < 64; i++)
+    x = x + i;
+  printf("x=%d\n", x);
+  return 0;
+}
+)";
+    b.add("ifserial-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "single-thread";
+    e.description = "num_threads(1) makes the region effectively serial.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int x = 0;
+
+#pragma omp parallel for num_threads(1)
+  for (i = 0; i < 64; i++)
+    x = x + i;
+  printf("x=%d\n", x);
+  return 0;
+}
+)";
+    b.add("onethread-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "guarded-disjoint";
+    e.description =
+        "Branchy writes still touch only the iteration's own element.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[128];
+
+#pragma omp parallel for
+  for (i = 0; i < 128; i++) {
+    if (i % 2 == 0)
+      a[i] = i;
+    else
+      a[i] = -i;
+  }
+  printf("a[3]=%d\n", a[3]);
+  return 0;
+}
+)";
+    b.add("branchdisjoint-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "oversized";
+    e.category = Category::AutoGen;
+    e.description =
+        "Oversized unrolled program (exceeds the 4k-token input limit).";
+    e.body = make_long_body(/*racy=*/false, 500);
+    b.add("hugeunrolled2", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N3";
+    e.pattern = "oversized";
+    e.category = Category::AutoGen;
+    e.description =
+        "Oversized unrolled program (exceeds the 4k-token input limit).";
+    e.body = make_long_body(/*racy=*/false, 540);
+    b.add("hugeunrolled3", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

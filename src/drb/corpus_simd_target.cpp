@@ -1,0 +1,267 @@
+// Corpus entries: SIMD and target-offload pattern family.
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_simd_target_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "simd-truedep";
+    e.description = "SIMD loop with a loop-carried true dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp simd
+  for (i = 0; i < 99; i++)
+    a[i+1] = a[i] + 1;
+  printf("a[99]=%d\n", a[99]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i+1]", 0, 'w', "a[i]", 1, 'r')};
+    b.add("simdtruedep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "simd-safelen-violated";
+    e.description =
+        "safelen(8) permits vectors wider than the dependence distance 4.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp simd safelen(8)
+  for (i = 0; i < 96; i++)
+    a[i+4] = a[i] + 1;
+  printf("a[99]=%d\n", a[99]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i+4]", 0, 'w', "a[i]", 1, 'r')};
+    b.add("simdsafelenbad-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "target-race";
+    e.description = "target parallel for with a loop-carried dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 100;
+  int a[100];
+
+  for (i = 0; i < len; i++)
+    a[i] = i;
+#pragma omp target map(tofrom: a) device(0)
+#pragma omp parallel for
+  for (i = 0; i < len - 1; i++)
+    a[i] = a[i+1] + 1;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+1]", 0, 'r')};
+    b.add("targetparallelfor-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "target-teams-race";
+    e.description =
+        "target teams distribute parallel for with a shared accumulator.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int van = 0;
+  int a[64];
+
+  for (i = 0; i < 64; i++)
+    a[i] = i;
+#pragma omp target teams distribute parallel for map(tofrom: van)
+  for (i = 0; i < 64; i++)
+    van = van + a[i];
+  printf("%d\n", van);
+  return 0;
+}
+)";
+    e.pairs = {pair("van", 1, 'w', "van", 2, 'r')};
+    b.add("targetteamssum-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y1";
+    e.pattern = "forsimd-dep";
+    e.description = "parallel for simd with a carried dependence.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[128];
+
+  for (i = 0; i < 128; i++)
+    a[i] = i;
+#pragma omp parallel for simd
+  for (i = 0; i < 127; i++)
+    a[i] = a[i+1] + 1;
+  printf("a[1]=%d\n", a[1]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+1]", 0, 'r')};
+    b.add("parallelforsimddep-orig", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N6";
+    e.pattern = "simd-clean";
+    e.description = "SIMD loop with independent lanes.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+  int c[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp simd
+  for (i = 0; i < 100; i++)
+    c[i] = a[i] * 2;
+  printf("c[7]=%d\n", c[7]);
+  return 0;
+}
+)";
+    b.add("simdclean-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N6";
+    e.pattern = "simd-safelen-ok";
+    e.description = "Dependence distance 16 respects safelen(8).";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[120];
+
+  for (i = 0; i < 120; i++)
+    a[i] = i;
+#pragma omp simd safelen(8)
+  for (i = 0; i < 100; i++)
+    a[i+16] = a[i] + 1;
+  printf("a[20]=%d\n", a[20]);
+  return 0;
+}
+)";
+    b.add("simdsafelenok-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N6";
+    e.pattern = "target-clean";
+    e.description = "target parallel for over independent elements.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 100;
+  int a[100];
+
+#pragma omp target map(tofrom: a) device(0)
+#pragma omp parallel for
+  for (i = 0; i < len; i++)
+    a[i] = i * 2;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    b.add("targetclean-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N6";
+    e.pattern = "target-teams-reduction";
+    e.description = "target teams reduction over a mapped array.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int total = 0;
+  int a[64];
+
+  for (i = 0; i < 64; i++)
+    a[i] = i;
+#pragma omp target teams distribute parallel for reduction(+:total)
+  for (i = 0; i < 64; i++)
+    total = total + a[i];
+  printf("%d\n", total);
+  return 0;
+}
+)";
+    b.add("targetteamsreduction-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N6";
+    e.pattern = "forsimd-clean";
+    e.description = "parallel for simd with disjoint writes.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  double x[128];
+  double y[128];
+
+  for (i = 0; i < 128; i++)
+    x[i] = 0.25 * i;
+#pragma omp parallel for simd
+  for (i = 0; i < 128; i++)
+    y[i] = 2.0 * x[i] + 1.0;
+  printf("%f\n", y[3]);
+  return 0;
+}
+)";
+    b.add("parallelforsimdclean-orig", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

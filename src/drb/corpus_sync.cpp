@@ -1,0 +1,621 @@
+// Corpus entries: synchronization pattern family (critical, atomic,
+// barriers, master/single, ordered, OpenMP locks, nowait) -- racy and
+// properly synchronized counterparts.
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_sync_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "missing-critical";
+    e.description = "Unprotected update of a shared counter.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int count = 0;
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    count = count + 1;
+  printf("count=%d\n", count);
+  return 0;
+}
+)";
+    e.pairs = {pair("count", 1, 'w', "count", 2, 'r')};
+    b.add("countermissing-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "missing-atomic";
+    e.description = "Histogram update without atomic protection.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int hist[10];
+  int data[100];
+
+  for (i = 0; i < 10; i++)
+    hist[i] = 0;
+  for (i = 0; i < 100; i++)
+    data[i] = i * 7;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    hist[data[i] % 10] = hist[data[i] % 10] + 1;
+  printf("hist[0]=%d\n", hist[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("hist[data[i] % 10]", 0, 'w', "hist[data[i] % 10]", 1, 'r')};
+    b.add("histmissing-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "different-critical-names";
+    e.description =
+        "Two critical sections with different names do not exclude each "
+        "other.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int x = 0;
+
+#pragma omp parallel
+  {
+#pragma omp critical (nameA)
+    { x = x + 1; }
+#pragma omp critical (nameB)
+    { x = x + 2; }
+  }
+  printf("x=%d\n", x);
+  return 0;
+}
+)";
+    e.pairs = {pair("x", 1, 'w', "x", 4, 'r')};
+    b.add("criticalnames-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "atomic-plus-plain";
+    e.description =
+        "Atomic update paired with an unprotected read of the same scalar.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int count = 0;
+  int snapshot[100];
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+#pragma omp atomic
+    count += 1;
+    snapshot[i] = count;
+  }
+  printf("count=%d\n", count);
+  return 0;
+}
+)";
+    e.pairs = {pair("count", 1, 'w', "count", 2, 'r')};
+    b.add("atomicplain-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "nowait";
+    e.description =
+        "nowait removes the barrier between producer and consumer loops.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[64];
+  int c[64];
+
+  for (i = 0; i < 64; i++)
+    a[i] = 0;
+#pragma omp parallel
+  {
+#pragma omp for nowait
+    for (i = 0; i < 64; i++)
+      a[i] = i + 1;
+#pragma omp for
+    for (i = 0; i < 64; i++)
+      c[i] = a[63-i];
+  }
+  printf("c[0]=%d\n", c[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[63-i]", 0, 'r')};
+    b.add("nowaitdep-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "master-no-barrier";
+    e.description = "master has no implied barrier; workers read too early.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int init = 0;
+  int got[16];
+
+#pragma omp parallel num_threads(4)
+  {
+#pragma omp master
+    { init = 42; }
+    got[omp_get_thread_num()] = init;
+  }
+  printf("got[1]=%d\n", got[1]);
+  return 0;
+}
+)";
+    e.pairs = {pair("init", 1, 'w', "init", 2, 'r')};
+    b.add("masternobarrier-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "single-nowait";
+    e.description = "single nowait lets other threads run ahead of the writer.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int flagval = 0;
+  int out[16];
+
+#pragma omp parallel num_threads(4)
+  {
+#pragma omp single nowait
+    { flagval = 7; }
+    out[omp_get_thread_num()] = flagval;
+  }
+  printf("out[2]=%d\n", out[2]);
+  return 0;
+}
+)";
+    e.pairs = {pair("flagval", 1, 'w', "flagval", 2, 'r')};
+    b.add("singlenowait-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "missing-barrier";
+    e.description =
+        "Plain parallel region: every thread writes then reads the scalar.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int shared_tmp = 0;
+
+#pragma omp parallel
+  {
+    shared_tmp = omp_get_thread_num();
+  }
+  printf("%d\n", shared_tmp);
+  return 0;
+}
+)";
+    e.pairs = {pair("shared_tmp", 1, 'w', "shared_tmp", 1, 'w')};
+    b.add("allwrite-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y4";
+    e.pattern = "flush-flag";
+    e.description =
+        "Busy-wait flag signalling without atomics is unordered by "
+        "happens-before.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int flag = 0;
+  int payload = 0;
+
+#pragma omp parallel num_threads(2)
+  {
+    if (omp_get_thread_num() == 0) {
+      payload = 99;
+#pragma omp flush
+      flag = 1;
+    } else {
+      while (flag == 0) {
+#pragma omp flush
+      }
+      printf("%d\n", payload);
+    }
+  }
+  return 0;
+}
+)";
+    e.pairs = {pair("flag", 1, 'w', "flag", 2, 'r'),
+               pair("payload", 1, 'w', "payload", 2, 'r')};
+    b.add("flushflag-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "lock-partial";
+    e.description = "The write is lock-protected but the read is not.";
+    e.body = R"(#include <stdio.h>
+#include <omp.h>
+int main()
+{
+  int i;
+  int total = 0;
+  int seen[64];
+  omp_lock_t lck;
+
+  omp_init_lock(&lck);
+#pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    omp_set_lock(&lck);
+    total = total + 1;
+    omp_unset_lock(&lck);
+    seen[i] = total;
+  }
+  omp_destroy_lock(&lck);
+  printf("total=%d\n", total);
+  return 0;
+}
+)";
+    e.pairs = {pair("total", 1, 'w', "total", 3, 'r')};
+    b.add("lockpartial-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "ordered-clause-only";
+    e.description =
+        "ordered clause without an ordered region leaves the dependence "
+        "unsynchronized.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[100];
+
+  for (i = 0; i < 100; i++)
+    a[i] = i;
+#pragma omp parallel for ordered
+  for (i = 0; i < 99; i++)
+    a[i] = a[i+1] + 1;
+  printf("a[0]=%d\n", a[0]);
+  return 0;
+}
+)";
+    e.pairs = {pair("a[i]", 1, 'w', "a[i+1]", 0, 'r')};
+    b.add("orderedmissing-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "barrier-asymmetric";
+    e.description =
+        "Producer writes after its barrier-free single-nowait block while "
+        "consumers still read.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int stage = 0;
+  int log0[16];
+
+#pragma omp parallel num_threads(4)
+  {
+    log0[omp_get_thread_num()] = stage;
+#pragma omp single nowait
+    { stage = stage + 1; }
+  }
+  printf("stage=%d\n", stage);
+  return 0;
+}
+)";
+    e.pairs = {pair("stage", 2, 'w', "stage", 1, 'r')};
+    b.add("stagednowait-orig", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "critical";
+    e.description = "Shared counter protected by a critical section.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int count = 0;
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+#pragma omp critical
+    { count = count + 1; }
+  }
+  printf("count=%d\n", count);
+  return 0;
+}
+)";
+    b.add("countercritical-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "atomic";
+    e.description = "Shared counter protected by an atomic update.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int count = 0;
+
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+#pragma omp atomic
+    count += 1;
+  }
+  printf("count=%d\n", count);
+  return 0;
+}
+)";
+    b.add("counteratomic-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "named-critical";
+    e.description = "Both updates use the same named critical section.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int x = 0;
+
+#pragma omp parallel
+  {
+#pragma omp critical (guard)
+    { x = x + 1; }
+#pragma omp critical (guard)
+    { x = x + 2; }
+  }
+  printf("x=%d\n", x);
+  return 0;
+}
+)";
+    b.add("criticalsame-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "barrier";
+    e.description = "Explicit barrier separates the write from the reads.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int init = 0;
+  int got[16];
+
+#pragma omp parallel num_threads(4)
+  {
+#pragma omp single
+    { init = 42; }
+    got[omp_get_thread_num()] = init;
+  }
+  printf("got[1]=%d\n", got[1]);
+  return 0;
+}
+)";
+    b.add("singlebarrier-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "barrier-explicit";
+    e.description = "Producer/consumer loops separated by the implied barrier.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int a[64];
+  int c[64];
+
+#pragma omp parallel
+  {
+#pragma omp for
+    for (i = 0; i < 64; i++)
+      a[i] = i + 1;
+#pragma omp for
+    for (i = 0; i < 64; i++)
+      c[i] = a[63-i];
+  }
+  printf("c[0]=%d\n", c[0]);
+  return 0;
+}
+)";
+    b.add("forbarrier-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "omp-lock";
+    e.description = "All accesses to the shared total hold the same lock.";
+    e.body = R"(#include <stdio.h>
+#include <omp.h>
+int main()
+{
+  int i;
+  int total = 0;
+  omp_lock_t lck;
+
+  omp_init_lock(&lck);
+#pragma omp parallel for
+  for (i = 0; i < 64; i++) {
+    omp_set_lock(&lck);
+    total = total + 1;
+    omp_unset_lock(&lck);
+  }
+  omp_destroy_lock(&lck);
+  printf("total=%d\n", total);
+  return 0;
+}
+)";
+    b.add("lockfull-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "ordered";
+    e.description = "Loop-carried dependence serialized by an ordered region.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int x = 0;
+
+#pragma omp parallel for ordered
+  for (i = 0; i < 50; i++) {
+#pragma omp ordered
+    { x = x + i; }
+  }
+  printf("x=%d\n", x);
+  return 0;
+}
+)";
+    b.add("orderedchain-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "per-thread-slot";
+    e.description = "Each thread writes only its own slot.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int slots[16];
+  int i;
+
+  for (i = 0; i < 16; i++)
+    slots[i] = 0;
+#pragma omp parallel num_threads(4)
+  {
+    slots[omp_get_thread_num()] = omp_get_thread_num() + 1;
+  }
+  printf("slots[0]=%d\n", slots[0]);
+  return 0;
+}
+)";
+    b.add("threadslots-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "master-then-barrier";
+    e.description = "master writes, then an explicit barrier orders readers.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int config = 0;
+  int got[16];
+
+#pragma omp parallel num_threads(4)
+  {
+#pragma omp master
+    { config = 5; }
+#pragma omp barrier
+    got[omp_get_thread_num()] = config;
+  }
+  printf("got[3]=%d\n", got[3]);
+  return 0;
+}
+)";
+    b.add("masterbarrier-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "read-only";
+    e.description = "Shared table is only read inside the region.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int table[100];
+  int out[100];
+
+  for (i = 0; i < 100; i++)
+    table[i] = i * 3;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    out[i] = table[i] + table[(i + 50) % 100];
+  printf("out[0]=%d\n", out[0]);
+  return 0;
+}
+)";
+    b.add("readonly-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N4";
+    e.pattern = "atomic-capture";
+    e.description = "Ticket counter implemented with atomic capture.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int ticket = 0;
+
+#pragma omp parallel for
+  for (i = 0; i < 32; i++) {
+#pragma omp atomic capture
+    ticket++;
+  }
+  printf("ticket=%d\n", ticket);
+  return 0;
+}
+)";
+    b.add("atomiccapture-orig", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

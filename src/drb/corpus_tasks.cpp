@@ -1,0 +1,384 @@
+// Corpus entries: task and sections pattern family.
+#include "drb/corpus.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+PairSpec pair(const char* w_expr, int w_occ, char w_op, const char* r_expr,
+              int r_occ, char r_op) {
+  PairSpec p;
+  p.var0 = VarSpec{w_expr, w_occ, w_op};
+  p.var1 = VarSpec{r_expr, r_occ, r_op};
+  return p;
+}
+
+}  // namespace
+
+void register_task_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "task-no-sync";
+    e.description = "Two tasks write the same scalar without ordering.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int result = 0;
+
+#pragma omp parallel
+#pragma omp single
+  {
+#pragma omp task
+    { result = 1; }
+#pragma omp task
+    { result = 2; }
+  }
+  printf("result=%d\n", result);
+  return 0;
+}
+)";
+    e.pairs = {pair("result", 1, 'w', "result", 2, 'w')};
+    b.add("taskunsync-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "task-missing-taskwait";
+    e.description = "Producer task result consumed without taskwait.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int produced = 0;
+  int consumed = 0;
+
+#pragma omp parallel
+#pragma omp single
+  {
+#pragma omp task
+    { produced = 41; }
+    consumed = produced + 1;
+  }
+  printf("consumed=%d\n", consumed);
+  return 0;
+}
+)";
+    e.pairs = {pair("produced", 1, 'w', "produced", 2, 'r')};
+    b.add("taskmissingwait-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "taskdep-missing";
+    e.description =
+        "Task chain communicates through a scalar but omits depend clauses.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int stage1 = 0;
+  int stage2 = 0;
+
+#pragma omp parallel
+#pragma omp single
+  {
+#pragma omp task
+    { stage1 = 10; }
+#pragma omp task
+    { stage2 = stage1 + 5; }
+  }
+  printf("stage2=%d\n", stage2);
+  return 0;
+}
+)";
+    e.pairs = {pair("stage1", 1, 'w', "stage1", 2, 'r')};
+    b.add("taskdepmissing-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "task-in-loop";
+    e.description =
+        "Tasks spawned per iteration all append through a shared cursor.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int cursor = 0;
+  int buf[64];
+
+#pragma omp parallel
+#pragma omp single
+  {
+    for (i = 0; i < 32; i++) {
+#pragma omp task
+      {
+        buf[cursor] = i;
+        cursor = cursor + 1;
+      }
+    }
+  }
+  printf("cursor=%d\n", cursor);
+  return 0;
+}
+)";
+    e.pairs = {pair("cursor", 2, 'w', "cursor", 1, 'r')};
+    b.add("taskcursor-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "sections-shared";
+    e.description = "Both sections update the same accumulator.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int acc = 0;
+
+#pragma omp parallel sections
+  {
+#pragma omp section
+    { acc = acc + 10; }
+#pragma omp section
+    { acc = acc + 20; }
+  }
+  printf("acc=%d\n", acc);
+  return 0;
+}
+)";
+    e.pairs = {pair("acc", 1, 'w', "acc", 4, 'r')};
+    b.add("sectionsshared-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "sections-overlap";
+    e.description = "Sections write overlapping halves of one array.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int arr[100];
+
+#pragma omp parallel sections private(i)
+  {
+#pragma omp section
+    {
+      for (i = 0; i < 60; i++)
+        arr[i] = 1;
+    }
+#pragma omp section
+    {
+      for (i = 40; i < 100; i++)
+        arr[i] = 2;
+    }
+  }
+  printf("arr[50]=%d\n", arr[50]);
+  return 0;
+}
+)";
+    e.pairs = {pair("arr[i]", 0, 'w', "arr[i]", 1, 'w')};
+    b.add("sectionsoverlap-orig", std::move(e));
+  }
+
+  // ------------------------------------------------------------ race-free
+
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "taskwait";
+    e.description = "taskwait orders producer and consumer.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int produced = 0;
+  int consumed = 0;
+
+#pragma omp parallel
+#pragma omp single
+  {
+#pragma omp task
+    { produced = 41; }
+#pragma omp taskwait
+    consumed = produced + 1;
+  }
+  printf("consumed=%d\n", consumed);
+  return 0;
+}
+)";
+    b.add("taskwaitchain-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "taskdep";
+    e.description = "depend(out)/depend(in) orders the task chain.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int stage1 = 0;
+  int stage2 = 0;
+
+#pragma omp parallel
+#pragma omp single
+  {
+#pragma omp task depend(out: stage1)
+    { stage1 = 10; }
+#pragma omp task depend(in: stage1)
+    { stage2 = stage1 + 5; }
+  }
+  printf("stage2=%d\n", stage2);
+  return 0;
+}
+)";
+    b.add("taskdepchain-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "taskdep-inout";
+    e.description = "Three-stage depend chain with inout in the middle.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int v = 1;
+
+#pragma omp parallel
+#pragma omp single
+  {
+#pragma omp task depend(out: v)
+    { v = v + 1; }
+#pragma omp task depend(inout: v)
+    { v = v * 3; }
+#pragma omp task depend(in: v)
+    { printf("v=%d\n", v); }
+  }
+  return 0;
+}
+)";
+    b.add("taskdepinout-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "task-firstprivate";
+    e.description = "Loop variable captured firstprivate by each task.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int buf[32];
+
+#pragma omp parallel
+#pragma omp single
+  {
+    for (i = 0; i < 32; i++) {
+#pragma omp task firstprivate(i)
+      {
+        buf[i] = i * 2;
+      }
+    }
+  }
+  printf("buf[3]=%d\n", buf[3]);
+  return 0;
+}
+)";
+    b.add("taskfirstprivate-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "sections-disjoint";
+    e.description = "Sections write disjoint variables.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int lo = 0;
+  int hi = 0;
+
+#pragma omp parallel sections
+  {
+#pragma omp section
+    { lo = 10; }
+#pragma omp section
+    { hi = 20; }
+  }
+  printf("%d %d\n", lo, hi);
+  return 0;
+}
+)";
+    b.add("sectionsdisjoint-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "sections-halves";
+    e.description = "Sections write non-overlapping halves of an array.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int arr[100];
+
+#pragma omp parallel sections private(i)
+  {
+#pragma omp section
+    {
+      for (i = 0; i < 50; i++)
+        arr[i] = 1;
+    }
+#pragma omp section
+    {
+      for (i = 50; i < 100; i++)
+        arr[i] = 2;
+    }
+  }
+  printf("arr[50]=%d\n", arr[50]);
+  return 0;
+}
+)";
+    b.add("sectionshalves-orig", std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.race = false;
+    e.label = "N5";
+    e.pattern = "task-critical";
+    e.description = "Tasks update the shared total under a critical section.";
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int i;
+  int total = 0;
+
+#pragma omp parallel
+#pragma omp single
+  {
+    for (i = 0; i < 16; i++) {
+#pragma omp task firstprivate(i)
+      {
+#pragma omp critical
+        { total = total + i; }
+      }
+    }
+  }
+  printf("total=%d\n", total);
+  return 0;
+}
+)";
+    b.add("taskcritical-orig", std::move(e));
+  }
+}
+
+}  // namespace drbml::drb

@@ -1,0 +1,260 @@
+#include "drb/synth.hpp"
+
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace drbml::drb {
+
+namespace {
+
+/// Identifier pools so generated programs vary lexically.
+const char* kArrayNames[] = {"a", "buf", "vec", "dataa", "cells", "wk"};
+const char* kScalarNames[] = {"acc", "total", "tally", "agg", "summ"};
+const char* kIndexNames[] = {"i", "k", "idx0", "it"};
+
+struct TemplateResult {
+  std::string body;
+  bool race = false;
+  const char* pattern = "";
+};
+
+std::string header() { return "#include <stdio.h>\n"; }
+
+TemplateResult gen_doall(Rng& rng) {
+  TemplateResult t;
+  t.pattern = "synth-doall";
+  t.race = false;
+  const int n = static_cast<int>(rng.between(16, 200));
+  const char* arr = kArrayNames[rng.below(std::size(kArrayNames))];
+  const char* idx = kIndexNames[rng.below(std::size(kIndexNames))];
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "int main()\n{\n"
+                "  int %s;\n"
+                "  int %s[%d];\n"
+                "#pragma omp parallel for\n"
+                "  for (%s = 0; %s < %d; %s++)\n"
+                "    %s[%s] = %s * %d;\n"
+                "  printf(\"%%d\\n\", %s[0]);\n"
+                "  return 0;\n}\n",
+                idx, arr, n, idx, idx, n, idx, arr, idx, idx,
+                static_cast<int>(rng.between(1, 9)), arr);
+  t.body = header() + buf;
+  return t;
+}
+
+TemplateResult gen_shift(Rng& rng, bool racy) {
+  TemplateResult t;
+  t.pattern = racy ? "synth-shiftdep" : "synth-shiftsafe";
+  t.race = racy;
+  const int n = static_cast<int>(rng.between(24, 160));
+  const int shift = static_cast<int>(rng.between(1, 8));
+  const char* arr = kArrayNames[rng.below(std::size(kArrayNames))];
+  const char* idx = kIndexNames[rng.below(std::size(kIndexNames))];
+  char buf[640];
+  if (racy) {
+    // In-place shifted update: loop-carried dependence of distance `shift`.
+    std::snprintf(buf, sizeof(buf),
+                  "int main()\n{\n"
+                  "  int %s;\n"
+                  "  int %s[%d];\n"
+                  "  for (%s = 0; %s < %d; %s++)\n"
+                  "    %s[%s] = %s;\n"
+                  "#pragma omp parallel for\n"
+                  "  for (%s = 0; %s < %d; %s++)\n"
+                  "    %s[%s] = %s[%s+%d] + 1;\n"
+                  "  printf(\"%%d\\n\", %s[0]);\n"
+                  "  return 0;\n}\n",
+                  idx, arr, n + shift, idx, idx, n + shift, idx, arr, idx,
+                  idx, idx, idx, n, idx, arr, idx, arr, idx, shift, arr);
+  } else {
+    // Shifted reads land in a second buffer: no carried dependence.
+    std::snprintf(buf, sizeof(buf),
+                  "int main()\n{\n"
+                  "  int %s;\n"
+                  "  int %s[%d];\n"
+                  "  int outt[%d];\n"
+                  "  for (%s = 0; %s < %d; %s++)\n"
+                  "    %s[%s] = %s;\n"
+                  "#pragma omp parallel for\n"
+                  "  for (%s = 0; %s < %d; %s++)\n"
+                  "    outt[%s] = %s[%s+%d] + 1;\n"
+                  "  printf(\"%%d\\n\", outt[0]);\n"
+                  "  return 0;\n}\n",
+                  idx, arr, n + shift, n, idx, idx, n + shift, idx, arr, idx,
+                  idx, idx, idx, n, idx, idx, arr, idx, shift);
+  }
+  t.body = header() + buf;
+  return t;
+}
+
+TemplateResult gen_accumulator(Rng& rng, bool racy) {
+  TemplateResult t;
+  t.pattern = racy ? "synth-sharedsum" : "synth-reduction";
+  t.race = racy;
+  const int n = static_cast<int>(rng.between(32, 180));
+  const char* acc = kScalarNames[rng.below(std::size(kScalarNames))];
+  const char* arr = kArrayNames[rng.below(std::size(kArrayNames))];
+  const char* idx = kIndexNames[rng.below(std::size(kIndexNames))];
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "int main()\n{\n"
+                "  int %s;\n"
+                "  int %s = 0;\n"
+                "  int %s[%d];\n"
+                "  for (%s = 0; %s < %d; %s++)\n"
+                "    %s[%s] = %s %% 13;\n"
+                "#pragma omp parallel for%s\n"
+                "  for (%s = 0; %s < %d; %s++)\n"
+                "    %s = %s + %s[%s];\n"
+                "  printf(\"%%d\\n\", %s);\n"
+                "  return 0;\n}\n",
+                idx, acc, arr, n, idx, idx, n, idx, arr, idx, idx,
+                racy ? "" : (std::string(" reduction(+:") + acc + ")").c_str(),
+                idx, idx, n, idx, acc, acc, arr, idx, acc);
+  t.body = header() + buf;
+  return t;
+}
+
+TemplateResult gen_counter(Rng& rng, bool racy) {
+  TemplateResult t;
+  t.pattern = racy ? "synth-counter" : "synth-counter-sync";
+  t.race = racy;
+  const int n = static_cast<int>(rng.between(24, 128));
+  const char* acc = kScalarNames[rng.below(std::size(kScalarNames))];
+  const char* idx = kIndexNames[rng.below(std::size(kIndexNames))];
+  const bool use_atomic = rng.chance(0.5);
+  std::string guard_open;
+  std::string guard_close;
+  if (!racy) {
+    if (use_atomic) {
+      guard_open = "#pragma omp atomic\n    ";
+    } else {
+      guard_open = "#pragma omp critical\n    { ";
+      guard_close = " }";
+    }
+  }
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "int main()\n{\n"
+                "  int %s;\n"
+                "  int %s = 0;\n"
+                "#pragma omp parallel for\n"
+                "  for (%s = 0; %s < %d; %s++) {\n"
+                "    %s%s += 1;%s\n"
+                "  }\n"
+                "  printf(\"%%d\\n\", %s);\n"
+                "  return 0;\n}\n",
+                idx, acc, idx, idx, n, idx, guard_open.c_str(), acc,
+                guard_close.c_str(), acc);
+  t.body = header() + buf;
+  return t;
+}
+
+TemplateResult gen_stride(Rng& rng, bool racy) {
+  TemplateResult t;
+  t.pattern = racy ? "synth-strideclash" : "synth-stridesafe";
+  t.race = racy;
+  const int n = static_cast<int>(rng.between(16, 80));
+  const char* arr = kArrayNames[rng.below(std::size(kArrayNames))];
+  const char* idx = kIndexNames[rng.below(std::size(kIndexNames))];
+  char buf[640];
+  if (racy) {
+    // Writes at 2i collide with reads at 2i+2.
+    std::snprintf(buf, sizeof(buf),
+                  "int main()\n{\n"
+                  "  int %s;\n"
+                  "  int %s[%d];\n"
+                  "  for (%s = 0; %s < %d; %s++)\n"
+                  "    %s[%s] = %s;\n"
+                  "#pragma omp parallel for\n"
+                  "  for (%s = 0; %s < %d; %s++)\n"
+                  "    %s[2*%s] = %s[2*%s+2] + 1;\n"
+                  "  printf(\"%%d\\n\", %s[0]);\n"
+                  "  return 0;\n}\n",
+                  idx, arr, 2 * n + 4, idx, idx, 2 * n + 4, idx, arr, idx,
+                  idx, idx, idx, n, idx, arr, idx, arr, idx, arr);
+  } else {
+    // Even writes, odd writes: disjoint.
+    std::snprintf(buf, sizeof(buf),
+                  "int main()\n{\n"
+                  "  int %s;\n"
+                  "  int %s[%d];\n"
+                  "#pragma omp parallel for\n"
+                  "  for (%s = 0; %s < %d; %s++) {\n"
+                  "    %s[2*%s] = %s;\n"
+                  "    %s[2*%s+1] = -%s;\n"
+                  "  }\n"
+                  "  printf(\"%%d\\n\", %s[1]);\n"
+                  "  return 0;\n}\n",
+                  idx, arr, 2 * n + 2, idx, idx, n, idx, arr, idx, idx, arr,
+                  idx, idx, arr);
+  }
+  t.body = header() + buf;
+  return t;
+}
+
+TemplateResult gen_privatization(Rng& rng, bool racy) {
+  TemplateResult t;
+  t.pattern = racy ? "synth-tmpshared" : "synth-tmpprivate";
+  t.race = racy;
+  const int n = static_cast<int>(rng.between(32, 150));
+  const char* arr = kArrayNames[rng.below(std::size(kArrayNames))];
+  const char* idx = kIndexNames[rng.below(std::size(kIndexNames))];
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "int main()\n{\n"
+                "  int %s;\n"
+                "  int scratch = 0;\n"
+                "  int %s[%d];\n"
+                "  for (%s = 0; %s < %d; %s++)\n"
+                "    %s[%s] = %s;\n"
+                "#pragma omp parallel for%s\n"
+                "  for (%s = 0; %s < %d; %s++) {\n"
+                "    scratch = %s[%s] + 1;\n"
+                "    %s[%s] = scratch * 2;\n"
+                "  }\n"
+                "  printf(\"%%d\\n\", %s[1]);\n"
+                "  return 0;\n}\n",
+                idx, arr, n, idx, idx, n, idx, arr, idx, idx,
+                racy ? "" : " private(scratch)", idx, idx, n, idx, arr, idx,
+                arr, idx, arr);
+  t.body = header() + buf;
+  return t;
+}
+
+}  // namespace
+
+std::vector<SynthEntry> synthesize(const SynthConfig& config) {
+  std::vector<SynthEntry> out;
+  out.reserve(static_cast<std::size_t>(config.count));
+  Rng rng(config.seed);
+  for (int i = 0; i < config.count; ++i) {
+    const bool want_race = rng.chance(config.race_fraction);
+    TemplateResult t;
+    switch (rng.below(6)) {
+      case 0:
+        t = want_race ? gen_shift(rng, true) : gen_doall(rng);
+        break;
+      case 1: t = gen_shift(rng, want_race); break;
+      case 2: t = gen_accumulator(rng, want_race); break;
+      case 3: t = gen_counter(rng, want_race); break;
+      case 4: t = gen_stride(rng, want_race); break;
+      default: t = gen_privatization(rng, want_race); break;
+    }
+    SynthEntry e;
+    char name[64];
+    std::snprintf(name, sizeof(name), "SYNTH%03d-%s-%s.c", i + 1,
+                  t.pattern + 6,  // drop the "synth-" prefix
+                  t.race ? "yes" : "no");
+    e.name = name;
+    e.code = std::move(t.body);
+    e.race = t.race;
+    e.pattern = t.pattern;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace drbml::drb

@@ -1,0 +1,35 @@
+// Synthetic training-data generation (paper Section 4.5: "Generating
+// synthetic datasets tailored for training" as a remedy for DRB-ML's
+// small size).
+//
+// Kernels are drawn from parameterized templates whose race verdict is
+// known by construction (each template is either structurally racy or
+// structurally safe for every parameter choice); sizes, strides, offsets,
+// identifiers, and synchronization flavors are randomized. The test suite
+// cross-validates generated labels against the dynamic detector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drbml::drb {
+
+struct SynthEntry {
+  std::string name;      // e.g. "SYNTH042-sharedsum-yes.c"
+  std::string code;      // comment-free OpenMP C program
+  bool race = false;     // ground truth (by construction)
+  std::string pattern;   // template family
+};
+
+struct SynthConfig {
+  int count = 100;
+  std::uint64_t seed = 1;
+  /// Approximate fraction of racy entries.
+  double race_fraction = 0.5;
+};
+
+/// Generates `config.count` labeled synthetic kernels.
+[[nodiscard]] std::vector<SynthEntry> synthesize(const SynthConfig& config);
+
+}  // namespace drbml::drb

@@ -1,0 +1,105 @@
+// Experiment runners reproducing the paper's evaluation (Tables 2-6).
+//
+// Every LLM measurement goes through the full pipeline: prompt rendering
+// -> simulated chat completion -> natural-language response parsing ->
+// metric accumulation, exactly as the paper's harness drives hosted APIs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/drbml.hpp"
+#include "eval/metrics.hpp"
+#include "eval/parse.hpp"
+#include "llm/model.hpp"
+#include "prompts/prompts.hpp"
+
+namespace drbml::eval {
+
+/// The paper's evaluation subset: entries whose trimmed code is within
+/// `token_limit` model tokens (Section 3.2: 198 of 201 under 4k).
+[[nodiscard]] std::vector<const dataset::Entry*> token_filtered_subset(
+    int token_limit = 4000);
+
+// ------------------------------------------------------------- detection
+
+/// Runs prompt-engineering detection (S1) for one model and style over
+/// the subset; responses are parsed back from natural language.
+[[nodiscard]] ConfusionMatrix run_detection(
+    const llm::ChatModel& model, prompts::Style style,
+    const std::vector<const dataset::Entry*>& subset);
+
+/// The traditional-tool baseline (the paper's Intel Inspector column):
+/// a hybrid of a legacy-configured conservative static pass and the
+/// dynamic vector-clock detector.
+[[nodiscard]] ConfusionMatrix run_traditional_tool(
+    const std::vector<const dataset::Entry*>& subset);
+
+/// Detection with an auxiliary input modality (paper future work): the
+/// prompt carries the code plus a pretty-printed AST or a serialized
+/// dependence graph.
+[[nodiscard]] ConfusionMatrix run_detection_modal(
+    const llm::ChatModel& model, prompts::Style style,
+    prompts::Modality modality,
+    const std::vector<const dataset::Entry*>& subset);
+
+// ------------------------------------------------------------- var-id
+
+/// Variable-identification matching (Table 5 semantics): TP only when a
+/// reported pair matches a ground-truth pair in names, lines, and ops.
+[[nodiscard]] bool varid_matches(const ParsedVarId& parsed,
+                                 const dataset::Entry& entry);
+
+[[nodiscard]] ConfusionMatrix run_varid(
+    const llm::ChatModel& model,
+    const std::vector<const dataset::Entry*>& subset);
+
+// ------------------------------------------------------------- fine-tuning
+
+enum class Objective { Detection, VarId };
+
+struct CvResult {
+  Stats recall;
+  Stats precision;
+  Stats f1;
+  std::vector<ConfusionMatrix> folds;
+};
+
+/// 5-fold stratified cross validation (Section 3.5). When `finetuned` is
+/// true, an adapter is trained on each fold's training split from the
+/// DRB-ML prompt-response pairs; otherwise the pretrained persona is
+/// evaluated on the same test splits. `synthetic_augmentation` adds that
+/// many generated kernels (Section 4.5's proposed remedy) to every
+/// training split.
+[[nodiscard]] CvResult run_cv(const llm::Persona& persona, Objective objective,
+                              bool finetuned, int k = 5,
+                              std::uint64_t seed = 2023,
+                              int synthetic_augmentation = 0);
+
+// ------------------------------------------------------------- table rows
+
+struct DetectionRow {
+  std::string model;
+  std::string prompt;
+  ConfusionMatrix cm;
+};
+
+struct CvRow {
+  std::string model;
+  Stats recall;
+  Stats precision;
+  Stats f1;
+};
+
+/// Table 2: GPT-3.5-turbo with basic prompts 1 and 2.
+[[nodiscard]] std::vector<DetectionRow> table2_rows();
+/// Table 3: traditional tool + four LLMs x {p1, p2, p3}.
+[[nodiscard]] std::vector<DetectionRow> table3_rows();
+/// Table 4: 5-fold CV, detection, StarChat/Llama2 with and without FT.
+[[nodiscard]] std::vector<CvRow> table4_rows();
+/// Table 5: variable identification, four pretrained LLMs.
+[[nodiscard]] std::vector<DetectionRow> table5_rows();
+/// Table 6: 5-fold CV, variable identification, with and without FT.
+[[nodiscard]] std::vector<CvRow> table6_rows();
+
+}  // namespace drbml::eval

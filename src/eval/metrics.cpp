@@ -1,0 +1,19 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+namespace drbml::eval {
+
+Stats Stats::of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.avg = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.avg) * (x - s.avg);
+  s.sd = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+}  // namespace drbml::eval

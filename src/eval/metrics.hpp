@@ -1,0 +1,49 @@
+// Evaluation metrics (paper Section 3.6): confusion matrices with recall,
+// precision, and F1, plus mean/standard-deviation summaries for the
+// cross-validation tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drbml::eval {
+
+struct ConfusionMatrix {
+  int tp = 0;
+  int fp = 0;
+  int tn = 0;
+  int fn = 0;
+
+  void add(bool predicted, bool truth) {
+    if (predicted && truth) ++tp;
+    else if (predicted && !truth) ++fp;
+    else if (!predicted && !truth) ++tn;
+    else ++fn;
+  }
+
+  [[nodiscard]] int total() const noexcept { return tp + fp + tn + fn; }
+  [[nodiscard]] double recall() const noexcept {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  [[nodiscard]] double precision() const noexcept {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double r = recall();
+    const double p = precision();
+    return r + p == 0.0 ? 0.0 : 2.0 * r * p / (r + p);
+  }
+  [[nodiscard]] double accuracy() const noexcept {
+    return total() == 0 ? 0.0 : static_cast<double>(tp + tn) / total();
+  }
+};
+
+/// Mean and (population) standard deviation of a sample.
+struct Stats {
+  double avg = 0.0;
+  double sd = 0.0;
+
+  [[nodiscard]] static Stats of(const std::vector<double>& xs);
+};
+
+}  // namespace drbml::eval

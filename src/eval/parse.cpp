@@ -1,0 +1,163 @@
+#include "eval/parse.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace drbml::eval {
+
+namespace {
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds the first whole-word occurrence of `word` (case-insensitive).
+std::size_t find_word(const std::string& text, const std::string& word) {
+  const std::string lower = to_lower(text);
+  std::size_t pos = 0;
+  while ((pos = lower.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !word_char(lower[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= lower.size() || !word_char(lower[end]);
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// Extracts the first balanced {...} block, if any.
+std::optional<std::string> extract_json_block(const std::string& text) {
+  const std::size_t open = text.find('{');
+  if (open == std::string::npos) return std::nullopt;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') {
+      --depth;
+      if (depth == 0) return text.substr(open, i - open + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string normalize_op(const std::string& op) {
+  const std::string lower = to_lower(op);
+  if (starts_with(lower, "w")) return "w";
+  if (starts_with(lower, "r")) return "r";
+  return lower;
+}
+
+/// Fallback: scrape "variable 'x' at line N" phrases from prose.
+ParsedPair scrape_prose_pair(const std::string& text, bool& found) {
+  ParsedPair pair;
+  found = false;
+  std::size_t pos = 0;
+  while (pair.names.size() < 2) {
+    const std::size_t var = text.find("variable '", pos);
+    if (var == std::string::npos) break;
+    const std::size_t name_start = var + 10;
+    const std::size_t name_end = text.find('\'', name_start);
+    if (name_end == std::string::npos) break;
+    pair.names.push_back(text.substr(name_start, name_end - name_start));
+    const std::size_t line_kw = text.find("line ", name_end);
+    int line = 0;
+    if (line_kw != std::string::npos) {
+      std::size_t i = line_kw + 5;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+        line = line * 10 + (text[i] - '0');
+        ++i;
+      }
+    }
+    pair.lines.push_back(line);
+    pos = name_end + 1;
+  }
+  // Operation words in order of appearance after the names.
+  std::size_t op_pos = 0;
+  while (pair.ops.size() < pair.names.size()) {
+    const std::size_t w = find_word(text.substr(op_pos), "write");
+    const std::size_t r = find_word(text.substr(op_pos), "read");
+    if (w == std::string::npos && r == std::string::npos) break;
+    if (r == std::string::npos || (w != std::string::npos && w < r)) {
+      pair.ops.push_back("w");
+      op_pos += w + 5;
+    } else {
+      pair.ops.push_back("r");
+      op_pos += r + 4;
+    }
+  }
+  found = pair.names.size() == 2;
+  return pair;
+}
+
+}  // namespace
+
+std::optional<bool> parse_detection(const std::string& response) {
+  const std::size_t yes = find_word(response, "yes");
+  const std::size_t no = find_word(response, "no");
+  if (yes == std::string::npos && no == std::string::npos) {
+    return std::nullopt;
+  }
+  if (yes == std::string::npos) return false;
+  if (no == std::string::npos) return true;
+  return yes < no;
+}
+
+ParsedVarId parse_varid(const std::string& response) {
+  ParsedVarId out;
+  out.verdict = parse_detection(response);
+
+  if (auto block = extract_json_block(response)) {
+    try {
+      const json::Value v = json::parse(*block);
+      const json::Object& obj = v.as_object();
+      ParsedPair pair;
+      if (const json::Value* names = obj.find("variable_names")) {
+        for (const auto& n : names->as_array()) {
+          pair.names.push_back(n.as_string());
+        }
+      }
+      if (const json::Value* lines = obj.find("variable_locations")) {
+        for (const auto& l : lines->as_array()) {
+          pair.lines.push_back(static_cast<int>(l.as_int()));
+        }
+      }
+      if (const json::Value* ops = obj.find("operation_types")) {
+        for (const auto& o : ops->as_array()) {
+          pair.ops.push_back(normalize_op(o.as_string()));
+        }
+      }
+      if (pair.names.size() == 2) {
+        out.pairs.push_back(std::move(pair));
+        out.structured = true;
+        if (const json::Value* dr = obj.find("data_race")) {
+          if (dr->is_int()) out.verdict = dr->as_int() != 0;
+        }
+        return out;
+      }
+    } catch (const JsonError&) {
+      // fall through to prose scraping
+    }
+  }
+
+  bool found = false;
+  ParsedPair pair = scrape_prose_pair(response, found);
+  if (found) out.pairs.push_back(std::move(pair));
+  return out;
+}
+
+}  // namespace drbml::eval

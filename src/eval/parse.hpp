@@ -1,0 +1,33 @@
+// Natural-language output processing (paper Section 4.5).
+//
+// LLM replies arrive as prose, optionally with an embedded JSON block.
+// Parsing first looks for a leading or whole-word yes/no verdict, then for
+// a JSON object with the Listing-5 keys; when the model ignored the
+// requested format, a regular-expression-style fallback scrapes
+// "variable 'x' at line N" phrases.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drbml::eval {
+
+/// Extracts the yes/no verdict; nullopt if no verdict word is found.
+[[nodiscard]] std::optional<bool> parse_detection(const std::string& response);
+
+struct ParsedPair {
+  std::vector<std::string> names;
+  std::vector<int> lines;
+  std::vector<std::string> ops;  // "w" / "r"
+};
+
+struct ParsedVarId {
+  std::optional<bool> verdict;
+  std::vector<ParsedPair> pairs;
+  bool structured = false;  // pairs came from a JSON block
+};
+
+[[nodiscard]] ParsedVarId parse_varid(const std::string& response);
+
+}  // namespace drbml::eval

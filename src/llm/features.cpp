@@ -1,0 +1,150 @@
+#include "llm/features.hpp"
+
+#include "analysis/race.hpp"
+#include "minic/parser.hpp"
+#include "support/error.hpp"
+
+namespace drbml::llm {
+
+using namespace minic;
+
+namespace {
+
+void scan_directive(const OmpDirective& dir, ProgramFeatures& f) {
+  ++f.pragma_count;
+  switch (dir.kind) {
+    case OmpDirectiveKind::Parallel:
+    case OmpDirectiveKind::ParallelFor:
+    case OmpDirectiveKind::ParallelForSimd:
+    case OmpDirectiveKind::ParallelSections:
+      f.has_parallel_construct = true;
+      break;
+    case OmpDirectiveKind::Critical: f.has_critical = true; break;
+    case OmpDirectiveKind::Atomic: f.has_atomic = true; break;
+    case OmpDirectiveKind::Barrier: f.has_barrier = true; break;
+    case OmpDirectiveKind::Single:
+    case OmpDirectiveKind::Master:
+      f.has_single_or_master = true;
+      break;
+    case OmpDirectiveKind::Sections:
+    case OmpDirectiveKind::Section:
+      f.has_sections = true;
+      break;
+    case OmpDirectiveKind::Task:
+    case OmpDirectiveKind::Taskwait:
+      f.has_task = true;
+      break;
+    case OmpDirectiveKind::Simd:
+    case OmpDirectiveKind::ForSimd:
+      f.has_simd = true;
+      break;
+    case OmpDirectiveKind::Target:
+    case OmpDirectiveKind::TargetParallelFor:
+      f.has_target = true;
+      if (dir.kind == OmpDirectiveKind::TargetParallelFor) {
+        f.has_parallel_construct = true;
+      }
+      break;
+    case OmpDirectiveKind::Ordered: f.has_ordered = true; break;
+    case OmpDirectiveKind::Threadprivate: f.has_threadprivate = true; break;
+    default: break;
+  }
+  for (const auto& c : dir.clauses) {
+    switch (c.kind) {
+      case OmpClauseKind::Reduction: f.has_reduction = true; break;
+      case OmpClauseKind::Private:
+      case OmpClauseKind::FirstPrivate:
+      case OmpClauseKind::LastPrivate:
+      case OmpClauseKind::Linear:
+        f.has_privatization = true;
+        break;
+      case OmpClauseKind::Nowait: f.has_nowait = true; break;
+      case OmpClauseKind::Depend: f.has_depend = true; break;
+      case OmpClauseKind::Ordered: f.has_ordered = true; break;
+      default: break;
+    }
+  }
+}
+
+void scan_stmt(const Stmt& s, ProgramFeatures& f) {
+  switch (s.kind) {
+    case StmtKind::Compound:
+      for (const auto& st : static_cast<const CompoundStmt&>(s).body) {
+        scan_stmt(*st, f);
+      }
+      break;
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      scan_stmt(*i.then_branch, f);
+      if (i.else_branch) scan_stmt(*i.else_branch, f);
+      break;
+    }
+    case StmtKind::For:
+      scan_stmt(*static_cast<const ForStmt&>(s).body, f);
+      break;
+    case StmtKind::While:
+      scan_stmt(*static_cast<const WhileStmt&>(s).body, f);
+      break;
+    case StmtKind::Do:
+      scan_stmt(*static_cast<const DoStmt&>(s).body, f);
+      break;
+    case StmtKind::Omp: {
+      const auto& o = static_cast<const OmpStmt&>(s);
+      scan_directive(o.directive, f);
+      if (o.body) scan_stmt(*o.body, f);
+      break;
+    }
+    case StmtKind::Expr: {
+      // Lock runtime calls.
+      const auto& e = static_cast<const ExprStmt&>(s);
+      if (const auto* call = expr_cast<Call>(e.expr.get())) {
+        if (call->callee == "omp_set_lock" ||
+            call->callee == "omp_set_nest_lock") {
+          f.has_locks = true;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+ProgramFeatures extract_features(const std::string& code) {
+  ProgramFeatures f;
+  f.code_len = static_cast<int>(code.size());
+  try {
+    Program prog = parse_program(code);
+    f.parsed = true;
+    for (const auto& dir : prog.unit->global_directives) {
+      scan_directive(dir, f);
+    }
+    for (const auto& fn : prog.unit->functions) {
+      if (fn->body) scan_stmt(*fn->body, f);
+    }
+
+    {
+      analysis::StaticDetectorOptions conservative;
+      conservative.depend.conservative_nonaffine = true;
+      analysis::StaticRaceDetector det(conservative);
+      // analyze_source reparses; reuse for simplicity and isolation.
+      analysis::RaceReport report = det.analyze_source(code);
+      f.static_race_conservative = report.race_detected;
+      f.static_pairs = report.pairs;
+      f.static_pair_count = static_cast<int>(report.pairs.size());
+    }
+    {
+      analysis::StaticDetectorOptions optimistic;
+      optimistic.depend.conservative_nonaffine = false;
+      analysis::StaticRaceDetector det(optimistic);
+      f.static_race_optimistic = det.analyze_source(code).race_detected;
+    }
+  } catch (const Error&) {
+    f.parsed = false;
+  }
+  return f;
+}
+
+}  // namespace drbml::llm

@@ -1,0 +1,61 @@
+// Program feature extraction for the simulated LLMs.
+//
+// A persona's "understanding" of a program is a noisy view of these
+// features, which are computed honestly from the frontend and the static
+// analysis substrate. The conservative and optimistic static verdicts
+// bound the evidence available to a model: when they agree the program is
+// easy, when they disagree it requires the kind of reasoning that large
+// models do better than small ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace drbml::llm {
+
+struct ProgramFeatures {
+  bool parsed = false;  // unparseable input -> models guess
+
+  // Syntactic surface.
+  bool has_parallel_construct = false;
+  bool has_critical = false;
+  bool has_atomic = false;
+  bool has_barrier = false;
+  bool has_reduction = false;
+  bool has_privatization = false;  // private/firstprivate/lastprivate/linear
+  bool has_nowait = false;
+  bool has_single_or_master = false;
+  bool has_task = false;
+  bool has_depend = false;
+  bool has_sections = false;
+  bool has_simd = false;
+  bool has_target = false;
+  bool has_ordered = false;
+  bool has_locks = false;
+  bool has_threadprivate = false;
+  int pragma_count = 0;
+  int code_len = 0;
+
+  // Analysis-derived evidence.
+  bool static_race_conservative = false;
+  bool static_race_optimistic = false;
+  int static_pair_count = 0;
+  std::vector<analysis::RacePair> static_pairs;
+
+  /// True when both static variants agree (an "easy" program).
+  [[nodiscard]] bool evidence_consistent() const noexcept {
+    return static_race_conservative == static_race_optimistic;
+  }
+  /// The evidence verdict a careful reader would reach.
+  [[nodiscard]] bool evidence_race() const noexcept {
+    return static_race_optimistic || static_race_conservative;
+  }
+};
+
+/// Extracts features from source code. Never throws: unparseable code
+/// yields `parsed == false` and syntactic defaults.
+[[nodiscard]] ProgramFeatures extract_features(const std::string& code);
+
+}  // namespace drbml::llm

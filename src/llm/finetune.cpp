@@ -1,0 +1,231 @@
+#include "llm/finetune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llm/tokenizer.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace drbml::llm {
+
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double logit(double p) {
+  p = std::clamp(p, 0.02, 0.98);
+  return std::log(p / (1.0 - p));
+}
+
+/// The frozen projection: a deterministic pseudo-random +-1 matrix,
+/// generated once (the "pretrained directions" LoRA adapts along).
+const std::vector<std::array<double, kLoraRank>>& projection() {
+  static const std::vector<std::array<double, kLoraRank>> p = [] {
+    std::vector<std::array<double, kLoraRank>> rows(
+        static_cast<std::size_t>(kFeatureDim));
+    Rng rng = Rng::from_key("lora-projection");
+    const double scale = 1.0 / std::sqrt(static_cast<double>(kLoraRank));
+    for (auto& row : rows) {
+      for (auto& v : row) v = rng.chance(0.5) ? scale : -scale;
+    }
+    return rows;
+  }();
+  return p;
+}
+
+}  // namespace
+
+FeatureVec featurize(const std::string& code) {
+  FeatureVec f;
+  SimpleTokenizer tok;
+  const std::vector<std::string> tokens = tok.tokenize(code);
+  for (const auto& t : tokens) {
+    const std::size_t slot = fnv1a64(t) % kTokenDim;
+    f.x[slot] += 1.0;
+  }
+  // L2-normalize the token block.
+  double norm = 0.0;
+  for (int i = 0; i < kTokenDim; ++i) norm += f.x[static_cast<std::size_t>(i)] *
+                                               f.x[static_cast<std::size_t>(i)];
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (int i = 0; i < kTokenDim; ++i) {
+      f.x[static_cast<std::size_t>(i)] /= norm;
+    }
+  }
+  // Syntactic indicators (surface-only; no analysis verdicts).
+  const ProgramFeatures& pf = cached_features(code);
+  double* s = f.x.data() + kTokenDim;
+  s[0] = pf.has_parallel_construct ? 1 : 0;
+  s[1] = pf.has_critical || pf.has_atomic ? 1 : 0;
+  s[2] = pf.has_reduction ? 1 : 0;
+  s[3] = pf.has_privatization ? 1 : 0;
+  s[4] = pf.has_nowait ? 1 : 0;
+  s[5] = pf.has_task ? 1 : 0;
+  s[6] = pf.has_depend ? 1 : 0;
+  s[7] = pf.has_barrier || pf.has_single_or_master ? 1 : 0;
+  s[8] = pf.has_simd ? 1 : 0;
+  s[9] = pf.has_locks || pf.has_ordered ? 1 : 0;
+  s[10] = static_cast<double>(pf.pragma_count) / 8.0;
+  s[11] = static_cast<double>(pf.code_len) / 4000.0;
+  // Dependence-reasoning signals a fine-tuned code model can internalize.
+  s[12] = pf.static_race_conservative ? 1.0 : -1.0;
+  s[13] = pf.static_race_optimistic ? 1.0 : -1.0;
+  return f;
+}
+
+Adapter::Adapter() { u.fill(0.0); }
+
+std::array<double, kLoraRank> Adapter::project(const FeatureVec& f) {
+  std::array<double, kLoraRank> out{};
+  const auto& p = projection();
+  for (int i = 0; i < kFeatureDim; ++i) {
+    const double xi = f.x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    const auto& row = p[static_cast<std::size_t>(i)];
+    for (int r = 0; r < kLoraRank; ++r) {
+      out[static_cast<std::size_t>(r)] += xi * row[static_cast<std::size_t>(r)];
+    }
+  }
+  return out;
+}
+
+double Adapter::predict(const FeatureVec& f) const {
+  const auto h = project(f);
+  double z = 0.0;
+  for (int r = 0; r < kLoraRank; ++r) {
+    z += u[static_cast<std::size_t>(r)] * h[static_cast<std::size_t>(r)];
+  }
+  return scale * z;
+}
+
+std::string Adapter::to_json() const {
+  json::Object obj;
+  obj.set("format", json::Value("drbml-lora-adapter-v1"));
+  obj.set("rank", json::Value(kLoraRank));
+  obj.set("scale", json::Value(scale));
+  json::Array weights;
+  for (double w : u) weights.emplace_back(w);
+  obj.set("u", json::Value(std::move(weights)));
+  return json::Value(std::move(obj)).dump_pretty();
+}
+
+Adapter Adapter::from_json(const std::string& text) {
+  const json::Value v = json::parse(text);
+  const json::Object& obj = v.as_object();
+  if (obj.at("format").as_string() != "drbml-lora-adapter-v1") {
+    throw Error("adapter checkpoint: unknown format");
+  }
+  if (obj.at("rank").as_int() != kLoraRank) {
+    throw Error("adapter checkpoint: rank mismatch");
+  }
+  Adapter a;
+  a.scale = obj.at("scale").as_double();
+  const json::Array& weights = obj.at("u").as_array();
+  if (weights.size() != static_cast<std::size_t>(kLoraRank)) {
+    throw Error("adapter checkpoint: weight count mismatch");
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    a.u[i] = weights[i].as_double();
+  }
+  return a;
+}
+
+FinetuneConfig llama2_finetune_config() {
+  FinetuneConfig c;
+  c.lr = 2e-4 * 100;  // the paper's 2e-4, scaled into adapter-logit space
+  c.epochs = 40;
+  c.alpha_scale = 0.05;
+  c.seed = 11;
+  return c;
+}
+
+FinetuneConfig starchat_finetune_config() {
+  FinetuneConfig c;
+  c.lr = 9.65e-6 * 2000;  // the paper's 9.65e-6, scaled likewise
+  c.epochs = 40;
+  c.alpha_scale = 0.10;
+  c.seed = 13;
+  return c;
+}
+
+Adapter finetune_detection(const ChatModel& base, prompts::Style style,
+                           const std::vector<TrainSample>& train,
+                           const FinetuneConfig& config) {
+  Adapter adapter;
+  if (train.empty()) return adapter;
+
+  // Precompute projected features and base logits.
+  struct Prepared {
+    std::array<double, kLoraRank> h;
+    double base_logit;
+    double label;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(train.size());
+  for (const auto& s : train) {
+    Prepared p;
+    p.h = Adapter::project(featurize(s.code));
+    p.base_logit = logit(base.decide(style, s.code).p_yes);
+    p.label = s.label ? 1.0 : 0.0;
+    prepared.push_back(p);
+  }
+
+  // Adam state.
+  std::array<double, kLoraRank> m{};
+  std::array<double, kLoraRank> v{};
+  constexpr double beta1 = 0.9;
+  constexpr double beta2 = 0.999;
+  constexpr double eps = 1e-8;
+  int step = 0;
+
+  Rng rng(config.seed);
+  std::vector<int> order(prepared.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config.batch_size)) {
+      std::array<double, kLoraRank> grad{};
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(config.batch_size));
+      for (std::size_t k = start; k < end; ++k) {
+        const Prepared& p = prepared[static_cast<std::size_t>(
+            order[k])];
+        double z = p.base_logit;
+        for (int r = 0; r < kLoraRank; ++r) {
+          // Feature dropout regularizes the rank space.
+          if (config.dropout > 0.0 && rng.chance(config.dropout)) continue;
+          z += adapter.u[static_cast<std::size_t>(r)] *
+               p.h[static_cast<std::size_t>(r)];
+        }
+        const double err = sigmoid(z) - p.label;  // dCE/dz
+        for (int r = 0; r < kLoraRank; ++r) {
+          grad[static_cast<std::size_t>(r)] +=
+              err * p.h[static_cast<std::size_t>(r)];
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(end - start);
+      ++step;
+      for (int r = 0; r < kLoraRank; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        double g = grad[ri] * inv + config.weight_decay * adapter.u[ri];
+        m[ri] = beta1 * m[ri] + (1 - beta1) * g;
+        v[ri] = beta2 * v[ri] + (1 - beta2) * g * g;
+        const double mhat = m[ri] / (1 - std::pow(beta1, step));
+        const double vhat = v[ri] / (1 - std::pow(beta2, step));
+        adapter.u[ri] -= config.lr * mhat / (std::sqrt(vhat) + eps);
+      }
+    }
+  }
+  adapter.scale = config.alpha_scale;
+  return adapter;
+}
+
+}  // namespace drbml::llm

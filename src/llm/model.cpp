@@ -1,0 +1,317 @@
+#include "llm/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "llm/finetune.hpp"
+#include "llm/tokenizer.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace drbml::llm {
+
+namespace {
+
+double logit(double p) {
+  p = std::clamp(p, 0.02, 0.98);
+  return std::log(p / (1.0 - p));
+}
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+prompts::Style infer_style(const prompts::Chat& chat) {
+  int user_turns = 0;
+  for (const auto& m : chat) {
+    if (m.role == "user") ++user_turns;
+  }
+  if (user_turns >= 2) return prompts::Style::P3;
+  const std::string& content = chat.front().content;
+  if (content.find("JSON format") != std::string::npos) {
+    return prompts::Style::BP2;
+  }
+  if (content.find("data dependence analysis") != std::string::npos) {
+    return prompts::Style::P2;
+  }
+  return prompts::Style::P1;
+}
+
+prompts::Modality infer_modality(const prompts::Chat& chat) {
+  const std::string& content = chat.front().content;
+  if (content.find(prompts::kDepGraphMarker) != std::string::npos) {
+    return prompts::Modality::DepGraph;
+  }
+  if (content.find(prompts::kAstMarker) != std::string::npos) {
+    return prompts::Modality::Ast;
+  }
+  return prompts::Modality::Text;
+}
+
+/// Picks the first identifiers appearing in the code (used when a model
+/// fabricates pair information).
+std::vector<std::string> fallback_identifiers(const std::string& code) {
+  SimpleTokenizer tok;
+  std::vector<std::string> ids;
+  for (const auto& t : tok.tokenize(code)) {
+    if (t.empty() || (std::isalpha(static_cast<unsigned char>(t[0])) == 0 &&
+                      t[0] != '_')) {
+      continue;
+    }
+    if (t == "int" || t == "double" || t == "float" || t == "char" ||
+        t == "void" || t == "return" || t == "for" || t == "if" ||
+        t == "while" || t == "include" || t == "pragma" || t == "omp" ||
+        t == "main" || t == "printf" || t == "stdio" || t == "h" ||
+        t == "parallel") {
+      continue;
+    }
+    bool seen = false;
+    for (const auto& existing : ids) {
+      if (existing == t) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ids.push_back(t);
+    if (ids.size() >= 4) break;
+  }
+  while (ids.size() < 2) ids.push_back("x");
+  return ids;
+}
+
+}  // namespace
+
+const ProgramFeatures& cached_features(const std::string& code) {
+  static std::map<std::uint64_t, ProgramFeatures> cache;
+  static std::mutex mu;
+  const std::uint64_t key = fnv1a64(code);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  ProgramFeatures f = extract_features(code);
+  std::lock_guard<std::mutex> lock(mu);
+  return cache.emplace(key, std::move(f)).first->second;
+}
+
+std::string extract_code_from_prompt(const std::string& prompt) {
+  // Auxiliary-modality sections follow the code; cut them off first.
+  std::size_t end = prompt.size();
+  for (const char* stop : {prompts::kAstMarker, prompts::kDepGraphMarker}) {
+    const std::size_t pos = prompt.find(stop);
+    if (pos != std::string::npos) end = std::min(end, pos);
+  }
+  const std::string body = prompt.substr(0, end);
+  for (const char* marker : {"#include", "int main", "void ", "#pragma"}) {
+    const std::size_t pos = body.find(marker);
+    if (pos != std::string::npos) return body.substr(pos);
+  }
+  return body;
+}
+
+Verdict ChatModel::decide(prompts::Style style, const std::string& code) const {
+  return decide(style, code, prompts::Modality::Text);
+}
+
+Verdict ChatModel::decide(prompts::Style style, const std::string& code,
+                          prompts::Modality modality) const {
+  const ProgramFeatures& f = cached_features(code);
+  const DetectionRates& rates = persona_.rates_for(style);
+
+  double p_yes = 0.5;
+  if (!f.parsed) {
+    p_yes = 0.5;
+  } else if (!f.evidence_consistent() &&
+             modality != prompts::Modality::DepGraph) {
+    p_yes = rates.yes_given_uncertain;
+  } else if (f.evidence_race()) {
+    // With an explicit dependence graph the model reads the conflict
+    // edges directly, so non-affine programs stop being "uncertain".
+    p_yes = rates.yes_given_evidence_yes;
+  } else {
+    p_yes = rates.yes_given_evidence_no;
+  }
+
+  double z = logit(p_yes);
+  // Structured representations sharpen the model's read of the program.
+  switch (modality) {
+    case prompts::Modality::Text: break;
+    case prompts::Modality::Ast: z *= 1.10; break;
+    case prompts::Modality::DepGraph: z *= 1.25; break;
+  }
+  if (adapter_ != nullptr) {
+    z += adapter_->predict(featurize(code));
+  }
+  const double p = sigmoid(z);
+
+  Rng rng = Rng::from_key(persona_.key + "/" +
+                          prompts::style_name(style) + "/" +
+                          std::to_string(fnv1a64(code)));
+  Verdict v;
+  v.p_yes = p;
+  v.uncertain = !f.evidence_consistent();
+  v.yes = rng.uniform() < p;
+  return v;
+}
+
+std::string ChatModel::render_detection_reply(const Verdict& v,
+                                              std::uint64_t seed) const {
+  Rng rng(seed);
+  const char* verdict_word = v.yes ? "yes" : "no";
+  // Formatting discipline: a disciplined reply leads with the verdict.
+  if (rng.chance(persona_.format_fidelity)) {
+    static const char* kYesTails[] = {
+        ", the provided code exhibits data race issues.",
+        ". Concurrent iterations access the same memory location without "
+        "sufficient synchronization.",
+        ". A conflicting access pair exists across threads.",
+    };
+    static const char* kNoTails[] = {
+        ", the code is free of data races.",
+        ". Every iteration works on distinct data or is properly "
+        "synchronized.",
+        ". No conflicting concurrent accesses were identified.",
+    };
+    const char* tail = v.yes ? kYesTails[rng.below(3)] : kNoTails[rng.below(3)];
+    std::string out = verdict_word;
+    out[0] = static_cast<char>(std::toupper(out[0]));
+    return out + tail;
+  }
+  // Undisciplined phrasing buries the verdict mid-sentence.
+  std::string out = "Based on my analysis of the loop structure and the "
+                    "OpenMP directives, I believe the answer is ";
+  out += verdict_word;
+  out += v.yes ? " -- there does appear to be a data race."
+               : " -- the parallelization looks safe.";
+  return out;
+}
+
+std::string ChatModel::render_varid_reply(const Verdict& v,
+                                          const ProgramFeatures& f,
+                                          const std::string& code,
+                                          std::uint64_t seed) const {
+  Rng rng(seed);
+  std::string out = v.yes ? "yes" : "no";
+
+  bool emit_pairs = false;
+  if (v.yes) {
+    emit_pairs = rng.chance(persona_.varid_attempt);
+  } else {
+    emit_pairs = rng.chance(persona_.spurious_pairs);
+  }
+  if (!emit_pairs) {
+    if (!v.yes) out += ", the code is free of data races.";
+    return out;
+  }
+
+  // Build the (possibly corrupted) pair description.
+  std::string name0;
+  std::string name1;
+  int line0 = 1;
+  int line1 = 1;
+  std::string op0 = "write";
+  std::string op1 = "read";
+  const bool use_real_pair =
+      !f.static_pairs.empty() && rng.chance(persona_.pair_selection);
+  if (use_real_pair) {
+    const analysis::RacePair& pair = f.static_pairs.front();
+    name0 = pair.first.expr_text;
+    name1 = pair.second.expr_text;
+    line0 = pair.first.loc.line;
+    line1 = pair.second.loc.line;
+    op0 = pair.first.op == 'w' ? "write" : "read";
+    op1 = pair.second.op == 'w' ? "write" : "read";
+  } else {
+    auto ids = fallback_identifiers(code);
+    name0 = ids[0];
+    name1 = ids.size() > 1 ? ids[1] : ids[0];
+    const int max_line = std::max(2, f.code_len / 30);
+    line0 = static_cast<int>(rng.between(2, max_line));
+    line1 = static_cast<int>(rng.between(2, max_line));
+  }
+  if (!rng.chance(persona_.name_accuracy)) {
+    // Typical degradation: drop the subscript from one side.
+    const std::size_t bracket = name1.find('[');
+    if (bracket != std::string::npos) {
+      name1 = name1.substr(0, bracket);
+    } else {
+      name1 += "_tmp";
+    }
+  }
+  if (!rng.chance(persona_.line_accuracy)) {
+    line0 += static_cast<int>(rng.between(1, 3));
+    if (rng.chance(0.5)) line1 += static_cast<int>(rng.between(1, 3));
+  }
+  if (!rng.chance(persona_.op_accuracy)) {
+    op1 = op1 == "read" ? "write" : "read";
+  }
+
+  if (rng.chance(persona_.format_fidelity)) {
+    json::Object obj;
+    obj.set("data_race", json::Value(v.yes ? 1 : 0));
+    json::Array names;
+    names.emplace_back(name0);
+    names.emplace_back(name1);
+    json::Array lines;
+    lines.emplace_back(line0);
+    lines.emplace_back(line1);
+    json::Array ops;
+    ops.emplace_back(op0);
+    ops.emplace_back(op1);
+    obj.set("variable_names", json::Value(std::move(names)));
+    obj.set("variable_locations", json::Value(std::move(lines)));
+    obj.set("operation_types", json::Value(std::move(ops)));
+    out += "\n" + json::Value(std::move(obj)).dump_pretty();
+    return out;
+  }
+  // Listing 3-style natural language description.
+  out += ". The data race is caused by the variable '" + name0 +
+         "' at line " + std::to_string(line0) + " and the variable '" +
+         name1 + "' at line " + std::to_string(line1) + ". The first access "
+         "is a " + op0 + " operation and the second is a " + op1 +
+         " operation.";
+  return out;
+}
+
+Reply ChatModel::chat(const prompts::Chat& chat) const {
+  Reply reply;
+  std::string all_text;
+  for (const auto& m : chat) all_text += m.content;
+  SimpleTokenizer tok;
+  reply.prompt_tokens = tok.count_tokens(all_text);
+  if (reply.prompt_tokens > persona_.context_tokens) {
+    reply.context_exceeded = true;
+    reply.text = "I cannot process this request: the input exceeds my "
+                 "context window.";
+    return reply;
+  }
+
+  const prompts::Style style = infer_style(chat);
+  const prompts::Modality modality = infer_modality(chat);
+  const std::string code = extract_code_from_prompt(chat.front().content);
+  const Verdict v = decide(style, code, modality);
+  const std::uint64_t seed =
+      hash_combine(fnv1a64(persona_.key), fnv1a64(code)) ^
+      fnv1a64(prompts::style_name(style));
+
+  if (style == prompts::Style::BP2) {
+    reply.text = render_varid_reply(v, cached_features(code), code, seed);
+    return reply;
+  }
+  if (style == prompts::Style::P3) {
+    // The dependence-analysis turn happens "internally"; the final reply
+    // still leads with the verdict, as prompted.
+    std::string analysis_note =
+        "Data dependence analysis: examined loop-carried dependences and "
+        "synchronization. ";
+    reply.text = analysis_note + render_detection_reply(v, seed);
+    return reply;
+  }
+  reply.text = render_detection_reply(v, seed);
+  return reply;
+}
+
+}  // namespace drbml::llm

@@ -1,0 +1,112 @@
+#include "llm/persona.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace drbml::llm {
+
+using prompts::Style;
+
+const DetectionRates& Persona::rates_for(Style s) const {
+  auto it = rates.find(s);
+  if (it != rates.end()) return it->second;
+  // BP1 and P1 share the succinct template.
+  if (s == Style::BP1) {
+    auto p1 = rates.find(Style::P1);
+    if (p1 != rates.end()) return p1->second;
+  }
+  throw Error("persona '" + key + "' has no rates for style");
+}
+
+Persona gpt35_persona() {
+  Persona p;
+  p.name = "GPT-3.5-turbo";
+  p.key = "gpt35";
+  p.context_tokens = 16384;
+  p.open_source = false;
+  p.rates[Style::P1] = {0.668, 0.553, 0.611};
+  p.rates[Style::P2] = {0.635, 0.567, 0.601};
+  p.rates[Style::P3] = {0.701, 0.539, 0.620};
+  p.rates[Style::BP2] = {0.357, 0.258, 0.308};
+  p.varid_attempt = 0.92;
+  p.pair_selection = 0.36;
+  p.name_accuracy = 0.80;
+  p.line_accuracy = 0.78;
+  p.op_accuracy = 0.87;
+  p.format_fidelity = 0.75;
+  p.spurious_pairs = 0.33;
+  return p;
+}
+
+Persona gpt4_persona() {
+  Persona p;
+  p.name = "GPT-4";
+  p.key = "gpt4";
+  p.context_tokens = 8192;
+  p.open_source = false;
+  p.rates[Style::P1] = {0.809, 0.245, 0.527};
+  p.rates[Style::P2] = {0.819, 0.267, 0.543};
+  p.rates[Style::P3] = {0.820, 0.245, 0.532};
+  p.rates[Style::BP2] = {0.809, 0.245, 0.527};
+  p.varid_attempt = 0.95;
+  p.pair_selection = 0.62;
+  p.name_accuracy = 0.82;
+  p.line_accuracy = 0.55;  // "most inaccuracies pertain to line numbers"
+  p.op_accuracy = 0.82;
+  p.format_fidelity = 0.92;
+  p.spurious_pairs = 0.04;
+  return p;
+}
+
+Persona llama2_persona() {
+  Persona p;
+  p.name = "Llama2-7b";
+  p.key = "llama2";
+  p.context_tokens = 4096;
+  p.open_source = true;
+  p.rates[Style::P1] = {0.656, 0.576, 0.616};
+  p.rates[Style::P2] = {0.656, 0.576, 0.616};
+  p.rates[Style::P3] = {0.668, 0.553, 0.611};
+  p.rates[Style::BP2] = {0.419, 0.429, 0.424};
+  p.varid_attempt = 0.80;
+  p.pair_selection = 0.48;
+  p.name_accuracy = 0.62;
+  p.line_accuracy = 0.60;
+  p.op_accuracy = 0.88;
+  p.format_fidelity = 0.55;
+  p.spurious_pairs = 0.41;
+  return p;
+}
+
+Persona starchat_persona() {
+  Persona p;
+  p.name = "StarChat-beta";
+  p.key = "starchat";
+  p.context_tokens = 8192;
+  p.open_source = true;
+  p.rates[Style::P1] = {0.625, 0.699, 0.662};
+  p.rates[Style::P2] = {0.615, 0.689, 0.652};
+  p.rates[Style::P3] = {0.631, 0.622, 0.626};
+  p.rates[Style::BP2] = {0.473, 0.568, 0.521};
+  p.varid_attempt = 0.85;
+  p.pair_selection = 0.50;
+  p.name_accuracy = 0.65;
+  p.line_accuracy = 0.60;
+  p.op_accuracy = 0.90;
+  p.format_fidelity = 0.60;
+  p.spurious_pairs = 0.27;
+  return p;
+}
+
+const std::vector<Persona>& all_personas() {
+  static const std::vector<Persona> personas = {
+      gpt35_persona(),
+      gpt4_persona(),
+      starchat_persona(),
+      llama2_persona(),
+  };
+  return personas;
+}
+
+}  // namespace drbml::llm

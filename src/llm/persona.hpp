@@ -1,0 +1,58 @@
+// Model personas for the simulated LLM substrate.
+//
+// A persona is a calibrated stochastic reader: its verdict depends only on
+// *observable evidence* (the noisy program-analysis features a competent
+// reader could extract), never on ground truth. The per-style rates were
+// calibrated once against the paper's Tables 2/3 and then frozen; the
+// benchmark harness measures whatever the mechanism produces.
+//
+// Context windows follow Section 2.1/3.2: GPT-3.5-turbo-16k (16384),
+// GPT-4 (8192), Llama2-7b (4096), StarChat-beta (8192).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "prompts/prompts.hpp"
+
+namespace drbml::llm {
+
+/// Conditional answer rates for the detection task, conditioned on the
+/// evidence state a reader can actually observe.
+struct DetectionRates {
+  double yes_given_evidence_yes = 0.5;
+  double yes_given_evidence_no = 0.5;
+  /// Used when the conservative and optimistic analyses disagree.
+  double yes_given_uncertain = 0.5;
+};
+
+struct Persona {
+  std::string name;  // display name ("GPT-4")
+  std::string key;   // stable seed key ("gpt4")
+  int context_tokens = 4096;
+  bool open_source = false;  // fine-tunable (paper: only Llama2/StarChat)
+
+  /// Detection rates per prompt style.
+  std::map<prompts::Style, DetectionRates> rates;
+
+  // Variable-identification quality (Section 4.3 / Table 5).
+  double varid_attempt = 0.9;   // P(emit pair info | answered yes)
+  double pair_selection = 0.6;  // P(pick the actually-racing pair)
+  double name_accuracy = 0.7;   // P(variable spellings correct | pair)
+  double line_accuracy = 0.5;   // P(line numbers correct | names correct)
+  double op_accuracy = 0.8;     // P(read/write direction correct)
+  double format_fidelity = 0.8; // P(structured JSON vs free prose)
+  double spurious_pairs = 0.1;  // P(hallucinate pairs after answering no)
+
+  [[nodiscard]] const DetectionRates& rates_for(prompts::Style s) const;
+};
+
+[[nodiscard]] Persona gpt35_persona();
+[[nodiscard]] Persona gpt4_persona();
+[[nodiscard]] Persona llama2_persona();
+[[nodiscard]] Persona starchat_persona();
+
+/// All four personas in the paper's order.
+[[nodiscard]] const std::vector<Persona>& all_personas();
+
+}  // namespace drbml::llm

@@ -1,0 +1,100 @@
+#include "minic/ast.hpp"
+
+namespace drbml::minic {
+
+std::string type_to_string(const Type& t) {
+  std::string out;
+  if (t.is_const) out += "const ";
+  if (t.is_unsigned) out += "unsigned ";
+  switch (t.kind) {
+    case TypeKind::Void: out += "void"; break;
+    case TypeKind::Bool: out += "bool"; break;
+    case TypeKind::Char: out += "char"; break;
+    case TypeKind::Short: out += "short"; break;
+    case TypeKind::Int: out += "int"; break;
+    case TypeKind::Long: out += "long"; break;
+    case TypeKind::Float: out += "float"; break;
+    case TypeKind::Double: out += "double"; break;
+  }
+  for (int i = 0; i < t.pointer_depth; ++i) out += '*';
+  return out;
+}
+
+const OmpClause* OmpDirective::find_clause(OmpClauseKind k) const noexcept {
+  for (const auto& c : clauses) {
+    if (c.kind == k) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const OmpClause*> OmpDirective::find_clauses(
+    OmpClauseKind k) const {
+  std::vector<const OmpClause*> out;
+  for (const auto& c : clauses) {
+    if (c.kind == k) out.push_back(&c);
+  }
+  return out;
+}
+
+bool OmpDirective::forks_team() const noexcept {
+  switch (kind) {
+    case OmpDirectiveKind::Parallel:
+    case OmpDirectiveKind::ParallelFor:
+    case OmpDirectiveKind::ParallelForSimd:
+    case OmpDirectiveKind::ParallelSections:
+    case OmpDirectiveKind::TargetParallelFor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OmpDirective::is_worksharing_loop() const noexcept {
+  switch (kind) {
+    case OmpDirectiveKind::For:
+    case OmpDirectiveKind::ParallelFor:
+    case OmpDirectiveKind::ForSimd:
+    case OmpDirectiveKind::ParallelForSimd:
+    case OmpDirectiveKind::TargetParallelFor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string omp_directive_kind_name(OmpDirectiveKind k) {
+  switch (k) {
+    case OmpDirectiveKind::Parallel: return "parallel";
+    case OmpDirectiveKind::For: return "for";
+    case OmpDirectiveKind::ParallelFor: return "parallel for";
+    case OmpDirectiveKind::Simd: return "simd";
+    case OmpDirectiveKind::ForSimd: return "for simd";
+    case OmpDirectiveKind::ParallelForSimd: return "parallel for simd";
+    case OmpDirectiveKind::Critical: return "critical";
+    case OmpDirectiveKind::Atomic: return "atomic";
+    case OmpDirectiveKind::Barrier: return "barrier";
+    case OmpDirectiveKind::Single: return "single";
+    case OmpDirectiveKind::Master: return "master";
+    case OmpDirectiveKind::Sections: return "sections";
+    case OmpDirectiveKind::ParallelSections: return "parallel sections";
+    case OmpDirectiveKind::Section: return "section";
+    case OmpDirectiveKind::Task: return "task";
+    case OmpDirectiveKind::Taskwait: return "taskwait";
+    case OmpDirectiveKind::Ordered: return "ordered";
+    case OmpDirectiveKind::Threadprivate: return "threadprivate";
+    case OmpDirectiveKind::Target: return "target";
+    case OmpDirectiveKind::TargetParallelFor: return "target parallel for";
+    case OmpDirectiveKind::Flush: return "flush";
+  }
+  return "?";
+}
+
+const FunctionDecl* TranslationUnit::find_function(
+    std::string_view name) const noexcept {
+  for (const auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace drbml::minic

@@ -1,0 +1,436 @@
+// Abstract syntax tree for the Mini-C + OpenMP subset.
+//
+// Nodes are plain data owned through unique_ptr; analyses navigate via the
+// Kind tags and the `expr_cast` / `stmt_cast` helpers. Source locations are
+// in *trimmed-code* coordinates (comments removed), matching the coordinate
+// system DRB-ML labels use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/source.hpp"
+
+namespace drbml::minic {
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class TypeKind { Void, Bool, Char, Short, Int, Long, Float, Double };
+
+struct Type {
+  TypeKind kind = TypeKind::Int;
+  int pointer_depth = 0;   // `int*` -> 1, `char**` -> 2
+  bool is_unsigned = false;
+  bool is_const = false;
+
+  [[nodiscard]] bool is_floating() const noexcept {
+    return pointer_depth == 0 &&
+           (kind == TypeKind::Float || kind == TypeKind::Double);
+  }
+  [[nodiscard]] bool is_pointer() const noexcept { return pointer_depth > 0; }
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+[[nodiscard]] std::string type_to_string(const Type& t);
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StringLit,
+  CharLit,
+  Ident,
+  Subscript,
+  Unary,
+  Binary,
+  Assign,
+  Conditional,
+  Call,
+  Cast,
+};
+
+struct VarDecl;  // forward
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+  SourceLoc loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit : Expr {
+  IntLit() : Expr(ExprKind::IntLit) {}
+  static constexpr ExprKind kClass = ExprKind::IntLit;
+  std::int64_t value = 0;
+};
+
+struct FloatLit : Expr {
+  FloatLit() : Expr(ExprKind::FloatLit) {}
+  static constexpr ExprKind kClass = ExprKind::FloatLit;
+  double value = 0.0;
+};
+
+struct StringLit : Expr {
+  StringLit() : Expr(ExprKind::StringLit) {}
+  static constexpr ExprKind kClass = ExprKind::StringLit;
+  std::string value;
+};
+
+struct CharLit : Expr {
+  CharLit() : Expr(ExprKind::CharLit) {}
+  static constexpr ExprKind kClass = ExprKind::CharLit;
+  char value = 0;
+};
+
+struct Ident : Expr {
+  Ident() : Expr(ExprKind::Ident) {}
+  static constexpr ExprKind kClass = ExprKind::Ident;
+  std::string name;
+  /// Bound by the resolver; null until resolution (or for unknown externs).
+  const VarDecl* decl = nullptr;
+};
+
+struct Subscript : Expr {
+  Subscript() : Expr(ExprKind::Subscript) {}
+  static constexpr ExprKind kClass = ExprKind::Subscript;
+  ExprPtr base;
+  ExprPtr index;
+};
+
+enum class UnaryOp {
+  Plus,
+  Neg,
+  Not,
+  BitNot,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+  AddrOf,
+  Deref,
+};
+
+struct Unary : Expr {
+  Unary() : Expr(ExprKind::Unary) {}
+  static constexpr ExprKind kClass = ExprKind::Unary;
+  UnaryOp op = UnaryOp::Plus;
+  ExprPtr operand;
+};
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+  BitAnd, BitOr, BitXor,
+  Comma,
+};
+
+struct Binary : Expr {
+  Binary() : Expr(ExprKind::Binary) {}
+  static constexpr ExprKind kClass = ExprKind::Binary;
+  BinaryOp op = BinaryOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+enum class AssignOp { Assign, Add, Sub, Mul, Div, Mod, Shl, Shr, And, Or, Xor };
+
+struct Assign : Expr {
+  Assign() : Expr(ExprKind::Assign) {}
+  static constexpr ExprKind kClass = ExprKind::Assign;
+  AssignOp op = AssignOp::Assign;
+  ExprPtr target;
+  ExprPtr value;
+};
+
+struct Conditional : Expr {
+  Conditional() : Expr(ExprKind::Conditional) {}
+  static constexpr ExprKind kClass = ExprKind::Conditional;
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+struct Call : Expr {
+  Call() : Expr(ExprKind::Call) {}
+  static constexpr ExprKind kClass = ExprKind::Call;
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+struct Cast : Expr {
+  Cast() : Expr(ExprKind::Cast) {}
+  static constexpr ExprKind kClass = ExprKind::Cast;
+  Type type;
+  ExprPtr operand;
+};
+
+/// Checked downcast: returns nullptr when the node is a different kind.
+template <typename T>
+[[nodiscard]] const T* expr_cast(const Expr* e) noexcept {
+  return (e != nullptr && e->kind == T::kClass) ? static_cast<const T*>(e)
+                                                : nullptr;
+}
+template <typename T>
+[[nodiscard]] T* expr_cast(Expr* e) noexcept {
+  return (e != nullptr && e->kind == T::kClass) ? static_cast<T*>(e) : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP directives
+
+enum class OmpDirectiveKind {
+  Parallel,
+  For,
+  ParallelFor,
+  Simd,
+  ForSimd,
+  ParallelForSimd,
+  Critical,
+  Atomic,
+  Barrier,
+  Single,
+  Master,
+  Sections,
+  ParallelSections,
+  Section,
+  Task,
+  Taskwait,
+  Ordered,
+  Threadprivate,
+  Target,             // bare `target` (optionally with map clauses)
+  TargetParallelFor,  // `target parallel for` and teams-distribute variants
+  Flush,
+};
+
+enum class OmpClauseKind {
+  Private,
+  FirstPrivate,
+  LastPrivate,
+  Shared,
+  Copyprivate,
+  Reduction,   // op in `arg`
+  Schedule,    // kind in `arg`, chunk in `expr`
+  NumThreads,  // expr
+  Collapse,    // int_arg
+  Nowait,
+  Ordered,
+  Depend,      // dependence type in `arg` (in/out/inout)
+  Map,         // map type in `arg` (to/from/tofrom/alloc)
+  Safelen,     // int_arg
+  Default,     // kind in `arg` (shared/none)
+  If,          // expr
+  Device,      // expr
+  Linear,
+};
+
+struct OmpClause {
+  OmpClauseKind kind = OmpClauseKind::Private;
+  std::vector<std::string> vars;  // variable list, if any
+  std::string arg;                // textual argument (reduction op, ...)
+  ExprPtr expr;                   // expression argument (chunk size, ...)
+  std::int64_t int_arg = 0;       // integral argument (collapse/safelen)
+};
+
+enum class OmpAtomicKind { Update, Read, Write, Capture };
+
+struct OmpDirective {
+  OmpDirectiveKind kind = OmpDirectiveKind::Parallel;
+  std::vector<OmpClause> clauses;
+  std::string critical_name;  // for `critical (name)`
+  OmpAtomicKind atomic_kind = OmpAtomicKind::Update;
+  SourceLoc loc;
+
+  [[nodiscard]] const OmpClause* find_clause(OmpClauseKind k) const noexcept;
+  [[nodiscard]] std::vector<const OmpClause*> find_clauses(
+      OmpClauseKind k) const;
+  [[nodiscard]] bool has_clause(OmpClauseKind k) const noexcept {
+    return find_clause(k) != nullptr;
+  }
+
+  /// True for directives that fork a thread team.
+  [[nodiscard]] bool forks_team() const noexcept;
+  /// True for directives that distribute loop iterations across threads.
+  [[nodiscard]] bool is_worksharing_loop() const noexcept;
+};
+
+[[nodiscard]] std::string omp_directive_kind_name(OmpDirectiveKind k);
+
+// ---------------------------------------------------------------------------
+// Statements and declarations
+
+enum class StmtKind {
+  Decl,
+  Expr,
+  Compound,
+  If,
+  For,
+  While,
+  Do,
+  Return,
+  Break,
+  Continue,
+  Null,
+  Omp,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct VarDecl {
+  Type type;
+  std::string name;
+  /// Dimension expressions for array declarators, outermost first.
+  std::vector<ExprPtr> array_dims;
+  ExprPtr init;
+  SourceLoc loc;
+  bool is_param = false;
+  bool is_global = false;
+
+  [[nodiscard]] bool is_array() const noexcept { return !array_dims.empty(); }
+};
+
+struct DeclStmt : Stmt {
+  DeclStmt() : Stmt(StmtKind::Decl) {}
+  static constexpr StmtKind kClass = StmtKind::Decl;
+  std::vector<std::unique_ptr<VarDecl>> decls;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt() : Stmt(StmtKind::Expr) {}
+  static constexpr StmtKind kClass = StmtKind::Expr;
+  ExprPtr expr;
+};
+
+struct CompoundStmt : Stmt {
+  CompoundStmt() : Stmt(StmtKind::Compound) {}
+  static constexpr StmtKind kClass = StmtKind::Compound;
+  std::vector<StmtPtr> body;
+};
+
+struct IfStmt : Stmt {
+  IfStmt() : Stmt(StmtKind::If) {}
+  static constexpr StmtKind kClass = StmtKind::If;
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+};
+
+struct ForStmt : Stmt {
+  ForStmt() : Stmt(StmtKind::For) {}
+  static constexpr StmtKind kClass = StmtKind::For;
+  StmtPtr init;   // DeclStmt, ExprStmt, or Null
+  ExprPtr cond;   // may be null
+  ExprPtr inc;    // may be null
+  StmtPtr body;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt() : Stmt(StmtKind::While) {}
+  static constexpr StmtKind kClass = StmtKind::While;
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct DoStmt : Stmt {
+  DoStmt() : Stmt(StmtKind::Do) {}
+  static constexpr StmtKind kClass = StmtKind::Do;
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt() : Stmt(StmtKind::Return) {}
+  static constexpr StmtKind kClass = StmtKind::Return;
+  ExprPtr value;  // may be null
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::Break) {}
+  static constexpr StmtKind kClass = StmtKind::Break;
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+  static constexpr StmtKind kClass = StmtKind::Continue;
+};
+
+struct NullStmt : Stmt {
+  NullStmt() : Stmt(StmtKind::Null) {}
+  static constexpr StmtKind kClass = StmtKind::Null;
+};
+
+struct OmpStmt : Stmt {
+  OmpStmt() : Stmt(StmtKind::Omp) {}
+  static constexpr StmtKind kClass = StmtKind::Omp;
+  OmpDirective directive;
+  /// Structured block; null for standalone directives (barrier, taskwait,
+  /// flush, threadprivate).
+  StmtPtr body;
+};
+
+template <typename T>
+[[nodiscard]] const T* stmt_cast(const Stmt* s) noexcept {
+  return (s != nullptr && s->kind == T::kClass) ? static_cast<const T*>(s)
+                                                : nullptr;
+}
+template <typename T>
+[[nodiscard]] T* stmt_cast(Stmt* s) noexcept {
+  return (s != nullptr && s->kind == T::kClass) ? static_cast<T*>(s) : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+
+struct FunctionDecl {
+  Type return_type;
+  std::string name;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  std::unique_ptr<CompoundStmt> body;
+  SourceLoc loc;
+};
+
+struct TranslationUnit {
+  std::vector<std::unique_ptr<VarDecl>> globals;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+  /// File-scope directives (e.g. `threadprivate`).
+  std::vector<OmpDirective> global_directives;
+
+  [[nodiscard]] const FunctionDecl* find_function(
+      std::string_view name) const noexcept;
+};
+
+/// A parsed program: the original text, its comment-stripped form, and the
+/// AST built from the stripped form.
+struct Program {
+  std::string original;
+  StripResult strip;
+  std::unique_ptr<TranslationUnit> unit;
+
+  [[nodiscard]] const std::string& trimmed() const noexcept {
+    return strip.trimmed;
+  }
+};
+
+}  // namespace drbml::minic

@@ -1,0 +1,323 @@
+#include "minic/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace drbml::minic {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "void",     "char",   "short",    "int",      "long",   "float",
+    "double",   "signed", "unsigned", "const",    "static", "struct",
+    "if",       "else",   "for",      "while",    "do",     "return",
+    "break",    "continue", "sizeof", "extern",   "bool",   "volatile",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_directives(out);
+      if (eof()) break;
+      out.push_back(next_token());
+    }
+    Token end;
+    end.kind = TokenKind::End;
+    end.loc = loc();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc loc() const noexcept { return {line_, col_}; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line_, col_);
+  }
+
+  void skip_space_and_directives(std::vector<Token>& out) {
+    for (;;) {
+      while (!eof() &&
+             std::isspace(static_cast<unsigned char>(peek())) != 0) {
+        advance();
+      }
+      if (eof()) return;
+      // Comments.
+      if (peek() == '/' && peek(1) == '/') {
+        while (!eof() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (eof()) fail("unterminated block comment");
+        advance();
+        advance();
+        continue;
+      }
+      // Preprocessor lines.
+      if (peek() == '#') {
+        SourceLoc start = loc();
+        std::string text;
+        advance();  // '#'
+        while (!eof()) {
+          if (peek() == '\\' && peek(1) == '\n') {
+            advance();
+            advance();
+            text.push_back(' ');
+            continue;
+          }
+          if (peek() == '\n') break;
+          text.push_back(advance());
+        }
+        // `# pragma omp ...` becomes a token; `#include`/`#define` are
+        // ignored (the corpus only includes hosted headers).
+        std::string_view body = text;
+        std::size_t i = 0;
+        while (i < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[i])) != 0) {
+          ++i;
+        }
+        if (body.substr(i, 6) == "pragma") {
+          Token t;
+          t.kind = TokenKind::Pragma;
+          t.text = std::string(body.substr(i + 6));
+          t.loc = start;
+          out.push_back(t);
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token next_token() {
+    const SourceLoc start = loc();
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      return lex_word(start);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      return lex_number(start);
+    }
+    if (c == '"') return lex_string(start);
+    if (c == '\'') return lex_char(start);
+    return lex_punct(start);
+  }
+
+  Token lex_word(SourceLoc start) {
+    std::string word;
+    while (!eof() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+            peek() == '_')) {
+      word.push_back(advance());
+    }
+    Token t;
+    t.kind = is_keyword_word(word) ? TokenKind::Keyword : TokenKind::Identifier;
+    t.text = std::move(word);
+    t.loc = start;
+    return t;
+  }
+
+  Token lex_number(SourceLoc start) {
+    std::string spelling;
+    bool is_float = false;
+    bool is_hex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      is_hex = true;
+      spelling.push_back(advance());
+      spelling.push_back(advance());
+      while (!eof() &&
+             std::isxdigit(static_cast<unsigned char>(peek())) != 0) {
+        spelling.push_back(advance());
+      }
+    } else {
+      while (!eof() &&
+             (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+              peek() == '.')) {
+        if (peek() == '.') is_float = true;
+        spelling.push_back(advance());
+      }
+      if (!eof() && (peek() == 'e' || peek() == 'E')) {
+        is_float = true;
+        spelling.push_back(advance());
+        if (!eof() && (peek() == '+' || peek() == '-')) {
+          spelling.push_back(advance());
+        }
+        while (!eof() &&
+               std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+          spelling.push_back(advance());
+        }
+      }
+    }
+    // Suffixes (u, l, f) are consumed and ignored.
+    while (!eof() && (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+                      peek() == 'L' || peek() == 'f' || peek() == 'F')) {
+      if (peek() == 'f' || peek() == 'F') is_float = true;
+      advance();
+    }
+
+    Token t;
+    t.loc = start;
+    t.text = spelling;
+    try {
+      if (is_float) {
+        t.kind = TokenKind::FloatLiteral;
+        t.float_value = std::stod(spelling);
+      } else {
+        t.kind = TokenKind::IntLiteral;
+        if (is_hex) {
+          if (spelling.size() <= 2) fail("hex literal without digits");
+          t.int_value = static_cast<std::int64_t>(
+              std::stoull(spelling.substr(2), nullptr, 16));
+        } else {
+          t.int_value = std::stoll(spelling);
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      fail("malformed numeric literal '" + spelling + "'");
+    } catch (const std::out_of_range&) {
+      fail("numeric literal out of range: '" + spelling + "'");
+    }
+    return t;
+  }
+
+  char decode_escape() {
+    char e = advance();
+    switch (e) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: fail(std::string("unknown escape \\") + e);
+    }
+  }
+
+  Token lex_string(SourceLoc start) {
+    advance();  // opening quote
+    std::string value;
+    std::string spelling = "\"";
+    while (!eof() && peek() != '"') {
+      if (peek() == '\n') fail("newline in string literal");
+      char c = advance();
+      spelling.push_back(c);
+      if (c == '\\') {
+        char d = decode_escape();
+        spelling.push_back(src_[pos_ - 1]);
+        value.push_back(d);
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (eof()) fail("unterminated string literal");
+    advance();
+    spelling.push_back('"');
+    Token t;
+    t.kind = TokenKind::StringLiteral;
+    t.loc = start;
+    t.text = std::move(spelling);
+    t.string_value = std::move(value);
+    return t;
+  }
+
+  Token lex_char(SourceLoc start) {
+    advance();  // opening quote
+    if (eof()) fail("unterminated char literal");
+    char value = 0;
+    if (peek() == '\\') {
+      advance();
+      value = decode_escape();
+    } else {
+      value = advance();
+    }
+    if (eof() || peek() != '\'') fail("unterminated char literal");
+    advance();
+    Token t;
+    t.kind = TokenKind::CharLiteral;
+    t.loc = start;
+    t.text = std::string("'") + value + "'";
+    t.int_value = value;
+    return t;
+  }
+
+  Token lex_punct(SourceLoc start) {
+    static constexpr std::array kThree = {"<<=", ">>=", "..."};
+    static constexpr std::array kTwo = {
+        "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+        "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->",
+    };
+    Token t;
+    t.kind = TokenKind::Punct;
+    t.loc = start;
+    for (const char* p3 : kThree) {
+      if (peek() == p3[0] && peek(1) == p3[1] && peek(2) == p3[2]) {
+        t.text = p3;
+        advance();
+        advance();
+        advance();
+        return t;
+      }
+    }
+    for (const char* p2 : kTwo) {
+      if (peek() == p2[0] && peek(1) == p2[1]) {
+        t.text = p2;
+        advance();
+        advance();
+        return t;
+      }
+    }
+    static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.(){}[]";
+    if (kSingles.find(peek()) == std::string_view::npos) {
+      fail(std::string("unexpected character '") + peek() + "'");
+    }
+    t.text = std::string(1, advance());
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+bool is_keyword_word(std::string_view word) noexcept {
+  for (const char* kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace drbml::minic

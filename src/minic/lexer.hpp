@@ -1,0 +1,22 @@
+// Lexer for the Mini-C subset with OpenMP pragma support.
+//
+// `#include` lines are skipped (the corpus only uses the hosted headers the
+// interpreter models as builtins). `#pragma` lines become single Pragma
+// tokens whose text is parsed by the OpenMP clause parser. Line
+// continuations (backslash-newline) inside pragmas are honoured.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace drbml::minic {
+
+/// Tokenizes the whole input. Throws ParseError on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+/// True if `word` is one of the Mini-C keywords.
+[[nodiscard]] bool is_keyword_word(std::string_view word) noexcept;
+
+}  // namespace drbml::minic

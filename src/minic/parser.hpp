@@ -1,0 +1,27 @@
+// Recursive-descent parser for the Mini-C + OpenMP subset.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "minic/ast.hpp"
+#include "minic/token.hpp"
+
+namespace drbml::minic {
+
+/// Parses a token stream into a translation unit. Throws ParseError.
+[[nodiscard]] std::unique_ptr<TranslationUnit> parse_tokens(
+    std::vector<Token> tokens);
+
+/// Convenience pipeline: strips comments, lexes the trimmed text (so all
+/// AST locations are in trimmed-code coordinates), and parses.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parses the text of a single `#pragma` (everything after `#pragma`),
+/// e.g. " omp parallel for private(i)". Used by the parser itself and by
+/// tests. `loc` is the location of the pragma line.
+[[nodiscard]] OmpDirective parse_omp_pragma(std::string_view pragma_text,
+                                            SourceLoc loc);
+
+}  // namespace drbml::minic

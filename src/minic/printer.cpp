@@ -1,0 +1,367 @@
+#include "minic/printer.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace drbml::minic {
+
+namespace {
+
+const char* binary_op_spelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::LogicalAnd: return "&&";
+    case BinaryOp::LogicalOr: return "||";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::Comma: return ",";
+  }
+  return "?";
+}
+
+const char* assign_op_spelling(AssignOp op) {
+  switch (op) {
+    case AssignOp::Assign: return "=";
+    case AssignOp::Add: return "+=";
+    case AssignOp::Sub: return "-=";
+    case AssignOp::Mul: return "*=";
+    case AssignOp::Div: return "/=";
+    case AssignOp::Mod: return "%=";
+    case AssignOp::Shl: return "<<=";
+    case AssignOp::Shr: return ">>=";
+    case AssignOp::And: return "&=";
+    case AssignOp::Or: return "|=";
+    case AssignOp::Xor: return "^=";
+  }
+  return "?";
+}
+
+std::string pad(int n) { return std::string(static_cast<std::size_t>(n), ' '); }
+
+std::string decl_to_string(const VarDecl& d) {
+  std::string out = type_to_string(d.type) + " " + d.name;
+  for (const auto& dim : d.array_dims) {
+    out += '[';
+    if (dim) out += expr_to_string(*dim);
+    out += ']';
+  }
+  if (d.init) {
+    out += " = ";
+    out += expr_to_string(*d.init);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string expr_to_string(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return std::to_string(static_cast<const IntLit&>(e).value);
+    case ExprKind::FloatLit: {
+      const double v = static_cast<const FloatLit&>(e).value;
+      std::string s = format_double(v, 6);
+      // Trim trailing zeros but keep one decimal.
+      while (s.size() > 1 && s.back() == '0' &&
+             s[s.size() - 2] != '.') {
+        s.pop_back();
+      }
+      return s;
+    }
+    case ExprKind::StringLit: {
+      std::string out = "\"";
+      for (char c : static_cast<const StringLit&>(e).value) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          default: out.push_back(c);
+        }
+      }
+      return out + "\"";
+    }
+    case ExprKind::CharLit:
+      return std::string("'") + static_cast<const CharLit&>(e).value + "'";
+    case ExprKind::Ident:
+      return static_cast<const Ident&>(e).name;
+    case ExprKind::Subscript: {
+      const auto& s = static_cast<const Subscript&>(e);
+      return expr_to_string(*s.base) + "[" + expr_to_string(*s.index) + "]";
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const Unary&>(e);
+      const std::string inner = expr_to_string(*u.operand);
+      switch (u.op) {
+        case UnaryOp::Plus: return "+" + inner;
+        case UnaryOp::Neg: return "-" + inner;
+        case UnaryOp::Not: return "!" + inner;
+        case UnaryOp::BitNot: return "~" + inner;
+        case UnaryOp::PreInc: return "++" + inner;
+        case UnaryOp::PreDec: return "--" + inner;
+        case UnaryOp::PostInc: return inner + "++";
+        case UnaryOp::PostDec: return inner + "--";
+        case UnaryOp::AddrOf: return "&" + inner;
+        case UnaryOp::Deref: return "*" + inner;
+      }
+      return inner;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const Binary&>(e);
+      if (b.op == BinaryOp::Comma) {
+        return expr_to_string(*b.lhs) + ", " + expr_to_string(*b.rhs);
+      }
+      // Parenthesize nested binaries conservatively; identifiers and
+      // literals stay bare so common spellings like "a[i+1]" round-trip.
+      auto side = [](const Expr& x) {
+        std::string s = expr_to_string(x);
+        if (x.kind == ExprKind::Binary &&
+            static_cast<const Binary&>(x).op != BinaryOp::Comma) {
+          // keep arithmetic chains unparenthesized for readability
+          return s;
+        }
+        return s;
+      };
+      return side(*b.lhs) + binary_op_spelling(b.op) + side(*b.rhs);
+    }
+    case ExprKind::Assign: {
+      const auto& a = static_cast<const Assign&>(e);
+      return expr_to_string(*a.target) + " " + assign_op_spelling(a.op) +
+             " " + expr_to_string(*a.value);
+    }
+    case ExprKind::Conditional: {
+      const auto& c = static_cast<const Conditional&>(e);
+      return expr_to_string(*c.cond) + " ? " + expr_to_string(*c.then_expr) +
+             " : " + expr_to_string(*c.else_expr);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const Call&>(e);
+      if (c.callee == "__init_list") {
+        std::string out = "{";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += expr_to_string(*c.args[i]);
+        }
+        return out + "}";
+      }
+      std::string out = c.callee + "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += expr_to_string(*c.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::Cast: {
+      const auto& c = static_cast<const Cast&>(e);
+      return "(" + type_to_string(c.type) + ")" + expr_to_string(*c.operand);
+    }
+  }
+  return "?";
+}
+
+std::string directive_to_string(const OmpDirective& d) {
+  std::string out = "#pragma omp " + omp_directive_kind_name(d.kind);
+  if (d.kind == OmpDirectiveKind::Critical && !d.critical_name.empty()) {
+    out += " (" + d.critical_name + ")";
+  }
+  if (d.kind == OmpDirectiveKind::Atomic) {
+    switch (d.atomic_kind) {
+      case OmpAtomicKind::Update: break;
+      case OmpAtomicKind::Read: out += " read"; break;
+      case OmpAtomicKind::Write: out += " write"; break;
+      case OmpAtomicKind::Capture: out += " capture"; break;
+    }
+  }
+  for (const auto& c : d.clauses) {
+    out += ' ';
+    auto var_list = [&](const char* name) {
+      std::string s = std::string(name) + "(";
+      for (std::size_t i = 0; i < c.vars.size(); ++i) {
+        if (i != 0) s += ",";
+        s += c.vars[i];
+      }
+      return s + ")";
+    };
+    switch (c.kind) {
+      case OmpClauseKind::Private: out += var_list("private"); break;
+      case OmpClauseKind::FirstPrivate: out += var_list("firstprivate"); break;
+      case OmpClauseKind::LastPrivate: out += var_list("lastprivate"); break;
+      case OmpClauseKind::Shared: out += var_list("shared"); break;
+      case OmpClauseKind::Copyprivate: out += var_list("copyprivate"); break;
+      case OmpClauseKind::Linear: out += var_list("linear"); break;
+      case OmpClauseKind::Reduction: {
+        out += "reduction(" + c.arg + ":";
+        for (std::size_t i = 0; i < c.vars.size(); ++i) {
+          if (i != 0) out += ",";
+          out += c.vars[i];
+        }
+        out += ")";
+        break;
+      }
+      case OmpClauseKind::Schedule:
+        out += "schedule(" + c.arg;
+        if (c.expr) out += "," + expr_to_string(*c.expr);
+        out += ")";
+        break;
+      case OmpClauseKind::NumThreads:
+        out += "num_threads(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
+        break;
+      case OmpClauseKind::Collapse:
+        out += "collapse(" + std::to_string(c.int_arg) + ")";
+        break;
+      case OmpClauseKind::Nowait: out += "nowait"; break;
+      case OmpClauseKind::Ordered:
+        out += "ordered";
+        if (c.int_arg > 0) out += "(" + std::to_string(c.int_arg) + ")";
+        break;
+      case OmpClauseKind::Depend: {
+        out += "depend(" + c.arg + ":";
+        for (std::size_t i = 0; i < c.vars.size(); ++i) {
+          if (i != 0) out += ",";
+          out += c.vars[i];
+        }
+        out += ")";
+        break;
+      }
+      case OmpClauseKind::Map: {
+        out += "map(";
+        if (!c.arg.empty()) out += c.arg + ":";
+        for (std::size_t i = 0; i < c.vars.size(); ++i) {
+          if (i != 0) out += ",";
+          out += c.vars[i];
+        }
+        out += ")";
+        break;
+      }
+      case OmpClauseKind::Safelen:
+        out += "safelen(" + std::to_string(c.int_arg) + ")";
+        break;
+      case OmpClauseKind::Default: out += "default(" + c.arg + ")"; break;
+      case OmpClauseKind::If:
+        out += "if(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
+        break;
+      case OmpClauseKind::Device:
+        out += "device(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string stmt_to_string(const Stmt& s, int indent) {
+  const std::string p = pad(indent);
+  switch (s.kind) {
+    case StmtKind::Decl: {
+      const auto& d = static_cast<const DeclStmt&>(s);
+      std::string out;
+      for (const auto& v : d.decls) {
+        out += p + decl_to_string(*v) + ";\n";
+      }
+      return out;
+    }
+    case StmtKind::Expr:
+      return p + expr_to_string(*static_cast<const ExprStmt&>(s).expr) + ";\n";
+    case StmtKind::Compound: {
+      const auto& c = static_cast<const CompoundStmt&>(s);
+      std::string out = p + "{\n";
+      for (const auto& st : c.body) out += stmt_to_string(*st, indent + 2);
+      out += p + "}\n";
+      return out;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      std::string out = p + "if (" + expr_to_string(*i.cond) + ")\n";
+      out += stmt_to_string(*i.then_branch, indent + 2);
+      if (i.else_branch) {
+        out += p + "else\n";
+        out += stmt_to_string(*i.else_branch, indent + 2);
+      }
+      return out;
+    }
+    case StmtKind::For: {
+      const auto& f = static_cast<const ForStmt&>(s);
+      std::string init;
+      if (f.init && f.init->kind == StmtKind::Decl) {
+        const auto& d = static_cast<const DeclStmt&>(*f.init);
+        for (std::size_t i = 0; i < d.decls.size(); ++i) {
+          if (i != 0) init += ", ";
+          init += decl_to_string(*d.decls[i]);
+        }
+      } else if (f.init && f.init->kind == StmtKind::Expr) {
+        init = expr_to_string(*static_cast<const ExprStmt&>(*f.init).expr);
+      }
+      std::string out = p + "for (" + init + "; " +
+                        (f.cond ? expr_to_string(*f.cond) : "") + "; " +
+                        (f.inc ? expr_to_string(*f.inc) : "") + ")\n";
+      out += stmt_to_string(*f.body, indent + 2);
+      return out;
+    }
+    case StmtKind::While: {
+      const auto& w = static_cast<const WhileStmt&>(s);
+      return p + "while (" + expr_to_string(*w.cond) + ")\n" +
+             stmt_to_string(*w.body, indent + 2);
+    }
+    case StmtKind::Do: {
+      const auto& d = static_cast<const DoStmt&>(s);
+      return p + "do\n" + stmt_to_string(*d.body, indent + 2) + p +
+             "while (" + expr_to_string(*d.cond) + ");\n";
+    }
+    case StmtKind::Return: {
+      const auto& r = static_cast<const ReturnStmt&>(s);
+      if (r.value) return p + "return " + expr_to_string(*r.value) + ";\n";
+      return p + "return;\n";
+    }
+    case StmtKind::Break: return p + "break;\n";
+    case StmtKind::Continue: return p + "continue;\n";
+    case StmtKind::Null: return p + ";\n";
+    case StmtKind::Omp: {
+      const auto& o = static_cast<const OmpStmt&>(s);
+      std::string out = p + directive_to_string(o.directive) + "\n";
+      if (o.body) out += stmt_to_string(*o.body, indent + 2);
+      return out;
+    }
+  }
+  return p + "?;\n";
+}
+
+std::string unit_to_string(const TranslationUnit& tu) {
+  std::string out;
+  for (const auto& d : tu.global_directives) {
+    out += directive_to_string(d) + "\n";
+  }
+  for (const auto& g : tu.globals) {
+    out += decl_to_string(*g) + ";\n";
+  }
+  for (const auto& f : tu.functions) {
+    out += type_to_string(f->return_type) + " " + f->name + "(";
+    for (std::size_t i = 0; i < f->params.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += decl_to_string(*f->params[i]);
+    }
+    out += ")";
+    if (f->body) {
+      out += "\n" + stmt_to_string(*f->body, 0);
+    } else {
+      out += ";\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace drbml::minic

@@ -1,0 +1,24 @@
+// Renders AST nodes back to C-like source text.
+//
+// `expr_to_string` is load-bearing: ground-truth labels and model outputs
+// describe race variables by their source spelling (e.g. "a[i+1]"), and the
+// evaluator compares those spellings.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace drbml::minic {
+
+[[nodiscard]] std::string expr_to_string(const Expr& e);
+
+/// Pretty-prints a statement subtree with `indent` leading spaces per level.
+[[nodiscard]] std::string stmt_to_string(const Stmt& s, int indent = 0);
+
+[[nodiscard]] std::string directive_to_string(const OmpDirective& d);
+
+/// Renders a whole translation unit (used by round-trip tests).
+[[nodiscard]] std::string unit_to_string(const TranslationUnit& tu);
+
+}  // namespace drbml::minic

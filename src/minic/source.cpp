@@ -1,0 +1,222 @@
+#include "minic/source.hpp"
+
+#include <cctype>
+
+namespace drbml::minic {
+
+int StripResult::to_trimmed_line(int original_line) const noexcept {
+  if (original_line < 1 ||
+      original_line > static_cast<int>(line_map.size())) {
+    return 0;
+  }
+  return line_map[static_cast<std::size_t>(original_line) - 1];
+}
+
+namespace {
+
+bool line_is_blank(std::string_view line) noexcept {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+/// Replaces comments with spaces (preserving newlines inside block
+/// comments) so that line/column structure survives for the second pass.
+std::string blank_comments(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { Code, Slash, Line, Block, BlockStar, Str, StrEsc, Chr, ChrEsc };
+  State st = State::Code;
+  for (char c : src) {
+    switch (st) {
+      case State::Code:
+        if (c == '/') {
+          st = State::Slash;
+        } else {
+          if (c == '"') st = State::Str;
+          if (c == '\'') st = State::Chr;
+          out.push_back(c);
+        }
+        break;
+      case State::Slash:
+        if (c == '/') {
+          out += "  ";
+          st = State::Line;
+        } else if (c == '*') {
+          out += "  ";
+          st = State::Block;
+        } else {
+          out.push_back('/');
+          out.push_back(c);
+          if (c == '"') st = State::Str;
+          else if (c == '\'') st = State::Chr;
+          else st = State::Code;
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          out.push_back('\n');
+          st = State::Code;
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::Block:
+        if (c == '*') {
+          st = State::BlockStar;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::BlockStar:
+        if (c == '/') {
+          out.push_back(' ');
+          st = State::Code;
+        } else if (c == '*') {
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+          st = State::Block;
+        }
+        break;
+      case State::Str:
+        out.push_back(c);
+        if (c == '\\') st = State::StrEsc;
+        else if (c == '"') st = State::Code;
+        break;
+      case State::StrEsc:
+        out.push_back(c);
+        st = State::Str;
+        break;
+      case State::Chr:
+        out.push_back(c);
+        if (c == '\\') st = State::ChrEsc;
+        else if (c == '\'') st = State::Code;
+        break;
+      case State::ChrEsc:
+        out.push_back(c);
+        st = State::Chr;
+        break;
+    }
+  }
+  if (st == State::Slash) out.push_back('/');
+  return out;
+}
+
+std::vector<std::string> split_keep_lines(std::string_view s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      lines.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < s.size()) lines.emplace_back(s.substr(start));
+  return lines;
+}
+
+/// Strips trailing whitespace (introduced by comment blanking).
+std::string rstrip(std::string s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace
+
+StripResult strip_comments(std::string_view source) {
+  const std::string blanked = blank_comments(source);
+  const std::vector<std::string> orig_lines = split_keep_lines(source);
+  const std::vector<std::string> lines = split_keep_lines(blanked);
+
+  StripResult result;
+  result.line_map.assign(orig_lines.size(), 0);
+  int next_line = 1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const bool was_blank = line_is_blank(orig_lines[i]);
+    if (line_is_blank(lines[i]) && !was_blank) {
+      continue;  // line held only a comment: drop it
+    }
+    if (line_is_blank(lines[i]) && was_blank) {
+      continue;  // originally blank lines are dropped too
+    }
+    result.trimmed += rstrip(lines[i]);
+    result.trimmed += '\n';
+    result.line_map[i] = next_line++;
+  }
+  return result;
+}
+
+std::vector<std::string> extract_comments(std::string_view src) {
+  std::vector<std::string> comments;
+  enum class State { Code, Slash, Line, Block, BlockStar, Str, StrEsc, Chr, ChrEsc };
+  State st = State::Code;
+  std::string current;
+  for (char c : src) {
+    switch (st) {
+      case State::Code:
+        if (c == '/') st = State::Slash;
+        else if (c == '"') st = State::Str;
+        else if (c == '\'') st = State::Chr;
+        break;
+      case State::Slash:
+        if (c == '/') {
+          st = State::Line;
+          current.clear();
+        } else if (c == '*') {
+          st = State::Block;
+          current.clear();
+        } else if (c == '"') {
+          st = State::Str;
+        } else if (c == '\'') {
+          st = State::Chr;
+        } else if (c != '/') {
+          st = State::Code;
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          comments.push_back(current);
+          st = State::Code;
+        } else {
+          current.push_back(c);
+        }
+        break;
+      case State::Block:
+        if (c == '*') st = State::BlockStar;
+        else current.push_back(c);
+        break;
+      case State::BlockStar:
+        if (c == '/') {
+          comments.push_back(current);
+          st = State::Code;
+        } else if (c == '*') {
+          current.push_back('*');
+        } else {
+          current.push_back('*');
+          current.push_back(c);
+          st = State::Block;
+        }
+        break;
+      case State::Str:
+        if (c == '\\') st = State::StrEsc;
+        else if (c == '"') st = State::Code;
+        break;
+      case State::StrEsc: st = State::Str; break;
+      case State::Chr:
+        if (c == '\\') st = State::ChrEsc;
+        else if (c == '\'') st = State::Code;
+        break;
+      case State::ChrEsc: st = State::Chr; break;
+    }
+  }
+  if (st == State::Line) comments.push_back(current);
+  return comments;
+}
+
+}  // namespace drbml::minic

@@ -1,0 +1,49 @@
+// Source text utilities: locations, comment stripping, and line maps.
+//
+// DRB-ML labels ("line" / "col" of race variables) refer to the code with
+// all comments removed (the paper's `trimmed_code`), while DataRaceBench
+// ground truth lives in header comments of the original file. StripResult
+// carries the mapping between the two coordinate systems.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drbml::minic {
+
+/// 1-based line/column position in some source text.
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return line > 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Result of removing comments (and the lines they leave empty).
+struct StripResult {
+  /// Code with /*...*/ and //... comments removed and comment-only lines
+  /// dropped.
+  std::string trimmed;
+
+  /// For each 1-based line of the original text, the 1-based line it maps
+  /// to in `trimmed`, or 0 if the line was dropped entirely.
+  std::vector<int> line_map;
+
+  /// Maps an original-line number to the trimmed-line number (0 if dropped
+  /// or out of range).
+  [[nodiscard]] int to_trimmed_line(int original_line) const noexcept;
+};
+
+/// Removes C comments. String and character literals are respected (comment
+/// markers inside them are kept). Lines that become entirely blank are
+/// dropped; other lines keep their original column positions up to the
+/// first removed region.
+[[nodiscard]] StripResult strip_comments(std::string_view source);
+
+/// Extracts every comment's text (without the comment markers), in source
+/// order. Used by the dataset builder to find DRB ground-truth annotations.
+[[nodiscard]] std::vector<std::string> extract_comments(std::string_view source);
+
+}  // namespace drbml::minic

@@ -1,0 +1,43 @@
+// Token model for the Mini-C lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "minic/source.hpp"
+
+namespace drbml::minic {
+
+enum class TokenKind {
+  End,
+  Identifier,
+  Keyword,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+  CharLiteral,
+  Punct,    // operators and punctuation, text holds the spelling
+  Pragma,   // a full `#pragma ...` line; text holds everything after '#'
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;       // spelling (for literals: raw spelling)
+  SourceLoc loc;          // position of the first character
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;  // decoded string/char literal contents
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+  [[nodiscard]] bool is_punct(const char* spelling) const noexcept {
+    return kind == TokenKind::Punct && text == spelling;
+  }
+  [[nodiscard]] bool is_keyword(const char* kw) const noexcept {
+    return kind == TokenKind::Keyword && text == kw;
+  }
+  [[nodiscard]] bool is_ident(const char* name) const noexcept {
+    return kind == TokenKind::Identifier && text == name;
+  }
+};
+
+}  // namespace drbml::minic

@@ -1,0 +1,44 @@
+#include "runtime/dynamic.hpp"
+
+#include "minic/parser.hpp"
+
+namespace drbml::runtime {
+
+analysis::RaceReport DynamicRaceDetector::analyze_source(
+    std::string_view source) const {
+  minic::Program prog = minic::parse_program(source);
+  analysis::Resolution res = analysis::resolve(*prog.unit);
+
+  analysis::RaceReport merged;
+  for (std::uint64_t seed : opts_.schedule_seeds) {
+    RunOptions run = opts_.run;
+    run.seed = seed;
+    RunResult result = run_program(*prog.unit, res, run);
+    for (auto& pair : result.report.pairs) {
+      merged.add_pair(std::move(pair));
+    }
+    for (auto& d : result.report.diagnostics) {
+      merged.diagnostics.push_back(std::move(d));
+    }
+    if (result.faulted) {
+      merged.diagnostics.push_back("dynamic: run faulted: " +
+                                   result.fault_message);
+    }
+  }
+  if (!merged.race_detected) {
+    merged.diagnostics.push_back(
+        "dynamic: no happens-before violation observed");
+  }
+  return merged;
+}
+
+RunResult DynamicRaceDetector::run_once(std::string_view source,
+                                        std::uint64_t seed) const {
+  minic::Program prog = minic::parse_program(source);
+  analysis::Resolution res = analysis::resolve(*prog.unit);
+  RunOptions run = opts_.run;
+  run.seed = seed;
+  return run_program(*prog.unit, res, run);
+}
+
+}  // namespace drbml::runtime

@@ -1,0 +1,59 @@
+// Mini-C/OpenMP interpreter with simulated threading and happens-before
+// race detection.
+//
+// OpenMP semantics are executed, not approximated: parallel regions fork a
+// cooperative team (one logical thread per OpenMP thread), worksharing
+// loops partition their real iteration space, critical/atomic/locks/
+// barriers/ordered/single/sections/tasks all execute with the
+// synchronization edges they imply, and every shared memory access passes
+// through FastTrack-style vector-clock checking. A data race is reported
+// when two conflicting accesses are unordered by happens-before in the
+// executed schedule.
+//
+// Deliberate simplifications (documented in DESIGN.md):
+//   - `sizeof(T)` evaluates to 1: allocation sizes are in elements, which
+//     makes `malloc(n * sizeof(int))` allocate n ints.
+//   - Nested parallel regions run with a team of 1.
+//   - Task constructs execute inline at the spawn point under a fresh
+//     logical thread id (fork/join edges preserved; taskwait and depend
+//     clauses add the corresponding edges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "analysis/resolve.hpp"
+#include "minic/ast.hpp"
+
+namespace drbml::runtime {
+
+struct RunOptions {
+  int num_threads = 4;
+  std::uint64_t seed = 1;
+  /// Pass the token to a random runnable worker after this many shared
+  /// accesses.
+  int preempt_every = 7;
+  /// Abort (as livelock) after this many scheduler steps.
+  std::uint64_t step_limit = 2'000'000;
+  std::size_t max_output = 64 * 1024;
+  /// Cap on distinct reported race pairs.
+  int max_pairs = 16;
+};
+
+struct RunResult {
+  analysis::RaceReport report;
+  std::string output;
+  int exit_code = 0;
+  bool faulted = false;        // RuntimeFault (OOB, deadlock, livelock, ...)
+  std::string fault_message;
+  std::uint64_t steps = 0;
+};
+
+/// Executes `main()` of a resolved program. The unit must have been passed
+/// through analysis::resolve() so identifiers are bound.
+[[nodiscard]] RunResult run_program(const minic::TranslationUnit& unit,
+                                    const analysis::Resolution& res,
+                                    const RunOptions& opts = {});
+
+}  // namespace drbml::runtime

@@ -1,0 +1,79 @@
+// Interpreter memory: objects, elements, and per-element shadow state for
+// happens-before race detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+#include "runtime/value.hpp"
+#include "runtime/vc.hpp"
+#include "support/error.hpp"
+
+namespace drbml::runtime {
+
+/// Provenance of the last accesses to one element, for race reporting.
+struct AccessStamp {
+  std::string text;  // source spelling of the access expression
+  minic::SourceLoc loc;
+  int tid = -1;
+
+  [[nodiscard]] bool valid() const noexcept { return tid >= 0; }
+};
+
+/// Shadow state of one memory element (FastTrack-style).
+struct ShadowCell {
+  Epoch write;
+  VectorClock reads;
+  AccessStamp last_write;
+  std::map<int, AccessStamp> last_reads;  // per tid
+};
+
+/// One allocated object: a scalar (size 1) or a flattened array.
+struct MemObject {
+  std::string name;
+  const minic::VarDecl* decl = nullptr;  // null for heap allocations
+  std::vector<Value> data;
+  std::vector<ShadowCell> shadow;
+  std::vector<std::int64_t> dims;  // row-major dimensions (empty = scalar)
+  bool elem_float = false;         // elements coerce to double on store
+  bool elem_any = false;           // heap: no coercion on store
+  bool freed = false;
+  /// Objects private to one thread are exempt from race checking.
+  bool thread_local_object = false;
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(data.size());
+  }
+};
+
+/// The interpreter heap/stack store.
+class Memory {
+ public:
+  /// Allocates an object with `count` elements, all initialized to `init`.
+  int allocate(std::string name, const minic::VarDecl* decl,
+               std::vector<std::int64_t> dims, std::int64_t count,
+               Value init, bool thread_local_object);
+
+  [[nodiscard]] MemObject& object(int id);
+  [[nodiscard]] const MemObject& object(int id) const;
+
+  [[nodiscard]] Value load(ObjRef ref) const;
+  void store(ObjRef ref, Value v);
+
+  /// Throws RuntimeFault on freed objects or out-of-range offsets.
+  void check_bounds(ObjRef ref) const { check(ref); }
+
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+
+ private:
+  void check(ObjRef ref) const;
+
+  std::vector<MemObject> objects_;
+};
+
+}  // namespace drbml::runtime

@@ -1,0 +1,267 @@
+#include "runtime/sched.hpp"
+
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace drbml::runtime {
+
+namespace {
+thread_local CoopScheduler* t_scheduler = nullptr;
+thread_local int t_worker_index = -1;
+}  // namespace
+
+CoopScheduler* current_scheduler() noexcept { return t_scheduler; }
+int current_worker_index() noexcept { return t_worker_index; }
+
+CoopScheduler::CoopScheduler(std::uint64_t seed, int preempt_every)
+    : rng_(seed), preempt_every_(preempt_every < 1 ? 1 : preempt_every) {}
+
+int CoopScheduler::self() const { return t_worker_index; }
+
+int CoopScheduler::pick_runnable(int exclude) {
+  // Collect Ready workers; prefer not to pick `exclude` unless it is the
+  // only one.
+  std::vector<int> ready;
+  for (int i = 0; i < static_cast<int>(states_.size()); ++i) {
+    if (states_[static_cast<std::size_t>(i)] == State::Ready && i != exclude) {
+      ready.push_back(i);
+    }
+  }
+  if (ready.empty()) {
+    if (exclude >= 0 &&
+        states_[static_cast<std::size_t>(exclude)] == State::Ready) {
+      return exclude;
+    }
+    return -1;
+  }
+  return ready[rng_.below(ready.size())];
+}
+
+void CoopScheduler::maybe_release_barrier() {
+  int waiting = 0;
+  for (State s : states_) {
+    if (s == State::AtBarrier) ++waiting;
+  }
+  if (waiting > 0 && waiting == live_) {
+    for (auto& s : states_) {
+      if (s == State::AtBarrier) s = State::Ready;
+    }
+    ++barrier_generation_;
+  }
+}
+
+void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me) {
+  const int next = pick_runnable(me);
+  if (next == -1) {
+    // No other runnable worker. If everyone else is done or at a barrier
+    // that cannot release, this is a deadlock.
+    if (me >= 0 && states_[static_cast<std::size_t>(me)] == State::Ready) {
+      current_ = me;
+      return;  // keep running
+    }
+    aborting_ = true;
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(
+          RuntimeFault("deadlock: no runnable worker"));
+    }
+    cv_.notify_all();
+    throw TeamAborted{};
+  }
+  current_ = next;
+  cv_.notify_all();
+  if (me < 0) return;
+  cv_.wait(lock, [&] {
+    return aborting_ || current_ == me ||
+           states_[static_cast<std::size_t>(me)] == State::Ready;
+  });
+  // Re-acquire the token if the barrier released us but another worker
+  // holds the token.
+  while (!aborting_ && current_ != me) {
+    cv_.wait(lock, [&] { return aborting_ || current_ == me; });
+  }
+  if (aborting_) throw TeamAborted{};
+}
+
+void CoopScheduler::yield_point() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) throw TeamAborted{};
+  ++steps_;
+  if (steps_ > step_limit_) {
+    aborting_ = true;
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(
+          RuntimeFault("step limit exceeded (possible livelock)"));
+    }
+    cv_.notify_all();
+    throw TeamAborted{};
+  }
+  ++yields_;
+  if (yields_ % static_cast<std::uint64_t>(preempt_every_) != 0) return;
+  switch_from(lock, t_worker_index);
+}
+
+void CoopScheduler::yield_now() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) throw TeamAborted{};
+  switch_from(lock, t_worker_index);
+}
+
+void CoopScheduler::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) throw TeamAborted{};
+  const int me = t_worker_index;
+  const std::uint64_t gen = barrier_generation_;
+  states_[static_cast<std::size_t>(me)] = State::AtBarrier;
+  maybe_release_barrier();
+  if (barrier_generation_ != gen) {
+    // Barrier released immediately (we were last); keep the token.
+    current_ = me;
+    cv_.notify_all();
+    return;
+  }
+  switch_from(lock, me);
+  // Rescheduled: barrier must have released (or abort).
+  if (aborting_) throw TeamAborted{};
+}
+
+void CoopScheduler::block_until(const std::function<bool()>& ready) {
+  bool counted = false;
+  auto leave_wait = [&](std::unique_lock<std::mutex>&) {
+    if (counted) {
+      --waiting_;
+      counted = false;
+      spin_rounds_ = 0;  // a worker made progress
+    }
+  };
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (aborting_) {
+        leave_wait(lock);
+        throw TeamAborted{};
+      }
+    }
+    if (ready()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      leave_wait(lock);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (aborting_) {
+      leave_wait(lock);
+      throw TeamAborted{};
+    }
+    // Blocking consumes steps: a team spinning on conditions nobody can
+    // satisfy must hit the livelock guard rather than hang.
+    ++steps_;
+    if (steps_ > step_limit_) {
+      leave_wait(lock);
+      aborting_ = true;
+      if (!first_error_) {
+        first_error_ = std::make_exception_ptr(
+            RuntimeFault("step limit exceeded while blocked"));
+      }
+      cv_.notify_all();
+      throw TeamAborted{};
+    }
+    if (!counted) {
+      ++waiting_;
+      counted = true;
+    }
+    // If every live worker is blocked (waiting here or stuck at a barrier
+    // that cannot release), no predicate can ever change: deadlock.
+    int at_barrier = 0;
+    for (State s : states_) {
+      if (s == State::AtBarrier) ++at_barrier;
+    }
+    const int next = pick_runnable(t_worker_index);
+    const bool everyone_stuck = waiting_ + at_barrier >= live_;
+    if (next == -1 || (next == t_worker_index && everyone_stuck)) {
+      leave_wait(lock);
+      aborting_ = true;
+      if (!first_error_) {
+        first_error_ = std::make_exception_ptr(RuntimeFault(
+            "deadlock: worker blocked with no runnable peer"));
+      }
+      cv_.notify_all();
+      throw TeamAborted{};
+    }
+    if (everyone_stuck && next != t_worker_index) {
+      // All peers are blocked too; a worker whose predicate just became
+      // true may simply not have been rescheduled yet, so give the
+      // round-robin a generous budget before declaring deadlock.
+      if (++spin_rounds_ > 64 * static_cast<std::uint64_t>(live_) + 256) {
+        leave_wait(lock);
+        aborting_ = true;
+        if (!first_error_) {
+          first_error_ = std::make_exception_ptr(RuntimeFault(
+              "deadlock: all workers blocked on unsatisfiable conditions"));
+        }
+        cv_.notify_all();
+        throw TeamAborted{};
+      }
+    } else {
+      spin_rounds_ = 0;
+    }
+    switch_from(lock, t_worker_index);
+  }
+}
+
+void CoopScheduler::run_team(std::vector<std::function<void()>> workers) {
+  const int n = static_cast<int>(workers.size());
+  states_.assign(static_cast<std::size_t>(n), State::Ready);
+  live_ = n;
+  aborting_ = false;
+  first_error_ = nullptr;
+  barrier_generation_ = 0;
+  waiting_ = 0;
+  spin_rounds_ = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([this, i, fn = std::move(workers[static_cast<std::size_t>(i)])] {
+      t_scheduler = this;
+      t_worker_index = i;
+      {
+        // Wait for the token.
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return aborting_ || current_ == i; });
+      }
+      try {
+        if (!aborting_) fn();
+      } catch (const TeamAborted&) {
+        // unwound by abort
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        aborting_ = true;
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        states_[static_cast<std::size_t>(i)] = State::Done;
+        --live_;
+        maybe_release_barrier();
+        if (!aborting_) {
+          const int next = pick_runnable(i);
+          current_ = next;  // -1 when everyone is done
+        }
+        cv_.notify_all();
+      }
+      t_scheduler = nullptr;
+      t_worker_index = -1;
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    current_ = n > 0 ? 0 : -1;
+    cv_.notify_all();
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace drbml::runtime

@@ -1,0 +1,97 @@
+// Cooperative deterministic scheduler for simulated OpenMP teams.
+//
+// Workers run on real std::threads, but exactly one runs at a time: a
+// token is handed from worker to worker at explicit yield points, with all
+// scheduling decisions drawn from a seeded RNG. This gives genuinely
+// interleaved executions (including preemption inside critical sections
+// and busy-wait loops) while staying bit-for-bit reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace drbml::runtime {
+
+/// Thrown inside a worker when the team is being torn down after another
+/// worker faulted.
+struct TeamAborted {};
+
+class CoopScheduler {
+ public:
+  /// `preempt_every`: pass the token to a random runnable worker after
+  /// this many yield points (1 = every yield point).
+  CoopScheduler(std::uint64_t seed, int preempt_every);
+
+  /// Runs `workers` cooperatively until all complete. Rethrows the first
+  /// worker exception (after unwinding the rest). Must be called from a
+  /// thread that is not itself a worker of this scheduler.
+  void run_team(std::vector<std::function<void()>> workers);
+
+  // ---- called from worker threads ----
+
+  /// Current worker index.
+  [[nodiscard]] int self() const;
+
+  /// Possible preemption point.
+  void yield_point();
+
+  /// Unconditionally passes the token to another runnable worker (if any).
+  void yield_now();
+
+  /// Blocks until all live workers of the team arrive.
+  void barrier_wait();
+
+  /// Blocks until `ready()` is true; re-evaluated each time the worker is
+  /// rescheduled. Throws on deadlock (no runnable worker and no progress).
+  void block_until(const std::function<bool()>& ready);
+
+  /// Total yield points taken (busy-wait/step budget guard).
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Workers that have not yet completed.
+  [[nodiscard]] int live() const noexcept { return live_; }
+
+  /// Aborts after this many yield points (guards against livelock).
+  void set_step_limit(std::uint64_t limit) noexcept { step_limit_ = limit; }
+
+ private:
+  enum class State { Ready, AtBarrier, Done };
+
+  /// Pre: lock held. Picks the next runnable worker and wakes it; current
+  /// worker then waits until it owns the token again (or abort).
+  void switch_from(std::unique_lock<std::mutex>& lock, int me);
+
+  /// Pre: lock held. Releases a full barrier if everyone arrived.
+  void maybe_release_barrier();
+
+  [[nodiscard]] int pick_runnable(int exclude);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<State> states_;
+  int current_ = -1;
+  int live_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool aborting_ = false;
+  std::exception_ptr first_error_;
+  Rng rng_{0};
+  int preempt_every_ = 7;
+  std::uint64_t yields_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t step_limit_ = 50'000'000;
+  int waiting_ = 0;           // workers inside block_until
+  std::uint64_t spin_rounds_ = 0;  // consecutive all-blocked rounds
+};
+
+/// The scheduler owning the calling thread, or nullptr on the driver
+/// thread. Set by run_team for the duration of each worker.
+[[nodiscard]] CoopScheduler* current_scheduler() noexcept;
+[[nodiscard]] int current_worker_index() noexcept;
+
+}  // namespace drbml::runtime

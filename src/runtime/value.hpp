@@ -1,0 +1,94 @@
+// Runtime values for the Mini-C interpreter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drbml::runtime {
+
+/// A pointer value: object id + element offset.
+struct ObjRef {
+  int object = -1;
+  std::int64_t offset = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return object >= 0; }
+  friend bool operator==(const ObjRef&, const ObjRef&) = default;
+};
+
+/// A dynamically typed scalar: integer, floating, or pointer.
+class Value {
+ public:
+  enum class Kind { Int, Double, Ptr };
+
+  Value() = default;
+  static Value of_int(std::int64_t v) {
+    Value x;
+    x.kind_ = Kind::Int;
+    x.i_ = v;
+    return x;
+  }
+  static Value of_double(double v) {
+    Value x;
+    x.kind_ = Kind::Double;
+    x.d_ = v;
+    return x;
+  }
+  static Value of_ptr(ObjRef p) {
+    Value x;
+    x.kind_ = Kind::Ptr;
+    x.p_ = p;
+    return x;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_ptr() const noexcept { return kind_ == Kind::Ptr; }
+
+  /// Numeric coercions follow C semantics (truncation / promotion).
+  [[nodiscard]] std::int64_t as_int() const noexcept {
+    switch (kind_) {
+      case Kind::Int: return i_;
+      case Kind::Double: return static_cast<std::int64_t>(d_);
+      case Kind::Ptr: return p_.valid() ? 1 : 0;
+    }
+    return 0;
+  }
+  [[nodiscard]] double as_double() const noexcept {
+    switch (kind_) {
+      case Kind::Int: return static_cast<double>(i_);
+      case Kind::Double: return d_;
+      case Kind::Ptr: return p_.valid() ? 1.0 : 0.0;
+    }
+    return 0.0;
+  }
+  [[nodiscard]] ObjRef as_ptr() const noexcept {
+    return kind_ == Kind::Ptr ? p_ : ObjRef{};
+  }
+  [[nodiscard]] bool truthy() const noexcept {
+    switch (kind_) {
+      case Kind::Int: return i_ != 0;
+      case Kind::Double: return d_ != 0.0;
+      case Kind::Ptr: return p_.valid();
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    switch (kind_) {
+      case Kind::Int: return std::to_string(i_);
+      case Kind::Double: return std::to_string(d_);
+      case Kind::Ptr:
+        return p_.valid() ? "&obj" + std::to_string(p_.object) + "[" +
+                                std::to_string(p_.offset) + "]"
+                          : "nullptr";
+    }
+    return "?";
+  }
+
+ private:
+  Kind kind_ = Kind::Int;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  ObjRef p_;
+};
+
+}  // namespace drbml::runtime

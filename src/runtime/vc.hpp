@@ -1,0 +1,71 @@
+// Vector clocks for happens-before race detection.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace drbml::runtime {
+
+/// A vector clock over logical thread ids. Grows on demand; missing
+/// entries read as zero.
+class VectorClock {
+ public:
+  [[nodiscard]] std::uint32_t get(int tid) const noexcept {
+    return tid >= 0 && static_cast<std::size_t>(tid) < c_.size()
+               ? c_[static_cast<std::size_t>(tid)]
+               : 0;
+  }
+
+  void set(int tid, std::uint32_t v) {
+    ensure(tid);
+    c_[static_cast<std::size_t>(tid)] = v;
+  }
+
+  void tick(int tid) {
+    ensure(tid);
+    ++c_[static_cast<std::size_t>(tid)];
+  }
+
+  /// Pointwise maximum (join).
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  /// True if this clock happens-before-or-equals `o` (pointwise <=).
+  [[nodiscard]] bool leq(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > o.get(static_cast<int>(i))) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
+
+ private:
+  void ensure(int tid) {
+    if (tid >= 0 && static_cast<std::size_t>(tid) >= c_.size()) {
+      c_.resize(static_cast<std::size_t>(tid) + 1, 0);
+    }
+  }
+
+  std::vector<std::uint32_t> c_;
+};
+
+/// An epoch: one thread's scalar clock value (FastTrack's compact form for
+/// the common last-write case).
+struct Epoch {
+  int tid = -1;
+  std::uint32_t clock = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return tid >= 0; }
+  /// True if the epoch happens-before the clock `c`.
+  [[nodiscard]] bool before(const VectorClock& c) const noexcept {
+    return !valid() || clock <= c.get(tid);
+  }
+};
+
+}  // namespace drbml::runtime

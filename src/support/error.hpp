@@ -1,0 +1,45 @@
+// Error types shared across the drbml libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace drbml {
+
+/// Base class for all errors raised by drbml libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the Mini-C frontend on malformed input.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int col)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(col) + ": " + what),
+        line_(line),
+        col_(col) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int col() const noexcept { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// Raised by the interpreter when a program performs an illegal operation
+/// (out-of-bounds access, division by zero, unbound identifier, ...).
+class RuntimeFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised by the JSON parser on malformed documents.
+class JsonError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace drbml

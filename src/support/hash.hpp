@@ -1,0 +1,37 @@
+// Small deterministic hashing utilities (FNV-1a and mixers).
+//
+// Used to derive stable per-(experiment, model, program) random streams so
+// that every bench run reproduces bit-identical tables regardless of
+// evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace drbml {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes into one (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace drbml

@@ -1,0 +1,127 @@
+// Minimal JSON document model, parser, and serializer.
+//
+// Objects preserve insertion order so emitted DRB-ML files match the key
+// order of the paper's Table 1 schema. Numbers distinguish integers from
+// doubles to round-trip dataset labels exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace drbml::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+
+/// Order-preserving object. Lookup is linear: DRB-ML objects are tiny.
+class Object {
+ public:
+  Object() = default;
+
+  /// Inserts or overwrites.
+  void set(std::string key, Value value);
+
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+
+  /// Throws JsonError if absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// Returns nullptr if absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  [[nodiscard]] Value* find(std::string_view key) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return members_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return members_.end(); }
+  [[nodiscard]] auto begin() noexcept { return members_.begin(); }
+  [[nodiscard]] auto end() noexcept { return members_.end(); }
+
+ private:
+  std::vector<Member> members_;
+};
+
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+/// A JSON value (tagged union).
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(int i) : type_(Type::Int), int_(i) {}
+  Value(std::int64_t i) : type_(Type::Int), int_(i) {}
+  Value(double d) : type_(Type::Double), double_(d) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::String), string_(s) {}
+  Value(Array a) : type_(Type::Array), array_(std::move(a)) {}
+  Value(Object o)
+      : type_(Type::Object), object_(std::make_unique<Object>(std::move(o))) {}
+
+  Value(const Value& other) { copy_from(other); }
+  Value& operator=(const Value& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+  ~Value() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_int() const noexcept { return type_ == Type::Int; }
+  [[nodiscard]] bool is_double() const noexcept { return type_ == Type::Double; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || is_double();
+  }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::Object; }
+
+  /// Accessors throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  // accepts Int too
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Serializes compactly (no whitespace).
+  [[nodiscard]] std::string dump() const;
+
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string dump_pretty() const;
+
+ private:
+  void copy_from(const Value& other);
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  std::unique_ptr<Object> object_;
+};
+
+/// Parses a JSON document. Throws JsonError on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escapes a string for embedding in JSON output (without quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace drbml::json

@@ -1,0 +1,82 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/hash.hpp"
+
+namespace drbml {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion of the seed into the xoshiro state; guarantees a
+  // non-zero state for any seed.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = mix64(x);
+  }
+}
+
+Rng Rng::from_key(std::string_view key) noexcept {
+  return Rng(fnv1a64(key));
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace drbml

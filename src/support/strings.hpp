@@ -1,0 +1,48 @@
+// String helpers used across the codebase.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drbml {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// True if `needle` occurs in `haystack` ignoring ASCII case.
+[[nodiscard]] bool contains_icase(std::string_view haystack,
+                                  std::string_view needle) noexcept;
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+/// Number of lines in `s` (one more than the number of '\n' characters,
+/// except that a trailing newline does not start a new line). Empty string
+/// has zero lines.
+[[nodiscard]] int count_lines(std::string_view s) noexcept;
+
+/// Splits into lines without the trailing '\n'.
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view s);
+
+/// Formats a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace drbml

@@ -1,0 +1,228 @@
+// Tests for the DRB-ML dataset builder: comment-based label extraction,
+// JSON schema (Table 1), prompt-response pairs (Listings 8/9), and the
+// stratified fold construction (Section 3.5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/drbml.hpp"
+#include "dataset/folds.hpp"
+#include "drb/corpus.hpp"
+#include "support/error.hpp"
+
+namespace drbml::dataset {
+namespace {
+
+TEST(Annotation, ParsesDrbPairLine) {
+  RawAnnotation raw;
+  ASSERT_TRUE(parse_annotation(
+      "Data race pair: a[i+1]@64:10:R vs. a[i]@64:5:W", raw));
+  EXPECT_EQ(raw.var1_expr, "a[i+1]");
+  EXPECT_EQ(raw.var1_line, 64);
+  EXPECT_EQ(raw.var1_col, 10);
+  EXPECT_EQ(raw.var1_op, 'r');
+  EXPECT_EQ(raw.var0_expr, "a[i]");
+  EXPECT_EQ(raw.var0_line, 64);
+  EXPECT_EQ(raw.var0_col, 5);
+  EXPECT_EQ(raw.var0_op, 'w');
+}
+
+TEST(Annotation, RejectsNonAnnotationLines) {
+  RawAnnotation raw;
+  EXPECT_FALSE(parse_annotation("A loop with anti-dependence.", raw));
+  EXPECT_FALSE(parse_annotation("Data race pair: broken", raw));
+  EXPECT_FALSE(parse_annotation("", raw));
+}
+
+TEST(Annotation, HandlesMultiDimAndOperators) {
+  RawAnnotation raw;
+  ASSERT_TRUE(parse_annotation(
+      "Data race pair: m[i][j+1]@12:7:R vs. m[i][j]@12:1:W", raw));
+  EXPECT_EQ(raw.var1_expr, "m[i][j+1]");
+  EXPECT_EQ(raw.var0_expr, "m[i][j]");
+}
+
+TEST(BuildEntry, ExtractionMatchesRegistryGroundTruth) {
+  // The comment-extraction pipeline must reconstruct exactly what the
+  // corpus registry authored, for every entry.
+  for (const auto& src : drb::corpus()) {
+    const Entry e = build_entry(src);
+    const drb::ResolvedEntry resolved = drb::resolve_entry(src);
+    ASSERT_EQ(e.var_pairs.size(), resolved.pairs.size()) << src.name;
+    for (std::size_t i = 0; i < e.var_pairs.size(); ++i) {
+      const VarPairLabel& label = e.var_pairs[i];
+      const drb::ResolvedPair& truth = resolved.pairs[i];
+      EXPECT_EQ(label.name[0], truth.var0.name) << src.name;
+      EXPECT_EQ(label.name[1], truth.var1.name) << src.name;
+      EXPECT_EQ(label.line[0], truth.var0.line) << src.name;
+      EXPECT_EQ(label.line[1], truth.var1.line) << src.name;
+      EXPECT_EQ(label.col[0], truth.var0.col) << src.name;
+      EXPECT_EQ(label.col[1], truth.var1.col) << src.name;
+      EXPECT_EQ(label.operation[0], std::string(1, truth.var0.op)) << src.name;
+      EXPECT_EQ(label.operation[1], std::string(1, truth.var1.op)) << src.name;
+    }
+  }
+}
+
+TEST(BuildEntry, SchemaFieldsFollowTable1) {
+  const Entry& e = dataset().front();
+  EXPECT_EQ(e.id, 1);
+  EXPECT_FALSE(e.name.empty());
+  EXPECT_NE(e.drb_code.find("/*"), std::string::npos);
+  EXPECT_EQ(e.trimmed_code.find("/*"), std::string::npos);
+  EXPECT_EQ(e.code_len, static_cast<int>(e.trimmed_code.size()));
+  EXPECT_TRUE(e.data_race == 0 || e.data_race == 1);
+  EXPECT_FALSE(e.data_race_label.empty());
+}
+
+TEST(BuildEntry, JsonKeysInTable1Order) {
+  const Entry& e = dataset().front();
+  const std::string dumped = e.to_json().dump();
+  const std::vector<std::string> keys = {
+      "\"ID\"",       "\"name\"",      "\"DRB_code\"",
+      "\"trimmed_code\"", "\"code_len\"", "\"data_race\"",
+      "\"data_race_label\"", "\"var_pairs\""};
+  std::size_t last = 0;
+  for (const auto& key : keys) {
+    const std::size_t pos = dumped.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    EXPECT_GT(pos, last) << key << " out of order";
+    last = pos;
+  }
+}
+
+TEST(BuildEntry, JsonRoundTripsExactly) {
+  for (const Entry& e : dataset()) {
+    const Entry back = Entry::from_json(json::parse(e.to_json().dump()));
+    EXPECT_EQ(back.id, e.id);
+    EXPECT_EQ(back.name, e.name);
+    EXPECT_EQ(back.drb_code, e.drb_code);
+    EXPECT_EQ(back.trimmed_code, e.trimmed_code);
+    EXPECT_EQ(back.code_len, e.code_len);
+    EXPECT_EQ(back.data_race, e.data_race);
+    EXPECT_EQ(back.var_pairs, e.var_pairs);
+  }
+}
+
+TEST(BuildEntry, DatasetHas201Entries) {
+  EXPECT_EQ(dataset().size(), 201u);
+}
+
+TEST(PromptPairs, DetectionPairFollowsListing8) {
+  const Entry* yes_entry = nullptr;
+  const Entry* no_entry = nullptr;
+  for (const Entry& e : dataset()) {
+    if (e.data_race == 1 && yes_entry == nullptr) yes_entry = &e;
+    if (e.data_race == 0 && no_entry == nullptr) no_entry = &e;
+  }
+  ASSERT_NE(yes_entry, nullptr);
+  ASSERT_NE(no_entry, nullptr);
+
+  const PromptResponse yes_pr = make_detection_pair(*yes_entry);
+  EXPECT_NE(yes_pr.prompt.find("expert in High-Performance Computing"),
+            std::string::npos);
+  EXPECT_NE(yes_pr.prompt.find(yes_entry->trimmed_code), std::string::npos);
+  EXPECT_EQ(yes_pr.response, "yes");
+  EXPECT_EQ(make_detection_pair(*no_entry).response, "no");
+}
+
+TEST(PromptPairs, VarIdPairFollowsListing9) {
+  const Entry* yes_entry = nullptr;
+  for (const Entry& e : dataset()) {
+    if (e.data_race == 1) {
+      yes_entry = &e;
+      break;
+    }
+  }
+  ASSERT_NE(yes_entry, nullptr);
+  const PromptResponse pr = make_varid_pair(*yes_entry);
+  EXPECT_NE(pr.prompt.find("JSON format"), std::string::npos);
+  EXPECT_NE(pr.response.find("yes"), std::string::npos);
+  EXPECT_NE(pr.response.find("\"variable_names\""), std::string::npos);
+  EXPECT_NE(pr.response.find("\"variable_locations\""), std::string::npos);
+  EXPECT_NE(pr.response.find("\"operation_types\""), std::string::npos);
+  // The JSON part parses and matches the first label.
+  const std::size_t brace = pr.response.find('{');
+  ASSERT_NE(brace, std::string::npos);
+  const json::Value v = json::parse(pr.response.substr(brace));
+  EXPECT_EQ(v.as_object().at("variable_names").as_array()[0].as_string(),
+            yes_entry->var_pairs[0].name[0]);
+}
+
+
+TEST(PromptPairs, ProseVarIdPairFollowsListing3) {
+  const Entry* yes_entry = nullptr;
+  const Entry* no_entry = nullptr;
+  for (const Entry& e : dataset()) {
+    if (e.data_race == 1 && yes_entry == nullptr) yes_entry = &e;
+    if (e.data_race == 0 && no_entry == nullptr) no_entry = &e;
+  }
+  ASSERT_NE(yes_entry, nullptr);
+  const PromptResponse pr = make_varid_pair_prose(*yes_entry);
+  EXPECT_NE(pr.prompt.find("You are an HPC expert."), std::string::npos);
+  EXPECT_NE(pr.response.find("Yes, the provided code exhibits data race"),
+            std::string::npos);
+  EXPECT_NE(pr.response.find("at line "), std::string::npos);
+  EXPECT_EQ(make_varid_pair_prose(*no_entry).response.find("No"), 0u);
+}
+
+// ------------------------------------------------------------- folds
+
+TEST(Folds, EverySampleInExactlyOneTestSet) {
+  std::vector<bool> labels(198);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i < 100;
+  StratifiedKFold folds(5, 42);
+  std::set<int> seen;
+  for (const auto& fold : folds.split(labels)) {
+    for (int idx : fold.test_indices) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate test index " << idx;
+    }
+    // Train and test are disjoint and cover everything.
+    std::set<int> train(fold.train_indices.begin(), fold.train_indices.end());
+    for (int idx : fold.test_indices) {
+      EXPECT_EQ(train.count(idx), 0u);
+    }
+    EXPECT_EQ(fold.train_indices.size() + fold.test_indices.size(), 198u);
+  }
+  EXPECT_EQ(seen.size(), 198u);
+}
+
+TEST(Folds, PaperSection35FoldSizes) {
+  // 100 positive + 98 negative, k=5: three folds 20+20, two folds 20+19.
+  std::vector<bool> labels(198);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i < 100;
+  StratifiedKFold folds(5, 7);
+  int folds_40 = 0;
+  int folds_39 = 0;
+  for (const auto& fold : folds.split(labels)) {
+    int pos = 0;
+    for (int idx : fold.test_indices) {
+      pos += labels[static_cast<std::size_t>(idx)] ? 1 : 0;
+    }
+    EXPECT_EQ(pos, 20);
+    if (fold.test_indices.size() == 40) ++folds_40;
+    if (fold.test_indices.size() == 39) ++folds_39;
+  }
+  EXPECT_EQ(folds_40, 3);
+  EXPECT_EQ(folds_39, 2);
+}
+
+TEST(Folds, DeterministicForFixedSeed) {
+  std::vector<bool> labels(50);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 2 == 0;
+  StratifiedKFold a(5, 99);
+  StratifiedKFold b(5, 99);
+  const auto sa = a.split(labels);
+  const auto sb = b.split(labels);
+  for (std::size_t f = 0; f < sa.size(); ++f) {
+    EXPECT_EQ(sa[f].test_indices, sb[f].test_indices);
+  }
+}
+
+TEST(Folds, RejectsDegenerateK) {
+  StratifiedKFold folds(1, 0);
+  EXPECT_THROW(folds.split({true, false}), Error);
+}
+
+}  // namespace
+}  // namespace drbml::dataset

@@ -1,0 +1,136 @@
+// Tests for the dependence-graph modality extension: graph construction,
+// serialization, and the modality-augmented prompt/decision pipeline.
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hpp"
+#include "drb/corpus.hpp"
+#include "eval/experiments.hpp"
+#include "llm/model.hpp"
+
+namespace drbml {
+namespace {
+
+const char* kAntiDep =
+    "int main() {\n"
+    "  int a[80];\n"
+    "  for (int i = 0; i < 80; i++) a[i] = i;\n"
+    "#pragma omp parallel for\n"
+    "  for (int i = 0; i < 79; i++) a[i] = a[i+1] + 1;\n"
+    "  return 0;\n"
+    "}\n";
+
+const char* kClean =
+    "int main() {\n"
+    "  int a[80];\n"
+    "#pragma omp parallel for\n"
+    "  for (int i = 0; i < 80; i++) a[i] = i * 3;\n"
+    "  return 0;\n"
+    "}\n";
+
+TEST(DepGraph, AntiDependenceProducesCrossThreadEdge) {
+  const analysis::DependenceGraph g =
+      analysis::build_dependence_graph(kAntiDep);
+  EXPECT_GE(g.nodes.size(), 2u);
+  EXPECT_GT(g.cross_thread_edges(), 0);
+  bool found_anti = false;
+  for (const auto& e : g.edges) {
+    if (e.kind == analysis::DepEdgeKind::AntiDep ||
+        e.kind == analysis::DepEdgeKind::TrueDep) {
+      found_anti = true;
+    }
+  }
+  EXPECT_TRUE(found_anti);
+}
+
+TEST(DepGraph, CleanLoopHasNoCrossThreadEdges) {
+  const analysis::DependenceGraph g =
+      analysis::build_dependence_graph(kClean);
+  EXPECT_EQ(g.cross_thread_edges(), 0);
+}
+
+TEST(DepGraph, TextSerializationListsNodesAndEdges) {
+  const analysis::DependenceGraph g =
+      analysis::build_dependence_graph(kAntiDep);
+  const std::string text = g.to_text();
+  EXPECT_NE(text.find("a[i+1]"), std::string::npos);
+  EXPECT_NE(text.find("cross-thread"), std::string::npos);
+  EXPECT_NE(text.find("W ["), std::string::npos);
+}
+
+TEST(DepGraph, DotRendersDigraph) {
+  const analysis::DependenceGraph g =
+      analysis::build_dependence_graph(kAntiDep);
+  const std::string dot = g.to_dot();
+  EXPECT_EQ(dot.find("digraph dependences {"), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DepGraph, BuildsForEveryCorpusEntry) {
+  for (const auto& e : drb::corpus()) {
+    const analysis::DependenceGraph g =
+        analysis::build_dependence_graph(e.body);
+    // Race-yes entries detected by the conservative analysis must show a
+    // cross-thread edge (subset relationship with the static detector).
+    if (e.race && e.pattern != "interproc") {
+      // Most but not all yes-entries: interprocedural effects are not in
+      // the graph by design; don't assert per-entry beyond smoke.
+    }
+    (void)g;
+  }
+  SUCCEED();
+}
+
+TEST(Modality, PromptCarriesMarkerAndAux) {
+  const prompts::Chat chat = prompts::modal_detection_chat(
+      prompts::Style::P1, prompts::Modality::DepGraph, kAntiDep,
+      "n0: a[i] @5:5 W [shared]\n");
+  ASSERT_EQ(chat.size(), 1u);
+  EXPECT_NE(chat[0].content.find(prompts::kDepGraphMarker),
+            std::string::npos);
+  EXPECT_NE(chat[0].content.find("n0: a[i]"), std::string::npos);
+}
+
+TEST(Modality, TextModalityLeavesPromptUnchanged) {
+  const prompts::Chat plain =
+      prompts::detection_chat(prompts::Style::P1, kAntiDep);
+  const prompts::Chat modal = prompts::modal_detection_chat(
+      prompts::Style::P1, prompts::Modality::Text, kAntiDep, "ignored");
+  EXPECT_EQ(plain[0].content, modal[0].content);
+}
+
+TEST(Modality, ExtractCodeIgnoresAuxSection) {
+  const prompts::Chat chat = prompts::modal_detection_chat(
+      prompts::Style::P1, prompts::Modality::Ast, kAntiDep,
+      "int main() { }  // AST rendering, must not be mistaken for code");
+  const std::string code = llm::extract_code_from_prompt(chat[0].content);
+  EXPECT_EQ(code.find("AST rendering"), std::string::npos);
+  EXPECT_NE(code.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(Modality, DepGraphSharpensDecisions) {
+  llm::ChatModel gpt4(llm::gpt4_persona());
+  const llm::Verdict text =
+      gpt4.decide(prompts::Style::P1, kAntiDep, prompts::Modality::Text);
+  const llm::Verdict graph =
+      gpt4.decide(prompts::Style::P1, kAntiDep, prompts::Modality::DepGraph);
+  // Evidence says race: the graph modality must increase P(yes).
+  EXPECT_GT(graph.p_yes, text.p_yes);
+}
+
+TEST(Modality, GraphBeatsTextOnSubsetF1) {
+  const auto subset = eval::token_filtered_subset();
+  llm::ChatModel gpt4(llm::gpt4_persona());
+  const double text_f1 =
+      eval::run_detection_modal(gpt4, prompts::Style::P1,
+                                prompts::Modality::Text, subset)
+          .f1();
+  const double graph_f1 =
+      eval::run_detection_modal(gpt4, prompts::Style::P1,
+                                prompts::Modality::DepGraph, subset)
+          .f1();
+  EXPECT_GT(graph_f1, text_f1);
+}
+
+}  // namespace
+}  // namespace drbml

@@ -1,0 +1,297 @@
+// Tests for the evaluation harness: response parsing, metrics, pair
+// matching, subset filtering, and the experiment runners' invariants.
+#include <gtest/gtest.h>
+
+#include "eval/experiments.hpp"
+#include "eval/metrics.hpp"
+#include "eval/parse.hpp"
+
+namespace drbml::eval {
+namespace {
+
+// ------------------------------------------------------------- detection
+
+TEST(ParseDetection, LeadingVerdicts) {
+  EXPECT_EQ(parse_detection("Yes, there is a data race."), true);
+  EXPECT_EQ(parse_detection("no. The loop is clean."), false);
+  EXPECT_EQ(parse_detection("NO"), false);
+}
+
+TEST(ParseDetection, BuriedVerdicts) {
+  EXPECT_EQ(parse_detection("I believe the answer is yes -- a race exists."),
+            true);
+  EXPECT_EQ(parse_detection(
+                "Based on the dependence structure the answer is no."),
+            false);
+}
+
+TEST(ParseDetection, WholeWordOnly) {
+  // "knowledge" and "yesterday" must not match.
+  EXPECT_EQ(parse_detection("To my knowledge this is undecidable."),
+            std::nullopt);
+  EXPECT_EQ(parse_detection("Yesterday it worked; today: yes."), true);
+}
+
+TEST(ParseDetection, FirstVerdictWins) {
+  EXPECT_EQ(parse_detection("yes... or maybe no"), true);
+  EXPECT_EQ(parse_detection("no, definitely not yes"), false);
+}
+
+TEST(ParseDetection, NoVerdict) {
+  EXPECT_EQ(parse_detection(""), std::nullopt);
+  EXPECT_EQ(parse_detection("I cannot process this request."), std::nullopt);
+}
+
+// ------------------------------------------------------------- var-id
+
+TEST(ParseVarId, StructuredJsonBlock) {
+  const char* response = R"(yes
+{
+  "data_race": 1,
+  "variable_names": ["a[i]", "a[i+1]"],
+  "variable_locations": [14, 14],
+  "operation_types": ["write", "read"]
+})";
+  const ParsedVarId parsed = parse_varid(response);
+  EXPECT_EQ(parsed.verdict, true);
+  EXPECT_TRUE(parsed.structured);
+  ASSERT_EQ(parsed.pairs.size(), 1u);
+  EXPECT_EQ(parsed.pairs[0].names[1], "a[i+1]");
+  EXPECT_EQ(parsed.pairs[0].lines[0], 14);
+  EXPECT_EQ(parsed.pairs[0].ops[0], "w");
+  EXPECT_EQ(parsed.pairs[0].ops[1], "r");
+}
+
+TEST(ParseVarId, ProseFallback) {
+  const char* response =
+      "Yes, the provided code exhibits data race issues. The data race is "
+      "caused by the variable 'x' at line 9 and the variable 'x' at line "
+      "26. Both instances involve write operations.";
+  const ParsedVarId parsed = parse_varid(response);
+  EXPECT_EQ(parsed.verdict, true);
+  EXPECT_FALSE(parsed.structured);
+  ASSERT_EQ(parsed.pairs.size(), 1u);
+  EXPECT_EQ(parsed.pairs[0].names[0], "x");
+  EXPECT_EQ(parsed.pairs[0].lines[0], 9);
+  EXPECT_EQ(parsed.pairs[0].lines[1], 26);
+}
+
+TEST(ParseVarId, MalformedJsonFallsBackToProse) {
+  const char* response =
+      "yes { this is not json } but the variable 'sum' at line 5 and the "
+      "variable 'sum' at line 5 race; a write operation and a read.";
+  const ParsedVarId parsed = parse_varid(response);
+  EXPECT_FALSE(parsed.structured);
+  ASSERT_EQ(parsed.pairs.size(), 1u);
+  EXPECT_EQ(parsed.pairs[0].names[0], "sum");
+}
+
+TEST(ParseVarId, CleanNoHasNoPairs) {
+  const ParsedVarId parsed = parse_varid("no, the code is free of data races.");
+  EXPECT_EQ(parsed.verdict, false);
+  EXPECT_TRUE(parsed.pairs.empty());
+}
+
+TEST(ParseVarId, DataRaceFieldOverridesVerdict) {
+  const char* response = R"({
+  "data_race": 0,
+  "variable_names": ["a", "b"],
+  "variable_locations": [1, 2],
+  "operation_types": ["write", "read"]
+})";
+  const ParsedVarId parsed = parse_varid(response);
+  EXPECT_EQ(parsed.verdict, false);
+  EXPECT_FALSE(parsed.pairs.empty());
+}
+
+// ------------------------------------------------------------- matching
+
+dataset::VarPairLabel make_label() {
+  dataset::VarPairLabel label;
+  label.name = {"a[i]", "a[i+1]"};
+  label.line = {14, 14};
+  label.col = {5, 10};
+  label.operation = {"w", "r"};
+  return label;
+}
+
+ParsedVarId with_pair(std::vector<std::string> names, std::vector<int> lines,
+                      std::vector<std::string> ops) {
+  ParsedVarId parsed;
+  parsed.verdict = true;
+  ParsedPair pair;
+  pair.names = std::move(names);
+  pair.lines = std::move(lines);
+  pair.ops = std::move(ops);
+  parsed.pairs.push_back(std::move(pair));
+  return parsed;
+}
+
+TEST(VaridMatch, ExactMatchSucceeds) {
+  dataset::Entry e;
+  e.data_race = 1;
+  e.var_pairs = {make_label()};
+  EXPECT_TRUE(varid_matches(
+      with_pair({"a[i]", "a[i+1]"}, {14, 14}, {"w", "r"}), e));
+}
+
+TEST(VaridMatch, SwappedOrderSucceeds) {
+  dataset::Entry e;
+  e.var_pairs = {make_label()};
+  EXPECT_TRUE(varid_matches(
+      with_pair({"a[i+1]", "a[i]"}, {14, 14}, {"r", "w"}), e));
+}
+
+TEST(VaridMatch, WrongLineFails) {
+  dataset::Entry e;
+  e.var_pairs = {make_label()};
+  EXPECT_FALSE(varid_matches(
+      with_pair({"a[i]", "a[i+1]"}, {15, 14}, {"w", "r"}), e));
+}
+
+TEST(VaridMatch, WrongOpFails) {
+  dataset::Entry e;
+  e.var_pairs = {make_label()};
+  EXPECT_FALSE(varid_matches(
+      with_pair({"a[i]", "a[i+1]"}, {14, 14}, {"w", "w"}), e));
+}
+
+TEST(VaridMatch, WhitespaceInsensitiveNames) {
+  dataset::Entry e;
+  e.var_pairs = {make_label()};
+  EXPECT_TRUE(varid_matches(
+      with_pair({"a[ i ]", "a[ i + 1 ]"}, {14, 14}, {"w", "r"}), e));
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, ConfusionMatrixBasics) {
+  ConfusionMatrix cm;
+  cm.add(true, true);    // TP
+  cm.add(true, false);   // FP
+  cm.add(false, false);  // TN
+  cm.add(false, true);   // FN
+  EXPECT_EQ(cm.tp, 1);
+  EXPECT_EQ(cm.fp, 1);
+  EXPECT_EQ(cm.tn, 1);
+  EXPECT_EQ(cm.fn, 1);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.5);
+  EXPECT_EQ(cm.total(), 4);
+}
+
+TEST(Metrics, DegenerateCasesAreZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Metrics, PaperTable2Values) {
+  // BP1 row: TP=66 FP=55 TN=43 FN=34 -> R=0.660, P=0.545, F1=0.597.
+  ConfusionMatrix cm;
+  cm.tp = 66;
+  cm.fp = 55;
+  cm.tn = 43;
+  cm.fn = 34;
+  EXPECT_NEAR(cm.recall(), 0.660, 1e-3);
+  EXPECT_NEAR(cm.precision(), 0.545, 5e-4);
+  EXPECT_NEAR(cm.f1(), 0.597, 5e-4);
+}
+
+TEST(Metrics, StatsAvgAndSd) {
+  const Stats s = Stats::of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.avg, 2.5);
+  EXPECT_NEAR(s.sd, 1.118, 1e-3);
+  const Stats empty = Stats::of({});
+  EXPECT_EQ(empty.avg, 0.0);
+}
+
+// ------------------------------------------------------------- subset
+
+TEST(Subset, PaperCutIs198With100Positives) {
+  const auto subset = token_filtered_subset();
+  EXPECT_EQ(subset.size(), 198u);
+  int yes = 0;
+  for (const auto* e : subset) yes += e->data_race;
+  EXPECT_EQ(yes, 100);
+}
+
+TEST(Subset, TightLimitShrinksFurther) {
+  EXPECT_LT(token_filtered_subset(100).size(),
+            token_filtered_subset(4000).size());
+}
+
+// ------------------------------------------------------------- runners
+
+TEST(Runners, DetectionMatrixCoversWholeSubset) {
+  const auto subset = token_filtered_subset();
+  llm::ChatModel model(llm::gpt4_persona());
+  const ConfusionMatrix cm = run_detection(model, prompts::Style::P1, subset);
+  EXPECT_EQ(cm.total(), static_cast<int>(subset.size()));
+  EXPECT_EQ(cm.tp + cm.fn, 100);
+  EXPECT_EQ(cm.fp + cm.tn, 98);
+}
+
+TEST(Runners, DetectionIsDeterministic) {
+  const auto subset = token_filtered_subset();
+  llm::ChatModel model(llm::gpt35_persona());
+  const ConfusionMatrix a = run_detection(model, prompts::Style::P3, subset);
+  const ConfusionMatrix b = run_detection(model, prompts::Style::P3, subset);
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.fp, b.fp);
+}
+
+TEST(Runners, TraditionalToolBeatsEveryLlm) {
+  const auto subset = token_filtered_subset();
+  const ConfusionMatrix tool = run_traditional_tool(subset);
+  for (const llm::Persona& p : llm::all_personas()) {
+    llm::ChatModel model(p);
+    const ConfusionMatrix cm = run_detection(model, prompts::Style::P1, subset);
+    EXPECT_GT(tool.f1(), cm.f1()) << p.name;
+  }
+}
+
+TEST(Runners, Gpt4IsBestLlmOnF1) {
+  const auto subset = token_filtered_subset();
+  llm::ChatModel gpt4(llm::gpt4_persona());
+  const double gpt4_f1 =
+      run_detection(gpt4, prompts::Style::P1, subset).f1();
+  for (const llm::Persona& p : llm::all_personas()) {
+    if (p.key == "gpt4") continue;
+    llm::ChatModel model(p);
+    EXPECT_GT(gpt4_f1,
+              run_detection(model, prompts::Style::P1, subset).f1())
+        << p.name;
+  }
+}
+
+TEST(Runners, CvProducesFiveFolds) {
+  const CvResult cv =
+      run_cv(llm::llama2_persona(), Objective::Detection, false);
+  EXPECT_EQ(cv.folds.size(), 5u);
+  int total = 0;
+  for (const auto& fold : cv.folds) total += fold.total();
+  EXPECT_EQ(total, 198);
+}
+
+TEST(Runners, FinetuningImprovesStarChatF1) {
+  const CvResult base =
+      run_cv(llm::starchat_persona(), Objective::Detection, false);
+  const CvResult ft =
+      run_cv(llm::starchat_persona(), Objective::Detection, true);
+  EXPECT_GT(ft.f1.avg, base.f1.avg);
+}
+
+TEST(Runners, VarIdIsMuchHarderThanDetection) {
+  const auto subset = token_filtered_subset();
+  llm::ChatModel gpt4(llm::gpt4_persona());
+  const double detection_f1 =
+      run_detection(gpt4, prompts::Style::P1, subset).f1();
+  const double varid_f1 = run_varid(gpt4, subset).f1();
+  EXPECT_LT(varid_f1, detection_f1 / 2.0);
+}
+
+}  // namespace
+}  // namespace drbml::eval

@@ -1,0 +1,241 @@
+// Interpreter builtin and language-feature coverage beyond the core
+// runtime tests: libc math, stdio formats, process control, OpenMP
+// runtime queries, threadprivate storage, and pointer-heavy idioms.
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+#include "runtime/interp.hpp"
+
+namespace drbml::runtime {
+namespace {
+
+RunResult run_src(const char* src, RunOptions opts = {}) {
+  minic::Program p = minic::parse_program(src);
+  analysis::Resolution res = analysis::resolve(*p.unit);
+  return run_program(*p.unit, res, opts);
+}
+
+TEST(Builtins, MathFunctions) {
+  auto r = run_src(
+      "int main() { printf(\"%0.2f %0.2f %0.2f %0.2f\", sqrt(16.0), "
+      "fabs(-2.5), pow(2.0, 10.0), fmax(1.5, fmin(9.0, 3.5))); return 0; }");
+  EXPECT_EQ(r.output, "4.00 2.50 1024.00 3.50");
+}
+
+TEST(Builtins, AbsAndModuloChain) {
+  auto r = run_src(
+      "int main() { printf(\"%d %d\", abs(-7), (13 % 5) * abs(3 - 8)); "
+      "return 0; }");
+  EXPECT_EQ(r.output, "7 15");
+}
+
+TEST(Builtins, PrintfFormats) {
+  auto r = run_src(
+      "int main() { printf(\"%5d|%-4d|%03d|%x|%c|%s\", 42, 7, 5, 255, 65, "
+      "\"ok\"); return 0; }");
+  EXPECT_EQ(r.output, "   42|7   |005|ff|A|ok");
+}
+
+TEST(Builtins, PutsAndPutchar) {
+  auto r = run_src(
+      "int main() { puts(\"line\"); putchar('x'); putchar('\\n'); return 0; "
+      "}");
+  EXPECT_EQ(r.output, "line\nx\n");
+}
+
+TEST(Builtins, ExitTerminatesProgram) {
+  auto r = run_src(
+      "int main() { printf(\"before\"); exit(3); printf(\"after\"); return "
+      "0; }");
+  EXPECT_EQ(r.output, "before");
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_FALSE(r.faulted);
+}
+
+TEST(Builtins, AbortFaults) {
+  auto r = run_src("int main() { abort(); return 0; }");
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Builtins, AssertPassAndFail) {
+  EXPECT_FALSE(run_src("int main() { assert(1 + 1 == 2); return 0; }").faulted);
+  EXPECT_TRUE(run_src("int main() { assert(1 == 2); return 0; }").faulted);
+}
+
+TEST(Builtins, RandIsDeterministicAndSeedable) {
+  const char* src =
+      "int main() { srand(7); printf(\"%d %d\", rand() % 100, rand() % "
+      "100); return 0; }";
+  auto a = run_src(src);
+  auto b = run_src(src);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Builtins, AtoiAtof) {
+  auto r = run_src(
+      "int main() { printf(\"%d %0.1f\", atoi(\"123\"), atof(\"2.5\")); "
+      "return 0; }");
+  EXPECT_EQ(r.output, "123 2.5");
+}
+
+TEST(Builtins, OmpRuntimeQueriesOutsideRegion) {
+  auto r = run_src(
+      "int main() { printf(\"%d %d %d\", omp_get_thread_num(), "
+      "omp_get_num_threads(), omp_in_parallel()); return 0; }");
+  EXPECT_EQ(r.output, "0 1 0");
+}
+
+TEST(Builtins, OmpWtimeMonotonic) {
+  auto r = run_src(
+      "int main() {\n"
+      "  double t0 = omp_get_wtime();\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 100; i++) s += i;\n"
+      "  double t1 = omp_get_wtime();\n"
+      "  printf(\"%d %d\", s, t1 >= t0 ? 1 : 0);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "4950 1");
+}
+
+TEST(Builtins, OmpSetNumThreadsAffectsNextRegion) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int n = 0;\n"
+      "  omp_set_num_threads(2);\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp single\n"
+      "    { n = omp_get_num_threads(); }\n"
+      "  }\n"
+      "  printf(\"%d\", n);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "2");
+}
+
+TEST(Builtins, TestLockAcquiresWhenFree) {
+  auto r = run_src(
+      "int main() {\n"
+      "  omp_lock_t l;\n"
+      "  omp_init_lock(&l);\n"
+      "  int got = omp_test_lock(&l);\n"
+      "  omp_unset_lock(&l);\n"
+      "  printf(\"%d\", got);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "1");
+}
+
+TEST(Language, ThreadprivatePersistsPerThread) {
+  auto r = run_src(
+      "int counter = 0;\n"
+      "#pragma omp threadprivate(counter)\n"
+      "int main() {\n"
+      "  int sum = 0;\n"
+      "#pragma omp parallel num_threads(4) reduction(+:sum)\n"
+      "  {\n"
+      "    counter = counter + 1;\n"
+      "    counter = counter + 1;\n"
+      "    sum = sum + counter;\n"
+      "  }\n"
+      "  printf(\"%d\", sum);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(r.faulted) << r.fault_message;
+  EXPECT_EQ(r.output, "8");  // 4 threads x private counter reaching 2
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Language, PointerParameterWritesPropagate) {
+  auto r = run_src(
+      "void twice(int* x) { x[0] = x[0] * 2; }\n"
+      "int main() { int v = 21; twice(&v); printf(\"%d\", v); return 0; }");
+  EXPECT_EQ(r.output, "42");
+}
+
+TEST(Language, GlobalArrayInitializerList) {
+  auto r = run_src(
+      "double w[3] = {0.5, 1.5, 2.5};\n"
+      "int main() { printf(\"%0.1f\", w[0] + w[1] + w[2]); return 0; }");
+  EXPECT_EQ(r.output, "4.5");
+}
+
+TEST(Language, NestedInitializerList) {
+  auto r = run_src(
+      "int m[2][2] = {{1, 2}, {3, 4}};\n"
+      "int main() { printf(\"%d\", m[0][0] + m[0][1] + m[1][0] + m[1][1]); "
+      "return 0; }");
+  EXPECT_EQ(r.output, "10");
+}
+
+TEST(Language, CharLiteralsAndStrings) {
+  auto r = run_src(
+      "int main() { char c = 'Z'; printf(\"%c%d\", c, c - 'A'); return 0; }");
+  EXPECT_EQ(r.output, "Z25");
+}
+
+TEST(Language, CastTruncation) {
+  auto r = run_src(
+      "int main() { double d = 3.9; int x = (int)d; printf(\"%d\", x); "
+      "return 0; }");
+  EXPECT_EQ(r.output, "3");
+}
+
+TEST(Language, CommaOperatorInForLoop) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int i;\n"
+      "  int j = 10;\n"
+      "  int s = 0;\n"
+      "  for (i = 0; i < 5; i++, j--) s += i * j;\n"
+      "  printf(\"%d\", s);\n"
+      "  return 0;\n"
+      "}");
+  // i*j for (0,10),(1,9),(2,8),(3,7),(4,6) -> 0+9+16+21+24 = 70.
+  EXPECT_EQ(r.output, "70");
+}
+
+TEST(Language, NestedParallelSerializes) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int inner = -1;\n"
+      "#pragma omp parallel num_threads(2)\n"
+      "  {\n"
+      "#pragma omp single\n"
+      "    {\n"
+      "#pragma omp parallel\n"
+      "      {\n"
+      "#pragma omp single\n"
+      "        { inner = omp_get_num_threads(); }\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "  printf(\"%d\", inner);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(r.faulted) << r.fault_message;
+  EXPECT_EQ(r.output, "1");  // nested teams run serialized
+}
+
+TEST(Language, NegativeModuloAndDivision) {
+  auto r = run_src(
+      "int main() { printf(\"%d %d\", -7 / 2, -7 % 2); return 0; }");
+  EXPECT_EQ(r.output, "-3 -1");
+}
+
+TEST(Language, ShortCircuitSideEffects) {
+  auto r = run_src(
+      "int bump(int* c) { c[0] = c[0] + 1; return 1; }\n"
+      "int main() {\n"
+      "  int calls = 0;\n"
+      "  int x = 0 && bump(&calls);\n"
+      "  int y = 1 || bump(&calls);\n"
+      "  printf(\"%d %d %d\", calls, x, y);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "0 0 1");
+}
+
+}  // namespace
+}  // namespace drbml::runtime

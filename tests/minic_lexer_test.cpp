@@ -1,0 +1,181 @@
+// Unit tests for comment stripping and the Mini-C lexer.
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+#include "minic/source.hpp"
+#include "support/error.hpp"
+
+namespace drbml::minic {
+namespace {
+
+// ----------------------------------------------------------- strip_comments
+
+TEST(StripComments, RemovesLineAndBlockComments) {
+  const char* src =
+      "int x; // trailing\n"
+      "/* block */ int y;\n";
+  auto r = strip_comments(src);
+  // Comment bodies blank to spaces so that code keeps its original columns
+  // (trimmed-code coordinates must match the parsed AST locations).
+  EXPECT_EQ(r.trimmed, "int x;\n            int y;\n");
+}
+
+TEST(StripComments, DropsCommentOnlyAndBlankLines) {
+  const char* src =
+      "/*\n"
+      " * header comment\n"
+      " */\n"
+      "\n"
+      "int main() {\n"
+      "  return 0;\n"
+      "}\n";
+  auto r = strip_comments(src);
+  EXPECT_EQ(r.trimmed,
+            "int main() {\n"
+            "  return 0;\n"
+            "}\n");
+  // Lines 1-4 dropped; line 5 maps to trimmed line 1.
+  EXPECT_EQ(r.to_trimmed_line(1), 0);
+  EXPECT_EQ(r.to_trimmed_line(4), 0);
+  EXPECT_EQ(r.to_trimmed_line(5), 1);
+  EXPECT_EQ(r.to_trimmed_line(6), 2);
+}
+
+TEST(StripComments, LineMapOutOfRangeIsZero) {
+  auto r = strip_comments("int x;\n");
+  EXPECT_EQ(r.to_trimmed_line(0), 0);
+  EXPECT_EQ(r.to_trimmed_line(99), 0);
+}
+
+TEST(StripComments, PreservesCommentMarkersInStrings) {
+  const char* src = "char* s = \"no // comment /* here */\";\n";
+  auto r = strip_comments(src);
+  EXPECT_EQ(r.trimmed, std::string(src));
+}
+
+TEST(StripComments, BlockCommentSpanningLinesKeepsCodeColumns) {
+  const char* src = "int a; /* one\ntwo */ int b;\n";
+  auto r = strip_comments(src);
+  EXPECT_EQ(r.trimmed, "int a;\n       int b;\n");
+  EXPECT_EQ(r.to_trimmed_line(2), 2);
+}
+
+TEST(StripComments, DivisionIsNotAComment) {
+  auto r = strip_comments("int x = a / b;\n");
+  EXPECT_EQ(r.trimmed, "int x = a / b;\n");
+}
+
+TEST(ExtractComments, FindsAllComments) {
+  const char* src =
+      "// first\n"
+      "int x; /* second */\n"
+      "char* s = \"// not a comment\";\n";
+  auto c = extract_comments(src);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], " first");
+  EXPECT_EQ(c[1], " second ");
+}
+
+TEST(ExtractComments, MultiLineBlock) {
+  auto c = extract_comments("/*a\nb*/\n");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], "a\nb");
+}
+
+// ----------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesBasicProgram) {
+  auto toks = lex("int main() { return 0; }");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_TRUE(toks[0].is_keyword("int"));
+  EXPECT_TRUE(toks[1].is_ident("main"));
+  EXPECT_TRUE(toks[2].is_punct("("));
+  EXPECT_TRUE(toks.back().is(TokenKind::End));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = lex("int a;\n  a = 1;\n");
+  // 'a' on line 2 starts at column 3.
+  ASSERT_TRUE(toks[3].is_ident("a"));
+  EXPECT_EQ(toks[3].loc.line, 2);
+  EXPECT_EQ(toks[3].loc.col, 3);
+}
+
+TEST(Lexer, IntAndFloatLiterals) {
+  auto toks = lex("42 3.5 1e3 0x1F 100u 2.0f 7L");
+  EXPECT_EQ(toks[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.5);
+  EXPECT_EQ(toks[2].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_EQ(toks[3].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[3].int_value, 31);
+  EXPECT_EQ(toks[4].int_value, 100);
+  EXPECT_EQ(toks[5].kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(toks[6].int_value, 7);
+}
+
+TEST(Lexer, StringLiteralDecodesEscapes) {
+  auto toks = lex(R"("a\n\t\"b\"")");
+  ASSERT_EQ(toks[0].kind, TokenKind::StringLiteral);
+  EXPECT_EQ(toks[0].string_value, "a\n\t\"b\"");
+}
+
+TEST(Lexer, CharLiteral) {
+  auto toks = lex("'x' '\\n'");
+  EXPECT_EQ(toks[0].int_value, 'x');
+  EXPECT_EQ(toks[1].int_value, '\n');
+}
+
+TEST(Lexer, MultiCharPunctuation) {
+  auto toks = lex("a += b && c <<= d != e++");
+  EXPECT_TRUE(toks[1].is_punct("+="));
+  EXPECT_TRUE(toks[3].is_punct("&&"));
+  EXPECT_TRUE(toks[5].is_punct("<<="));
+  EXPECT_TRUE(toks[7].is_punct("!="));
+  EXPECT_TRUE(toks[9].is_punct("++"));
+}
+
+TEST(Lexer, PragmaBecomesSingleToken) {
+  auto toks = lex("#pragma omp parallel for private(i)\nint x;\n");
+  ASSERT_EQ(toks[0].kind, TokenKind::Pragma);
+  EXPECT_NE(toks[0].text.find("omp parallel for"), std::string::npos);
+  EXPECT_TRUE(toks[1].is_keyword("int"));
+}
+
+TEST(Lexer, PragmaLineContinuation) {
+  auto toks = lex("#pragma omp parallel for \\\n  reduction(+:sum)\nint x;\n");
+  ASSERT_EQ(toks[0].kind, TokenKind::Pragma);
+  EXPECT_NE(toks[0].text.find("reduction"), std::string::npos);
+}
+
+TEST(Lexer, IncludeLinesAreSkipped) {
+  auto toks = lex("#include <stdio.h>\n#include \"foo.h\"\nint x;\n");
+  EXPECT_TRUE(toks[0].is_keyword("int"));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = lex("int /* hi */ x; // bye\n");
+  EXPECT_TRUE(toks[0].is_keyword("int"));
+  EXPECT_TRUE(toks[1].is_ident("x"));
+  EXPECT_TRUE(toks[2].is_punct(";"));
+}
+
+TEST(Lexer, ThrowsOnUnterminatedString) {
+  EXPECT_THROW(lex("\"abc"), ParseError);
+}
+
+TEST(Lexer, ThrowsOnBadCharacter) {
+  EXPECT_THROW(lex("int @x;"), ParseError);
+}
+
+TEST(Lexer, KeywordsRecognized) {
+  EXPECT_TRUE(is_keyword_word("for"));
+  EXPECT_TRUE(is_keyword_word("unsigned"));
+  EXPECT_FALSE(is_keyword_word("omp"));
+  EXPECT_FALSE(is_keyword_word("main"));
+}
+
+}  // namespace
+}  // namespace drbml::minic

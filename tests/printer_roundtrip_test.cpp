@@ -1,0 +1,59 @@
+// Printer fidelity properties, parameterized over the whole corpus:
+// pretty-printed programs must re-parse, re-print to a fixed point, and
+// preserve the static race verdict.
+#include <gtest/gtest.h>
+
+#include "analysis/race.hpp"
+#include "drb/corpus.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+
+namespace drbml::minic {
+namespace {
+
+class PrinterRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  const drb::CorpusEntry& entry() const {
+    return drb::corpus()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(PrinterRoundTrip, PrintedFormReparses) {
+  Program p = parse_program(entry().body);
+  const std::string printed = unit_to_string(*p.unit);
+  Program p2 = parse_program(printed);
+  EXPECT_NE(p2.unit->find_function("main"), nullptr) << entry().name;
+}
+
+TEST_P(PrinterRoundTrip, PrintingReachesFixedPoint) {
+  Program p = parse_program(entry().body);
+  const std::string once = unit_to_string(*p.unit);
+  Program p2 = parse_program(once);
+  const std::string twice = unit_to_string(*p2.unit);
+  EXPECT_EQ(once, twice) << entry().name;
+}
+
+TEST_P(PrinterRoundTrip, StaticVerdictSurvivesPrinting) {
+  analysis::StaticRaceDetector detector;
+  const bool original =
+      detector.analyze_source(entry().body).race_detected;
+  Program p = parse_program(entry().body);
+  const bool printed =
+      detector.analyze_source(unit_to_string(*p.unit)).race_detected;
+  EXPECT_EQ(original, printed) << entry().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PrinterRoundTrip,
+    ::testing::Range(0, static_cast<int>(drb::corpus().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name =
+          drb::corpus()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace drbml::minic

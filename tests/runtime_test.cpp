@@ -1,0 +1,566 @@
+// Tests for the interpreter, cooperative scheduler, and dynamic
+// (vector-clock) race detector.
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+#include "runtime/dynamic.hpp"
+#include "runtime/interp.hpp"
+
+namespace drbml::runtime {
+namespace {
+
+RunResult run_src(const char* src, RunOptions opts = {}) {
+  minic::Program p = minic::parse_program(src);
+  analysis::Resolution res = analysis::resolve(*p.unit);
+  return run_program(*p.unit, res, opts);
+}
+
+analysis::RaceReport detect(const char* src) {
+  DynamicRaceDetector detector;
+  return detector.analyze_source(src);
+}
+
+// ---------------------------------------------------------------- sequential
+
+TEST(Interp, ArithmeticAndPrintf) {
+  auto r = run_src(
+      "int main() { int x = 6; double y = 2.5; printf(\"%d %0.1f %d\\n\", "
+      "x * 7, y * 2.0, x % 4); return 0; }");
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.output, "42 5.0 2\n");
+}
+
+TEST(Interp, ExitCodeFromMain) {
+  EXPECT_EQ(run_src("int main() { return 3 + 4; }").exit_code, 7);
+}
+
+TEST(Interp, ForLoopAccumulates) {
+  auto r = run_src(
+      "int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; "
+      "printf(\"%d\", s); return 0; }");
+  EXPECT_EQ(r.output, "55");
+}
+
+TEST(Interp, WhileAndBreakContinue) {
+  auto r = run_src(
+      "int main() { int i = 0; int s = 0; while (1) { i++; if (i > 10) "
+      "break; if (i % 2 == 0) continue; s += i; } printf(\"%d\", s); return "
+      "0; }");
+  EXPECT_EQ(r.output, "25");
+}
+
+TEST(Interp, ArraysAndMultiDim) {
+  auto r = run_src(
+      "int main() { int a[3][4]; for (int i = 0; i < 3; i++) for (int j = "
+      "0; j < 4; j++) a[i][j] = i * 10 + j; printf(\"%d %d\", a[2][3], "
+      "a[0][1]); return 0; }");
+  EXPECT_EQ(r.output, "23 1");
+}
+
+TEST(Interp, GlobalInitializerList) {
+  auto r = run_src(
+      "int tab[4] = {2, 3, 5, 7};\n"
+      "int main() { printf(\"%d\", tab[0] + tab[1] + tab[2] + tab[3]); "
+      "return 0; }");
+  EXPECT_EQ(r.output, "17");
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  auto r = run_src(
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+      "int main() { printf(\"%d\", fib(10)); return 0; }");
+  EXPECT_EQ(r.output, "55");
+}
+
+TEST(Interp, FunctionMutatesArrayThroughPointer) {
+  auto r = run_src(
+      "void fill(int* a, int n, int v) { for (int i = 0; i < n; i++) a[i] = "
+      "v; }\n"
+      "int main() { int b[5]; fill(b, 5, 9); printf(\"%d\", b[4]); return 0; "
+      "}");
+  EXPECT_EQ(r.output, "9");
+}
+
+TEST(Interp, MallocFreeSizeofConvention) {
+  auto r = run_src(
+      "int main() { int* p = (int*)malloc(10 * sizeof(int)); for (int i = "
+      "0; i < 10; i++) p[i] = i; int s = 0; for (int i = 0; i < 10; i++) s "
+      "+= p[i]; free(p); printf(\"%d\", s); return 0; }");
+  EXPECT_FALSE(r.faulted) << r.fault_message;
+  EXPECT_EQ(r.output, "45");
+}
+
+TEST(Interp, OutOfBoundsFaults) {
+  auto r = run_src("int main() { int a[3]; a[5] = 1; return 0; }");
+  EXPECT_TRUE(r.faulted);
+  EXPECT_NE(r.fault_message.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(Interp, UseAfterFreeFaults) {
+  auto r = run_src(
+      "int main() { int* p = (int*)malloc(4); free(p); p[0] = 1; return 0; "
+      "}");
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Interp, DivisionByZeroFaults) {
+  auto r = run_src("int main() { int x = 1; int y = x / (x - x); return y; }");
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Interp, InfiniteLoopHitsStepLimit) {
+  RunOptions opts;
+  opts.step_limit = 10000;
+  auto r = run_src("int main() { int x = 0; while (1) { x = x + 1; } }", opts);
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Interp, PointerArithmetic) {
+  auto r = run_src(
+      "int main() { int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; "
+      "int* p = a; p = p + 2; printf(\"%d %d\", *p, p[1]); return 0; }");
+  EXPECT_EQ(r.output, "4 9");
+}
+
+TEST(Interp, TernaryAndLogicalShortCircuit) {
+  auto r = run_src(
+      "int main() { int a[2]; a[0] = 1; int i = 5; int v = (i < 2 && a[i]) "
+      "? 1 : 0; printf(\"%d\", v); return 0; }");
+  // a[i] must not be evaluated (it would be out of bounds).
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.output, "0");
+}
+
+// ---------------------------------------------------------------- parallel
+
+TEST(Parallel, ReductionComputesCorrectSum) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int sum = 0;\n"
+      "#pragma omp parallel for reduction(+:sum)\n"
+      "  for (int i = 1; i <= 100; i++) sum += i;\n"
+      "  printf(\"%d\", sum);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(r.faulted) << r.fault_message;
+  EXPECT_EQ(r.output, "5050");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, ParallelForWritesAllElements) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int a[64];\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 64; i++) a[i] = i;\n"
+      "  int bad = 0;\n"
+      "  for (int i = 0; i < 64; i++) if (a[i] != i) bad++;\n"
+      "  printf(\"%d\", bad);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "0");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, CriticalCounterIsExact) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int count = 0;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 50; i++) {\n"
+      "#pragma omp critical\n"
+      "    { count = count + 1; }\n"
+      "  }\n"
+      "  printf(\"%d\", count);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "50");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, AtomicCounterIsExactAndRaceFree) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int count = 0;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 50; i++) {\n"
+      "#pragma omp atomic\n"
+      "    count += 1;\n"
+      "  }\n"
+      "  printf(\"%d\", count);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "50");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, ThreadNumAndNumThreads) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int seen[16];\n"
+      "  for (int i = 0; i < 16; i++) seen[i] = 0;\n"
+      "#pragma omp parallel num_threads(4)\n"
+      "  { seen[omp_get_thread_num()] = omp_get_num_threads(); }\n"
+      "  printf(\"%d%d%d%d\", seen[0], seen[1], seen[2], seen[3]);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "4444");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, OmpLockProtects) {
+  auto r = run_src(
+      "int main() {\n"
+      "  omp_lock_t lck;\n"
+      "  int count = 0;\n"
+      "  omp_init_lock(&lck);\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 40; i++) {\n"
+      "    omp_set_lock(&lck);\n"
+      "    count = count + 1;\n"
+      "    omp_unset_lock(&lck);\n"
+      "  }\n"
+      "  omp_destroy_lock(&lck);\n"
+      "  printf(\"%d\", count);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "40");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, FirstprivateCopiesValue) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int base = 7;\n"
+      "  int a[32];\n"
+      "#pragma omp parallel for firstprivate(base)\n"
+      "  for (int i = 0; i < 32; i++) a[i] = base + i;\n"
+      "  printf(\"%d %d\", a[0], a[31]);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "7 38");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, LastprivateWritesBack) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int last = -1;\n"
+      "  int a[32];\n"
+      "  for (int i = 0; i < 32; i++) a[i] = i * 2;\n"
+      "#pragma omp parallel for lastprivate(last)\n"
+      "  for (int i = 0; i < 32; i++) last = a[i];\n"
+      "  printf(\"%d\", last);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "62");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, SingleExecutesOnce) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int count = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp single\n"
+      "    { count = count + 1; }\n"
+      "  }\n"
+      "  printf(\"%d\", count);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "1");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, SectionsRunAll) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "  int y = 0;\n"
+      "#pragma omp parallel sections\n"
+      "  {\n"
+      "#pragma omp section\n"
+      "    { x = 11; }\n"
+      "#pragma omp section\n"
+      "    { y = 22; }\n"
+      "  }\n"
+      "  printf(\"%d %d\", x, y);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "11 22");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, OrderedPreservesOrder) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int log[10];\n"
+      "  int pos = 0;\n"
+      "#pragma omp parallel for ordered\n"
+      "  for (int i = 0; i < 10; i++) {\n"
+      "#pragma omp ordered\n"
+      "    { log[pos] = i; pos = pos + 1; }\n"
+      "  }\n"
+      "  int bad = 0;\n"
+      "  for (int i = 0; i < 10; i++) if (log[i] != i) bad++;\n"
+      "  printf(\"%d\", bad);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "0");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, TaskProducesResultWithTaskwait) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma omp parallel\n"
+      "#pragma omp single\n"
+      "  {\n"
+      "#pragma omp task\n"
+      "    { x = 42; }\n"
+      "#pragma omp taskwait\n"
+      "    printf(\"%d\", x);\n"
+      "  }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "42");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+TEST(Parallel, ScheduleStaticChunk) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int a[40];\n"
+      "#pragma omp parallel for schedule(static, 2)\n"
+      "  for (int i = 0; i < 40; i++) a[i] = i + 1;\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 40; i++) s += a[i];\n"
+      "  printf(\"%d\", s);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "820");
+}
+
+TEST(Parallel, CollapseCoversFullSpace) {
+  auto r = run_src(
+      "int main() {\n"
+      "  int m[6][7];\n"
+      "#pragma omp parallel for collapse(2)\n"
+      "  for (int i = 0; i < 6; i++)\n"
+      "    for (int j = 0; j < 7; j++)\n"
+      "      m[i][j] = 1;\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 6; i++)\n"
+      "    for (int j = 0; j < 7; j++)\n"
+      "      s += m[i][j];\n"
+      "  printf(\"%d\", s);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(r.output, "42");
+  EXPECT_FALSE(r.report.race_detected);
+}
+
+// ------------------------------------------------------------ race detection
+
+TEST(DynamicRace, AntiDependenceDetected) {
+  auto report = detect(
+      "int main() {\n"
+      "  int a[100];\n"
+      "  for (int i = 0; i < 100; i++) a[i] = i;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 99; i++) a[i] = a[i+1] + 1;\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_TRUE(report.race_detected);
+  EXPECT_EQ(report.pairs[0].first.var_name, "a");
+  EXPECT_EQ(report.pairs[0].first.op, 'w');
+}
+
+TEST(DynamicRace, SharedSumDetected) {
+  auto report = detect(
+      "int main() {\n"
+      "  int sum = 0;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 64; i++) sum = sum + i;\n"
+      "  return sum;\n"
+      "}");
+  ASSERT_TRUE(report.race_detected);
+  EXPECT_EQ(report.pairs[0].first.var_name, "sum");
+}
+
+TEST(DynamicRace, DisjointWritesClean) {
+  auto report = detect(
+      "int main() {\n"
+      "  int a[128];\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 128; i++) a[i] = i;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(report.race_detected);
+}
+
+TEST(DynamicRace, IndirectIndexRealRaceDetected) {
+  // All idx entries collide on element 0: a genuine race a static tool can
+  // only guess at.
+  auto report = detect(
+      "int main() {\n"
+      "  int idx[64];\n"
+      "  int a[64];\n"
+      "  for (int i = 0; i < 64; i++) idx[i] = 0;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 64; i++) a[idx[i]] = i;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_TRUE(report.race_detected);
+}
+
+TEST(DynamicRace, IndirectIndexDisjointClean) {
+  auto report = detect(
+      "int main() {\n"
+      "  int idx[64];\n"
+      "  int a[64];\n"
+      "  for (int i = 0; i < 64; i++) idx[i] = i;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 64; i++) a[idx[i]] = i;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(report.race_detected);
+}
+
+TEST(DynamicRace, MasterNoBarrierDetected) {
+  auto report = detect(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp master\n"
+      "    { x = 1; }\n"
+      "    int y = x + 1;\n"
+      "    y = y + 1;\n"
+      "  }\n"
+      "  return x;\n"
+      "}");
+  EXPECT_TRUE(report.race_detected);
+}
+
+TEST(DynamicRace, SingleBarrierClean) {
+  auto report = detect(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp single\n"
+      "    { x = 1; }\n"
+      "    int y = x + 1;\n"
+      "    y = y + 1;\n"
+      "  }\n"
+      "  return x;\n"
+      "}");
+  EXPECT_FALSE(report.race_detected);
+}
+
+TEST(DynamicRace, NowaitLoopsDetected) {
+  auto report = detect(
+      "int main() {\n"
+      "  int a[64];\n"
+      "  int b[64];\n"
+      "  for (int i = 0; i < 64; i++) a[i] = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp for nowait\n"
+      "    for (int i = 0; i < 64; i++) a[i] = i;\n"
+      "#pragma omp for\n"
+      "    for (int i = 0; i < 64; i++) b[i] = a[63 - i];\n"
+      "  }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_TRUE(report.race_detected);
+}
+
+TEST(DynamicRace, BarrierSeparatedLoopsClean) {
+  auto report = detect(
+      "int main() {\n"
+      "  int a[64];\n"
+      "  int b[64];\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp for\n"
+      "    for (int i = 0; i < 64; i++) a[i] = i;\n"
+      "#pragma omp for\n"
+      "    for (int i = 0; i < 64; i++) b[i] = a[63 - i];\n"
+      "  }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(report.race_detected);
+}
+
+TEST(DynamicRace, TasksWithoutSyncDetected) {
+  auto report = detect(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma omp parallel\n"
+      "#pragma omp single\n"
+      "  {\n"
+      "#pragma omp task\n"
+      "    { x = 1; }\n"
+      "#pragma omp task\n"
+      "    { x = 2; }\n"
+      "  }\n"
+      "  return x;\n"
+      "}");
+  EXPECT_TRUE(report.race_detected);
+}
+
+TEST(DynamicRace, TaskDependClean) {
+  auto report = detect(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma omp parallel\n"
+      "#pragma omp single\n"
+      "  {\n"
+      "#pragma omp task depend(out: x)\n"
+      "    { x = 1; }\n"
+      "#pragma omp task depend(in: x)\n"
+      "    { int y = x; y = y + 1; }\n"
+      "  }\n"
+      "  return x;\n"
+      "}");
+  EXPECT_FALSE(report.race_detected);
+}
+
+TEST(DynamicRace, ResultsAreDeterministic) {
+  const char* src =
+      "int main() {\n"
+      "  int sum = 0;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 32; i++) sum = sum + i;\n"
+      "  return sum;\n"
+      "}";
+  DynamicRaceDetector d;
+  auto a = d.run_once(src, 7);
+  auto b = d.run_once(src, 7);
+  EXPECT_EQ(a.report.pairs.size(), b.report.pairs.size());
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(DynamicRace, RaceReportCoordinatesAreTrimmed) {
+  auto report = detect(
+      "/* two comment lines\n"
+      "   before code */\n"
+      "int main() {\n"
+      "  int a[50];\n"
+      "  for (int i = 0; i < 50; i++) a[i] = i;\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 49; i++)\n"
+      "    a[i] = a[i+1] + 1;\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_TRUE(report.race_detected);
+  EXPECT_EQ(report.pairs[0].first.loc.line, 6);  // trimmed coordinates
+}
+
+}  // namespace
+}  // namespace drbml::runtime

@@ -1,0 +1,307 @@
+// Fine-grained unit tests for runtime primitives: values, vector clocks,
+// memory/shadow state -- and for the analysis access collector's
+// annotations (sharing classes, phases, locksets) inspected directly.
+#include <gtest/gtest.h>
+
+#include "analysis/access.hpp"
+#include "analysis/resolve.hpp"
+#include "minic/parser.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/value.hpp"
+#include "runtime/vc.hpp"
+#include "support/error.hpp"
+
+namespace drbml {
+namespace {
+
+// ------------------------------------------------------------- Value
+
+TEST(Value, CoercionsFollowC) {
+  using runtime::Value;
+  EXPECT_EQ(Value::of_double(3.9).as_int(), 3);
+  EXPECT_DOUBLE_EQ(Value::of_int(7).as_double(), 7.0);
+  EXPECT_TRUE(Value::of_int(1).truthy());
+  EXPECT_FALSE(Value::of_int(0).truthy());
+  EXPECT_FALSE(Value::of_double(0.0).truthy());
+  EXPECT_FALSE(Value::of_ptr({}).truthy());
+  EXPECT_TRUE(Value::of_ptr({3, 0}).truthy());
+}
+
+TEST(Value, ToStringForms) {
+  using runtime::Value;
+  EXPECT_EQ(Value::of_int(5).to_string(), "5");
+  EXPECT_EQ(Value::of_ptr({}).to_string(), "nullptr");
+  EXPECT_EQ(Value::of_ptr({2, 7}).to_string(), "&obj2[7]");
+}
+
+// ------------------------------------------------------------- VectorClock
+
+TEST(VectorClock, JoinIsPointwiseMax) {
+  runtime::VectorClock a;
+  runtime::VectorClock b;
+  a.set(0, 3);
+  a.set(2, 1);
+  b.set(0, 1);
+  b.set(1, 5);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(1), 5u);
+  EXPECT_EQ(a.get(2), 1u);
+  EXPECT_EQ(a.get(9), 0u);  // missing entries read as zero
+}
+
+TEST(VectorClock, LeqIsHappensBefore) {
+  runtime::VectorClock a;
+  runtime::VectorClock b;
+  a.set(0, 1);
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  // Concurrent clocks: neither leq the other.
+  runtime::VectorClock c;
+  c.set(1, 3);
+  EXPECT_FALSE(b.leq(c));
+  EXPECT_FALSE(c.leq(b));
+}
+
+TEST(VectorClock, TickAdvancesOwnComponent) {
+  runtime::VectorClock a;
+  a.tick(4);
+  a.tick(4);
+  EXPECT_EQ(a.get(4), 2u);
+  EXPECT_EQ(a.get(0), 0u);
+}
+
+TEST(Epoch, BeforeChecksSingleComponent) {
+  runtime::Epoch e{2, 5};
+  runtime::VectorClock c;
+  c.set(2, 5);
+  EXPECT_TRUE(e.before(c));
+  c.set(2, 4);
+  EXPECT_FALSE(runtime::Epoch({2, 5}).before(c));
+  EXPECT_TRUE(runtime::Epoch{}.before(c));  // invalid epoch precedes all
+}
+
+// ------------------------------------------------------------- Memory
+
+TEST(Memory, AllocateLoadStore) {
+  runtime::Memory mem;
+  const int id = mem.allocate("a", nullptr, {4}, 4,
+                              runtime::Value::of_int(9), false);
+  EXPECT_EQ(mem.load({id, 3}).as_int(), 9);
+  mem.store({id, 2}, runtime::Value::of_int(42));
+  EXPECT_EQ(mem.load({id, 2}).as_int(), 42);
+  EXPECT_EQ(mem.object(id).size(), 4);
+}
+
+TEST(Memory, BoundsChecked) {
+  runtime::Memory mem;
+  const int id = mem.allocate("a", nullptr, {}, 2,
+                              runtime::Value::of_int(0), false);
+  EXPECT_THROW(mem.load({id, 2}), RuntimeFault);
+  EXPECT_THROW(mem.load({id, -1}), RuntimeFault);
+  EXPECT_THROW(mem.object(99), RuntimeFault);
+}
+
+TEST(Memory, FreedObjectsFault) {
+  runtime::Memory mem;
+  const int id = mem.allocate("h", nullptr, {}, 2,
+                              runtime::Value::of_int(0), false);
+  mem.object(id).freed = true;
+  EXPECT_THROW(mem.load({id, 0}), RuntimeFault);
+}
+
+TEST(Memory, OversizeAllocationRejected) {
+  runtime::Memory mem;
+  EXPECT_THROW(mem.allocate("big", nullptr, {}, (1 << 25),
+                            runtime::Value::of_int(0), false),
+               RuntimeFault);
+  EXPECT_THROW(mem.allocate("neg", nullptr, {}, -1,
+                            runtime::Value::of_int(0), false),
+               RuntimeFault);
+}
+
+// ------------------------------------------------------------- Collector
+
+/// Parses source, resolves, and collects the (single expected) region.
+analysis::ParallelRegion collect_one(const char* src) {
+  static std::vector<std::unique_ptr<minic::Program>> keep_alive;
+  keep_alive.push_back(
+      std::make_unique<minic::Program>(minic::parse_program(src)));
+  minic::Program& p = *keep_alive.back();
+  static std::vector<std::unique_ptr<analysis::Resolution>> res_alive;
+  res_alive.push_back(std::make_unique<analysis::Resolution>(
+      analysis::resolve(*p.unit)));
+  auto regions = analysis::collect_regions(*p.unit, *res_alive.back());
+  EXPECT_EQ(regions.size(), 1u);
+  return std::move(regions.front());
+}
+
+const analysis::AccessInfo* find_access(const analysis::ParallelRegion& r,
+                                        const std::string& text,
+                                        bool is_write) {
+  for (const auto& a : r.accesses) {
+    if (a.text == text && a.is_write == is_write) return &a;
+  }
+  return nullptr;
+}
+
+TEST(Collector, SharingClasses) {
+  auto region = collect_one(
+      "int g;\n"
+      "int main() {\n"
+      "  int sum = 0;\n"
+      "  int priv = 0;\n"
+      "  int a[10];\n"
+      "#pragma omp parallel for private(priv) reduction(+:sum)\n"
+      "  for (int i = 0; i < 10; i++) {\n"
+      "    int local = i;\n"
+      "    priv = local;\n"
+      "    sum = sum + a[i] + g;\n"
+      "  }\n"
+      "  return sum;\n"
+      "}\n");
+  const auto* priv = find_access(region, "priv", true);
+  ASSERT_NE(priv, nullptr);
+  EXPECT_EQ(priv->sharing, analysis::Sharing::Private);
+  const auto* sum = find_access(region, "sum", true);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(sum->sharing, analysis::Sharing::Reduction);
+  // Declarations are not write accesses; the read in `priv = local` shows
+  // the region-declared variable classifying as private.
+  const auto* local = find_access(region, "local", false);
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(local->sharing, analysis::Sharing::Private);
+  const auto* g = find_access(region, "g", false);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->sharing, analysis::Sharing::Shared);
+  const auto* arr = find_access(region, "a[i]", false);
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->sharing, analysis::Sharing::Shared);
+  ASSERT_EQ(arr->dist_loops.size(), 1u);
+  EXPECT_EQ(arr->dist_loops[0].lower, 0);
+  EXPECT_EQ(arr->dist_loops[0].upper, 9);
+}
+
+TEST(Collector, BarrierPhases) {
+  auto region = collect_one(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "  int y = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "    x = 1;\n"
+      "#pragma omp barrier\n"
+      "    y = 2;\n"
+      "  }\n"
+      "  return x + y;\n"
+      "}\n");
+  const auto* x = find_access(region, "x", true);
+  const auto* y = find_access(region, "y", true);
+  ASSERT_NE(x, nullptr);
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(x->ctx.phase, 0);
+  EXPECT_EQ(y->ctx.phase, 1);
+}
+
+TEST(Collector, LocksetsTracked) {
+  auto region = collect_one(
+      "int main() {\n"
+      "  omp_lock_t l;\n"
+      "  int c = 0;\n"
+      "  int d = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "    omp_set_lock(&l);\n"
+      "    c = c + 1;\n"
+      "    omp_unset_lock(&l);\n"
+      "    d = d + 1;\n"
+      "  }\n"
+      "  return c + d;\n"
+      "}\n");
+  const auto* c = find_access(region, "c", true);
+  const auto* d = find_access(region, "d", true);
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(c->ctx.locks.size(), 1u);
+  EXPECT_TRUE(d->ctx.locks.empty());
+}
+
+TEST(Collector, CriticalAndAtomicContexts) {
+  auto region = collect_one(
+      "int main() {\n"
+      "  int c = 0;\n"
+      "  int at = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp critical (tag)\n"
+      "    { c = c + 1; }\n"
+      "#pragma omp atomic\n"
+      "    at += 1;\n"
+      "  }\n"
+      "  return c + at;\n"
+      "}\n");
+  const auto* c = find_access(region, "c", true);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->ctx.in_critical);
+  EXPECT_EQ(c->ctx.critical_name, "tag");
+  const auto* at = find_access(region, "at", true);
+  ASSERT_NE(at, nullptr);
+  EXPECT_TRUE(at->ctx.atomic);
+}
+
+TEST(Collector, SingleAndMasterIdentity) {
+  auto region = collect_one(
+      "int main() {\n"
+      "  int s = 0;\n"
+      "  int m = 0;\n"
+      "#pragma omp parallel\n"
+      "  {\n"
+      "#pragma omp single nowait\n"
+      "    { s = 1; }\n"
+      "#pragma omp master\n"
+      "    { m = 1; }\n"
+      "  }\n"
+      "  return s + m;\n"
+      "}\n");
+  const auto* s = find_access(region, "s", true);
+  const auto* m = find_access(region, "m", true);
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(m, nullptr);
+  EXPECT_GE(s->ctx.exec_once_id, 0);
+  EXPECT_EQ(m->ctx.exec_once_id, -2);  // master blocks share identity
+  EXPECT_NE(s->ctx.exec_once_id, m->ctx.exec_once_id);
+}
+
+TEST(Collector, TaskContexts) {
+  auto region = collect_one(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma omp parallel\n"
+      "#pragma omp single\n"
+      "  {\n"
+      "#pragma omp task depend(out: x)\n"
+      "    { x = 1; }\n"
+      "#pragma omp taskwait\n"
+      "#pragma omp task\n"
+      "    { x = 2; }\n"
+      "  }\n"
+      "  return x;\n"
+      "}\n");
+  std::vector<const analysis::AccessInfo*> writes;
+  for (const auto& a : region.accesses) {
+    if (a.var != nullptr && a.var->name == "x" && a.is_write) {
+      writes.push_back(&a);
+    }
+  }
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_NE(writes[0]->ctx.task_id, writes[1]->ctx.task_id);
+  EXPECT_NE(writes[0]->ctx.task_phase, writes[1]->ctx.task_phase);
+  ASSERT_EQ(writes[0]->ctx.depends.size(), 1u);
+  EXPECT_EQ(writes[0]->ctx.depends[0].first, "out");
+  EXPECT_EQ(writes[0]->ctx.depends[0].second, "x");
+}
+
+}  // namespace
+}  // namespace drbml

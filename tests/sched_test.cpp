@@ -1,0 +1,216 @@
+// Unit tests for the cooperative deterministic scheduler, exercised
+// directly (without the interpreter): token passing, barriers, blocking,
+// deadlock detection, abort propagation, and determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "runtime/sched.hpp"
+#include "support/error.hpp"
+
+namespace drbml::runtime {
+namespace {
+
+TEST(Scheduler, RunsAllWorkersToCompletion) {
+  CoopScheduler sched(1, 3);
+  std::vector<int> done(4, 0);
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < 4; ++i) {
+    fns.push_back([&, i] {
+      for (int k = 0; k < 10; ++k) sched.yield_point();
+      done[static_cast<std::size_t>(i)] = 1;
+    });
+  }
+  sched.run_team(std::move(fns));
+  for (int d : done) EXPECT_EQ(d, 1);
+}
+
+TEST(Scheduler, OnlyOneWorkerRunsAtATime) {
+  CoopScheduler sched(7, 1);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < 4; ++i) {
+    fns.push_back([&] {
+      for (int k = 0; k < 50; ++k) {
+        const int now = inside.fetch_add(1);
+        if (now != 0) overlap = true;
+        inside.fetch_sub(1);
+        sched.yield_point();
+      }
+    });
+  }
+  sched.run_team(std::move(fns));
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(Scheduler, InterleavingIsDeterministicPerSeed) {
+  auto trace_for = [](std::uint64_t seed) {
+    CoopScheduler sched(seed, 1);
+    std::string trace;
+    std::vector<std::function<void()>> fns;
+    for (int i = 0; i < 3; ++i) {
+      fns.push_back([&, i] {
+        for (int k = 0; k < 8; ++k) {
+          trace += static_cast<char>('A' + i);
+          sched.yield_point();
+        }
+      });
+    }
+    sched.run_team(std::move(fns));
+    return trace;
+  };
+  EXPECT_EQ(trace_for(42), trace_for(42));
+  EXPECT_NE(trace_for(42), trace_for(43));
+}
+
+TEST(Scheduler, PreemptionActuallyInterleaves) {
+  CoopScheduler sched(3, 1);
+  std::string trace;
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < 2; ++i) {
+    fns.push_back([&, i] {
+      for (int k = 0; k < 20; ++k) {
+        trace += static_cast<char>('A' + i);
+        sched.yield_point();
+      }
+    });
+  }
+  sched.run_team(std::move(fns));
+  // Not all of A before all of B.
+  EXPECT_NE(trace, std::string(20, 'A') + std::string(20, 'B'));
+  EXPECT_NE(trace, std::string(20, 'B') + std::string(20, 'A'));
+}
+
+TEST(Scheduler, BarrierSynchronizesPhases) {
+  CoopScheduler sched(11, 2);
+  std::vector<int> phase_done(3, 0);
+  std::atomic<bool> violation{false};
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < 3; ++i) {
+    fns.push_back([&, i] {
+      for (int k = 0; k < 5; ++k) sched.yield_point();
+      phase_done[static_cast<std::size_t>(i)] = 1;
+      sched.barrier_wait();
+      // After the barrier every worker's phase-0 work must be complete.
+      for (int other = 0; other < 3; ++other) {
+        if (phase_done[static_cast<std::size_t>(other)] != 1) {
+          violation = true;
+        }
+      }
+    });
+  }
+  sched.run_team(std::move(fns));
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Scheduler, RepeatedBarriers) {
+  CoopScheduler sched(5, 2);
+  std::vector<int> counters(4, 0);
+  std::atomic<bool> violation{false};
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < 4; ++i) {
+    fns.push_back([&, i] {
+      for (int round = 0; round < 6; ++round) {
+        counters[static_cast<std::size_t>(i)] = round + 1;
+        sched.barrier_wait();
+        for (int other = 0; other < 4; ++other) {
+          if (counters[static_cast<std::size_t>(other)] < round + 1) {
+            violation = true;
+          }
+        }
+        sched.barrier_wait();
+      }
+    });
+  }
+  sched.run_team(std::move(fns));
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Scheduler, BlockUntilWaitsForPeerProgress) {
+  CoopScheduler sched(9, 1);
+  int flag = 0;
+  int observed = -1;
+  std::vector<std::function<void()>> fns;
+  fns.push_back([&] {
+    sched.block_until([&] { return flag == 1; });
+    observed = flag;
+  });
+  fns.push_back([&] {
+    for (int k = 0; k < 10; ++k) sched.yield_point();
+    flag = 1;
+  });
+  sched.run_team(std::move(fns));
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(Scheduler, DeadlockIsDetected) {
+  CoopScheduler sched(13, 1);
+  std::vector<std::function<void()>> fns;
+  // Both workers wait on conditions nobody will satisfy.
+  for (int i = 0; i < 2; ++i) {
+    fns.push_back([&] { sched.block_until([] { return false; }); });
+  }
+  EXPECT_THROW(sched.run_team(std::move(fns)), RuntimeFault);
+}
+
+TEST(Scheduler, StepLimitAborts) {
+  CoopScheduler sched(17, 1);
+  sched.set_step_limit(100);
+  std::vector<std::function<void()>> fns;
+  fns.push_back([&] {
+    for (;;) sched.yield_point();
+  });
+  EXPECT_THROW(sched.run_team(std::move(fns)), RuntimeFault);
+}
+
+TEST(Scheduler, WorkerExceptionPropagatesAndUnwindsTeam) {
+  CoopScheduler sched(19, 1);
+  bool other_started = false;
+  std::vector<std::function<void()>> fns;
+  fns.push_back([&] {
+    for (int k = 0; k < 3; ++k) sched.yield_point();
+    throw RuntimeFault("boom");
+  });
+  fns.push_back([&] {
+    other_started = true;
+    for (;;) sched.yield_point();  // unwound via TeamAborted
+  });
+  EXPECT_THROW(sched.run_team(std::move(fns)), RuntimeFault);
+  EXPECT_TRUE(other_started);
+}
+
+TEST(Scheduler, SingleWorkerTeamRuns) {
+  CoopScheduler sched(23, 1);
+  int count = 0;
+  std::vector<std::function<void()>> fns;
+  fns.push_back([&] {
+    for (int k = 0; k < 100; ++k) {
+      ++count;
+      sched.yield_point();
+    }
+    sched.barrier_wait();
+  });
+  sched.run_team(std::move(fns));
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Scheduler, LiveCountTracksCompletion) {
+  CoopScheduler sched(29, 1);
+  int live_at_end = -1;
+  std::vector<std::function<void()>> fns;
+  fns.push_back([&] {
+    for (int k = 0; k < 5; ++k) sched.yield_point();
+  });
+  fns.push_back([&] {
+    for (int k = 0; k < 200; ++k) sched.yield_point();
+    live_at_end = sched.live();
+  });
+  sched.run_team(std::move(fns));
+  EXPECT_EQ(live_at_end, 1);  // only this worker was still live
+}
+
+}  // namespace
+}  // namespace drbml::runtime

@@ -1,0 +1,282 @@
+// Unit tests for the support library: JSON, RNG, strings, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace drbml {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  std::vector<std::string> v = {"x", "y", "z"};
+  EXPECT_EQ(join(v, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ContainsIcase) {
+  EXPECT_TRUE(contains_icase("Hello World", "WORLD"));
+  EXPECT_TRUE(contains_icase("abc", ""));
+  EXPECT_FALSE(contains_icase("abc", "abcd"));
+  EXPECT_FALSE(contains_icase("data race", "racer"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "x", "y"), "abc");
+}
+
+TEST(Strings, CountLines) {
+  EXPECT_EQ(count_lines(""), 0);
+  EXPECT_EQ(count_lines("a"), 1);
+  EXPECT_EQ(count_lines("a\n"), 1);
+  EXPECT_EQ(count_lines("a\nb"), 2);
+  EXPECT_EQ(count_lines("a\nb\n"), 2);
+}
+
+TEST(Strings, SplitLines) {
+  auto lines = split_lines("one\ntwo\n\nthree");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2], "");
+  EXPECT_EQ(lines[3], "three");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(0.5954, 3), "0.595");
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicFromKey) {
+  Rng a = Rng::from_key("table3/gpt4/p1");
+  Rng b = Rng::from_key("table3/gpt4/p1");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentKeysDiverge) {
+  Rng a = Rng::from_key("alpha");
+  Rng b = Rng::from_key("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(1);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(9);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(3);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    auto x = r.between(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(json::parse("2.5").as_double(), 2.5);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntAndDoubleAreDistinct) {
+  EXPECT_TRUE(json::parse("3").is_int());
+  EXPECT_TRUE(json::parse("3.0").is_double());
+  EXPECT_TRUE(json::parse("3e2").is_double());
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto v = json::parse(R"({"a": [1, 2, {"b": null}], "c": "x"})");
+  const auto& obj = v.as_object();
+  ASSERT_TRUE(obj.contains("a"));
+  const auto& arr = obj.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[1].as_int(), 2);
+  EXPECT_TRUE(arr[2].as_object().at("b").is_null());
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  json::Object obj;
+  obj.set("zeta", json::Value(1));
+  obj.set("alpha", json::Value(2));
+  obj.set("mid", json::Value(3));
+  json::Value v(std::move(obj));
+  EXPECT_EQ(v.dump(), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, SetOverwritesInPlace) {
+  json::Object obj;
+  obj.set("k", json::Value(1));
+  obj.set("k", json::Value(9));
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 9);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  json::Value v(std::string("line1\nline2\t\"q\"\\"));
+  const std::string dumped = v.dump();
+  EXPECT_EQ(json::parse(dumped).as_string(), "line1\nline2\t\"q\"\\");
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  const char* text =
+      R"({"ID":1,"name":"DRB001","data_race":1,"var_pairs":[{"name":["a[i]","a[i+1]"],"line":[14,14],"col":[5,10],"operation":["w","r"]}]})";
+  auto v = json::parse(text);
+  auto v2 = json::parse(v.dump());
+  EXPECT_EQ(v.dump(), v2.dump());
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  auto v = json::parse(R"({"a":[1,2],"b":{"c":true}})");
+  auto v2 = json::parse(v.dump_pretty());
+  EXPECT_EQ(v.dump(), v2.dump());
+}
+
+TEST(Json, ThrowsOnMalformedInput) {
+  EXPECT_THROW(json::parse(""), JsonError);
+  EXPECT_THROW(json::parse("{"), JsonError);
+  EXPECT_THROW(json::parse("[1,]"), JsonError);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(json::parse("tru"), JsonError);
+  EXPECT_THROW(json::parse("1 2"), JsonError);
+}
+
+TEST(Json, ThrowsOnTypeMismatch) {
+  auto v = json::parse("[1]");
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.as_array()[0].as_bool(), JsonError);
+}
+
+TEST(Json, UnicodeEscapes) {
+  auto v = json::parse(R"("Aé")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, MissingKeyThrows) {
+  auto v = json::parse(R"({"a":1})");
+  EXPECT_THROW(v.as_object().at("b"), JsonError);
+  EXPECT_EQ(v.as_object().find("b"), nullptr);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"Model", "F1"});
+  t.add_row({"GPT4", "0.751"});
+  t.add_row({"StarChat-beta", "0.545"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Model         |"), std::string::npos);
+  EXPECT_NE(out.find("| 0.751 |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace drbml

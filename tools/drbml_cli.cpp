@@ -1,0 +1,203 @@
+// drbml -- command line interface to the library.
+//
+//   drbml analyze  [--detector SPEC] FILE.c     analyze one program
+//   drbml graph    [--dot] FILE.c               print its dependence graph
+//   drbml corpus   [--pattern P] [--limit N]    list corpus entries
+//   drbml entry    NAME                         print one entry's DRB file
+//   drbml dataset  [--out DIR]                  write DRB-ML JSON to disk
+//   drbml synth    [--count N] [--seed S] [--out DIR]  generate kernels
+//   drbml detectors                             list detector specs
+//   drbml help
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "core/detector.hpp"
+#include "dataset/drbml.hpp"
+#include "drb/corpus.hpp"
+#include "drb/synth.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace drbml;
+
+int usage() {
+  std::printf(
+      "drbml -- data race detection substrate (LLM study reproduction)\n"
+      "\n"
+      "usage:\n"
+      "  drbml analyze [--detector SPEC] FILE.c\n"
+      "  drbml graph [--dot] FILE.c\n"
+      "  drbml corpus [--pattern P] [--limit N]\n"
+      "  drbml entry NAME\n"
+      "  drbml dataset [--out DIR]\n"
+      "  drbml synth [--count N] [--seed S] [--out DIR]\n"
+      "  drbml detectors\n"
+      "\n"
+      "detector specs: static | dynamic | hybrid | llm:<persona>[:<prompt>]\n"
+      "personas: gpt35, gpt4, starchat, llama2; prompts: p1, p2, p3, bp2\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  std::string spec = "hybrid";
+  std::string path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--detector" && i + 1 < args.size()) {
+      spec = args[++i];
+    } else {
+      path = args[i];
+    }
+  }
+  if (path.empty()) return usage();
+  const std::string code = read_file(path);
+  auto detector = core::make_detector(spec);
+  const core::RaceVerdict v = detector->analyze(code);
+  std::printf("%s: %s\n", detector->name().c_str(),
+              v.race ? "DATA RACE" : "no race detected");
+  for (const auto& pair : v.pairs) {
+    std::printf("  %s@%d:%d:%c vs. %s@%d:%d:%c\n",
+                pair.first.expr_text.c_str(), pair.first.loc.line,
+                pair.first.loc.col, pair.first.op,
+                pair.second.expr_text.c_str(), pair.second.loc.line,
+                pair.second.loc.col, pair.second.op);
+  }
+  if (!v.model_response.empty()) {
+    std::printf("model response:\n%s\n", v.model_response.c_str());
+  }
+  return v.race ? 1 : 0;
+}
+
+int cmd_graph(const std::vector<std::string>& args) {
+  bool dot = false;
+  std::string path;
+  for (const auto& a : args) {
+    if (a == "--dot") {
+      dot = true;
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) return usage();
+  const analysis::DependenceGraph g =
+      analysis::build_dependence_graph(read_file(path));
+  std::printf("%s", dot ? g.to_dot().c_str() : g.to_text().c_str());
+  return 0;
+}
+
+int cmd_corpus(const std::vector<std::string>& args) {
+  std::string pattern;
+  int limit = -1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--pattern" && i + 1 < args.size()) pattern = args[++i];
+    if (args[i] == "--limit" && i + 1 < args.size()) {
+      limit = std::atoi(args[++i].c_str());
+    }
+  }
+  int shown = 0;
+  for (const auto& e : drb::corpus()) {
+    if (!pattern.empty() && e.pattern != pattern) continue;
+    std::printf("%-52s %-4s %-3s %s\n", e.name.c_str(),
+                e.race ? "yes" : "no", e.label.c_str(), e.pattern.c_str());
+    if (limit > 0 && ++shown >= limit) break;
+  }
+  return 0;
+}
+
+int cmd_entry(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const drb::CorpusEntry* e = drb::find_entry(args[0]);
+  if (e == nullptr) {
+    std::fprintf(stderr, "no such entry: %s\n", args[0].c_str());
+    return 2;
+  }
+  std::printf("%s", drb::drb_code(*e).c_str());
+  return 0;
+}
+
+int cmd_dataset(const std::vector<std::string>& args) {
+  std::filesystem::path out = "drb-ml";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out = args[++i];
+  }
+  std::filesystem::create_directories(out);
+  for (const dataset::Entry& e : dataset::dataset()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "DRB-ML-%03d.json", e.id);
+    std::ofstream file(out / name);
+    file << e.to_json().dump_pretty() << "\n";
+  }
+  std::printf("wrote %zu entries to %s/\n", dataset::dataset().size(),
+              out.string().c_str());
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  drb::SynthConfig config;
+  std::filesystem::path out = "synth";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--count" && i + 1 < args.size()) {
+      config.count = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    }
+  }
+  std::filesystem::create_directories(out);
+  int yes = 0;
+  for (const drb::SynthEntry& e : drb::synthesize(config)) {
+    std::ofstream file(out / e.name);
+    file << e.code;
+    yes += e.race ? 1 : 0;
+  }
+  std::printf("wrote %d synthetic kernels (%d racy) to %s/\n", config.count,
+              yes, out.string().c_str());
+  return 0;
+}
+
+int cmd_detectors() {
+  for (const auto& spec : core::available_detectors()) {
+    std::printf("%s\n", spec.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "graph") return cmd_graph(args);
+    if (cmd == "corpus") return cmd_corpus(args);
+    if (cmd == "entry") return cmd_entry(args);
+    if (cmd == "dataset") return cmd_dataset(args);
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "detectors") return cmd_detectors();
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+  } catch (const drbml::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
