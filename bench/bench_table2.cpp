@@ -9,12 +9,14 @@ int main() {
   std::printf("%s",
               heading("Table 2 -- GPT-3.5-turbo with basic prompts BP1/BP2")
                   .c_str());
-  std::printf("%s", bench::detection_table(eval::table2_rows()).c_str());
+  const int rc = bench::print_with_speedup([](const eval::ExperimentOptions& o) {
+    return bench::detection_table(eval::table2_rows(o));
+  });
   bench::print_reference(
       "\nPaper reference (Correctness'23, Table 2):\n"
       "  BP1  TP=66 FP=55 TN=43 FN=34  R=0.660 P=0.545 F1=0.597\n"
       "  BP2  TP=35 FP=26 TN=72 FN=65  R=0.350 P=0.574 F1=0.435\n"
       "\nObservation to reproduce: the succinct single-task prompt (BP1)\n"
       "clearly beats the multi-task prompt (BP2) on recall and F1.\n");
-  return 0;
+  return rc;
 }

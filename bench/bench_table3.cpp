@@ -9,8 +9,9 @@ int main() {
   using namespace drbml;
   std::printf("%s", heading("Table 3 -- detection: traditional tool vs LLMs "
                             "x {p1,p2,p3} (198-entry DRB-ML subset)").c_str());
-  const auto rows = eval::table3_rows();
-  std::printf("%s", bench::detection_table(rows).c_str());
+  const int rc = bench::print_with_speedup([](const eval::ExperimentOptions& o) {
+    return bench::detection_table(eval::table3_rows(o));
+  });
   bench::print_reference(
       "\nPaper reference (Correctness'23, Table 3):\n"
       "  Ins   N/A TP=88 FP=44 TN=53 FN=11  R=0.889 P=0.667 F1=0.762\n"
@@ -29,5 +30,5 @@ int main() {
       "\nNote: the traditional-tool row runs this repository's hybrid\n"
       "static+dynamic detector over the simulated corpus; it is stronger\n"
       "than Intel Inspector on real DRB (see EXPERIMENTS.md).\n");
-  return 0;
+  return rc;
 }

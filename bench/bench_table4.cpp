@@ -8,7 +8,9 @@ int main() {
   using namespace drbml;
   std::printf("%s", heading("Table 4 -- 5-fold CV fine-tuning, detection "
                             "(SC/LM vs fine-tuned)").c_str());
-  std::printf("%s", bench::cv_table(eval::table4_rows()).c_str());
+  const int rc = bench::print_with_speedup([](const eval::ExperimentOptions& o) {
+    return bench::cv_table(eval::table4_rows(o));
+  });
   bench::print_reference(
       "\nPaper reference (Correctness'23, Table 4):\n"
       "  SC     R=0.630 (0.045)  P=0.482 (0.041)  F1=0.546 (0.039)\n"
@@ -17,5 +19,5 @@ int main() {
       "  LM-FT  R=0.640 (0.082)  P=0.543 (0.054)  F1=0.586 (0.061)\n"
       "\nShape to reproduce: fine-tuning gives a modest F1 improvement and\n"
       "generally tighter fold-to-fold variance.\n");
-  return 0;
+  return rc;
 }

@@ -8,7 +8,9 @@ int main() {
   using namespace drbml;
   std::printf("%s", heading("Table 5 -- variable identification, pretrained "
                             "LLMs").c_str());
-  std::printf("%s", bench::detection_table(eval::table5_rows()).c_str());
+  const int rc = bench::print_with_speedup([](const eval::ExperimentOptions& o) {
+    return bench::detection_table(eval::table5_rows(o));
+  });
   bench::print_reference(
       "\nPaper reference (Correctness'23, Table 5):\n"
       "  GPT3  TP=12 FP=54 TN=44 FN=88  R=0.120 P=0.182 F1=0.145\n"
@@ -17,5 +19,5 @@ int main() {
       "  LM    TP=5  FP=65 TN=33 FN=95  R=0.050 P=0.071 F1=0.059\n"
       "\nShape to reproduce: variable identification is hard for every\n"
       "model (F1 well under 0.2), GPT-4 leads on precision.\n");
-  return 0;
+  return rc;
 }

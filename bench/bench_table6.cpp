@@ -8,7 +8,9 @@ int main() {
   using namespace drbml;
   std::printf("%s", heading("Table 6 -- 5-fold CV fine-tuning, variable "
                             "identification").c_str());
-  std::printf("%s", bench::cv_table(eval::table6_rows()).c_str());
+  const int rc = bench::print_with_speedup([](const eval::ExperimentOptions& o) {
+    return bench::cv_table(eval::table6_rows(o));
+  });
   bench::print_reference(
       "\nPaper reference (Correctness'23, Table 6):\n"
       "  SC     R=0.070 (0.045)  P=0.096 (0.063)  F1=0.081 (0.052)\n"
@@ -17,5 +19,5 @@ int main() {
       "  LM-FT  R=0.050 (0.050)  P=0.092 (0.086)  F1=0.064 (0.063)\n"
       "\nShape to reproduce: fine-tuning moves variable identification\n"
       "barely at all -- tiny precision gains, flat recall.\n");
-  return 0;
+  return rc;
 }

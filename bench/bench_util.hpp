@@ -1,11 +1,16 @@
 // Shared rendering helpers for the table-reproduction bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "eval/artifact_cache.hpp"
 #include "eval/experiments.hpp"
+#include "llm/model.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -41,6 +46,45 @@ inline std::string cv_table(const std::vector<eval::CvRow>& rows) {
 
 inline void print_reference(const char* text) {
   std::printf("%s", text);
+}
+
+/// Runs a table pipeline serially (jobs=1) and in parallel (jobs=auto),
+/// prints the parallel rendering, and reports wall-clock speedup plus a
+/// byte-identity check of the two renderings (the executor's determinism
+/// contract). `render(opts)` must return the fully rendered table.
+template <typename RenderFn>
+int print_with_speedup(RenderFn&& render) {
+  using Clock = std::chrono::steady_clock;
+  const int jobs = support::resolve_jobs(0);
+
+  // Cold-start both runs: memoized artifacts must not let the second run
+  // coast on the first run's work, or the comparison measures caching.
+  auto cold = [] {
+    eval::artifact_cache().clear();
+    llm::clear_feature_cache();
+  };
+
+  cold();
+  auto t0 = Clock::now();
+  const std::string serial = render(eval::ExperimentOptions{/*jobs=*/1});
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  cold();
+  t0 = Clock::now();
+  const std::string parallel = render(eval::ExperimentOptions{jobs});
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  std::printf("%s", parallel.c_str());
+  const bool identical = serial == parallel;
+  std::printf(
+      "\n[executor] serial %.1f ms | %d jobs %.1f ms | speedup %.2fx | "
+      "serial/parallel outputs %s\n",
+      serial_ms, jobs, parallel_ms,
+      parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+      identical ? "identical" : "DIFFER (BUG)");
+  return identical ? 0 : 3;
 }
 
 }  // namespace drbml::bench

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the race-check-the-race-checkers pass.
+#
+#   scripts/check.sh            full suite + TSan parallel suite
+#   scripts/check.sh --fast     full suite only (skip the TSan build)
+#
+# Stage 1 is the repository's tier-1 gate: configure, build, run every
+# test. Stage 2 rebuilds under ThreadSanitizer (-DDRBML_SANITIZE=thread)
+# and runs the `parallel`-labelled suites -- the thread pool, the
+# memoized artifact caches, and the parallel experiment executor -- so
+# the infrastructure this repo uses to find data races is itself checked
+# for data races.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== stage 1: tier-1 build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipping TSan stage (--fast) =="
+  exit 0
+fi
+
+echo "== stage 2: ThreadSanitizer build of the parallel suites =="
+cmake -B build-tsan -S . -DDRBML_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target \
+  parallel_test parallel_determinism_test detector_differential_test
+(cd build-tsan && ctest -L parallel --output-on-failure)
+echo "== all checks passed =="

@@ -6,6 +6,7 @@
 #include "prompts/prompts.hpp"
 #include "runtime/dynamic.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 
 namespace drbml::core {
@@ -128,6 +129,19 @@ prompts::Style style_by_name(const std::string& name) {
 }
 
 }  // namespace
+
+std::vector<RaceVerdict> RaceDetector::analyze_batch(
+    const std::vector<std::string>& sources) const {
+  return support::parallel_map(jobs_, sources, [this](const std::string& code) {
+    return analyze(code);
+  });
+}
+
+std::unique_ptr<RaceDetector> make_detector(const DetectorSpec& spec) {
+  std::unique_ptr<RaceDetector> detector = make_detector(spec.spec);
+  detector->set_jobs(spec.jobs);
+  return detector;
+}
 
 std::unique_ptr<RaceDetector> make_detector(const std::string& spec) {
   if (spec == "static") return std::make_unique<StaticTool>();

@@ -1,0 +1,99 @@
+#include "eval/artifact_cache.hpp"
+
+#include "analysis/depgraph.hpp"
+#include "llm/model.hpp"
+#include "llm/tokenizer.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "support/hash.hpp"
+
+namespace drbml::eval {
+
+namespace {
+
+std::uint64_t hash_static_options(const analysis::StaticDetectorOptions& o) {
+  std::uint64_t bits = 0;
+  bits = bits << 1 | static_cast<std::uint64_t>(o.collect.track_call_effects);
+  bits = bits << 1 | static_cast<std::uint64_t>(o.depend.conservative_nonaffine);
+  bits = bits << 1 | static_cast<std::uint64_t>(o.model_locks);
+  bits = bits << 1 | static_cast<std::uint64_t>(o.model_depend_clauses);
+  bits = bits << 1 | static_cast<std::uint64_t>(o.model_ordered);
+  return hash_combine(bits, static_cast<std::uint64_t>(o.max_pairs));
+}
+
+std::uint64_t hash_dynamic_options(const runtime::DynamicDetectorOptions& o) {
+  std::uint64_t h = hash_combine(
+      static_cast<std::uint64_t>(o.run.num_threads),
+      hash_combine(o.run.seed,
+                   static_cast<std::uint64_t>(o.run.preempt_every)));
+  h = hash_combine(h, o.run.step_limit);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.run.max_pairs));
+  for (std::uint64_t seed : o.schedule_seeds) h = hash_combine(h, seed);
+  return h;
+}
+
+}  // namespace
+
+int ArtifactCache::token_count(const std::string& code) {
+  return tokens_.get_or_compute(fnv1a64(code), [&] {
+    llm::SimpleTokenizer tok;
+    return tok.count_tokens(code);
+  });
+}
+
+const std::string& ArtifactCache::ast_text(const std::string& code) {
+  return asts_.get_or_compute(fnv1a64(code), [&] {
+    minic::Program prog = minic::parse_program(code);
+    return minic::unit_to_string(*prog.unit);
+  });
+}
+
+const std::string& ArtifactCache::depgraph_text(const std::string& code) {
+  return depgraphs_.get_or_compute(fnv1a64(code), [&] {
+    return analysis::build_dependence_graph(code).to_text();
+  });
+}
+
+const llm::ProgramFeatures& ArtifactCache::features(const std::string& code) {
+  return llm::cached_features(code);
+}
+
+const analysis::RaceReport& ArtifactCache::static_report(
+    const std::string& code, const analysis::StaticDetectorOptions& opts) {
+  const std::uint64_t key =
+      hash_combine(fnv1a64(code), hash_static_options(opts));
+  return static_reports_.get_or_compute(key, [&] {
+    analysis::StaticRaceDetector detector(opts);
+    return detector.analyze_source(code);
+  });
+}
+
+const analysis::RaceReport& ArtifactCache::dynamic_report(
+    const std::string& code, const runtime::DynamicDetectorOptions& opts) {
+  const std::uint64_t key =
+      hash_combine(fnv1a64(code), hash_dynamic_options(opts));
+  return dynamic_reports_.get_or_compute(key, [&] {
+    runtime::DynamicRaceDetector detector(opts);
+    return detector.analyze_source(code);
+  });
+}
+
+std::size_t ArtifactCache::size() const {
+  return tokens_.size() + asts_.size() + depgraphs_.size() +
+         static_reports_.size() + dynamic_reports_.size();
+}
+
+void ArtifactCache::clear() {
+  tokens_.clear();
+  asts_.clear();
+  depgraphs_.clear();
+  static_reports_.clear();
+  dynamic_reports_.clear();
+}
+
+ArtifactCache& artifact_cache() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+}  // namespace drbml::eval

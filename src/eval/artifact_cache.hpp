@@ -1,0 +1,76 @@
+// Memoized per-entry analysis artifacts, shared across experiments.
+//
+// Every experiment in the harness re-derives the same handful of
+// artifacts from the same ~198 DRB-ML programs: token counts for the
+// context-window filter, pretty-printed ASTs and serialized dependence
+// graphs for the modal prompts, feature vectors for the personas, and
+// static/dynamic race evidence for the traditional-tool baseline. The
+// ArtifactCache computes each artifact once per (configuration, program)
+// and shares it read-only across all experiments and worker threads.
+//
+// Invariants for adding a new artifact:
+//   * the compute function must be pure in the cache key -- the key must
+//     cover the code text AND every option that can change the result
+//     (see static_report's options hash);
+//   * the cached value is shared read-only across threads -- never
+//     mutate a returned reference;
+//   * computes may run concurrently for different keys, so they must not
+//     touch unsynchronized global state.
+#pragma once
+
+#include <string>
+
+#include "analysis/race.hpp"
+#include "analysis/report.hpp"
+#include "llm/features.hpp"
+#include "runtime/dynamic.hpp"
+#include "support/parallel.hpp"
+
+namespace drbml::eval {
+
+class ArtifactCache {
+ public:
+  /// Model-token count of `code` (SimpleTokenizer).
+  int token_count(const std::string& code);
+
+  /// Pretty-printed AST of `code`. Throws Error on unparseable input
+  /// (same contract as minic::parse_program).
+  const std::string& ast_text(const std::string& code);
+
+  /// Serialized dependence graph of `code` (DependenceGraph::to_text).
+  const std::string& depgraph_text(const std::string& code);
+
+  /// Persona feature vector (delegates to the llm-level feature cache,
+  /// which is itself memoized and thread-safe).
+  const llm::ProgramFeatures& features(const std::string& code);
+
+  /// Static race report for `code` under `opts`. The key covers every
+  /// StaticDetectorOptions field that affects the verdict.
+  const analysis::RaceReport& static_report(
+      const std::string& code, const analysis::StaticDetectorOptions& opts);
+
+  /// Dynamic (vector-clock) race report for `code` under `opts`. The key
+  /// covers the schedule seeds and the RunOptions fields. Throws Error on
+  /// unparseable or non-executable input (same contract as
+  /// DynamicRaceDetector::analyze_source); failures are not cached.
+  const analysis::RaceReport& dynamic_report(
+      const std::string& code, const runtime::DynamicDetectorOptions& opts);
+
+  /// Entries currently resident across all artifact kinds.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops everything. Only safe while no experiment is running.
+  void clear();
+
+ private:
+  support::OnceMap<int> tokens_;
+  support::OnceMap<std::string> asts_;
+  support::OnceMap<std::string> depgraphs_;
+  support::OnceMap<analysis::RaceReport> static_reports_;
+  support::OnceMap<analysis::RaceReport> dynamic_reports_;
+};
+
+/// The process-wide cache used by the experiment runners.
+[[nodiscard]] ArtifactCache& artifact_cache();
+
+}  // namespace drbml::eval

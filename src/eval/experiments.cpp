@@ -6,22 +6,30 @@
 #include "analysis/race.hpp"
 #include "dataset/folds.hpp"
 #include "drb/synth.hpp"
+#include "eval/artifact_cache.hpp"
 #include "llm/finetune.hpp"
 #include "llm/tokenizer.hpp"
 #include "minic/parser.hpp"
 #include "minic/printer.hpp"
 #include "runtime/dynamic.hpp"
+#include "support/parallel.hpp"
 
 namespace drbml::eval {
 
 using dataset::Entry;
 using llm::ChatModel;
 
+ConfusionMatrix fold_outcomes(const std::vector<Outcome>& outcomes) {
+  ConfusionMatrix cm;
+  for (const Outcome& o : outcomes) cm.add(o.first, o.second);
+  return cm;
+}
+
 std::vector<const Entry*> token_filtered_subset(int token_limit) {
-  llm::SimpleTokenizer tok;
+  ArtifactCache& cache = artifact_cache();
   std::vector<const Entry*> out;
   for (const Entry& e : dataset::dataset()) {
-    if (tok.count_tokens(e.trimmed_code) < token_limit) {
+    if (cache.token_count(e.trimmed_code) < token_limit) {
       out.push_back(&e);
     }
   }
@@ -29,20 +37,21 @@ std::vector<const Entry*> token_filtered_subset(int token_limit) {
 }
 
 ConfusionMatrix run_detection(const ChatModel& model, prompts::Style style,
-                              const std::vector<const Entry*>& subset) {
-  ConfusionMatrix cm;
-  for (const Entry* e : subset) {
-    const prompts::Chat chat = prompts::detection_chat(style, e->trimmed_code);
-    const llm::Reply reply = model.chat(chat);
-    const std::optional<bool> verdict = parse_detection(reply.text);
-    // Unparseable output counts as a negative prediction (the paper
-    // transformed outputs into labels; silence is "no detection").
-    cm.add(verdict.value_or(false), e->data_race == 1);
-  }
-  return cm;
+                              const std::vector<const Entry*>& subset,
+                              const ExperimentOptions& opts) {
+  return fold_outcomes(
+      support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
+        const prompts::Chat chat = prompts::detection_chat(style, e->trimmed_code);
+        const llm::Reply reply = model.chat(chat);
+        const std::optional<bool> verdict = parse_detection(reply.text);
+        // Unparseable output counts as a negative prediction (the paper
+        // transformed outputs into labels; silence is "no detection").
+        return Outcome{verdict.value_or(false), e->data_race == 1};
+      }));
 }
 
-ConfusionMatrix run_traditional_tool(const std::vector<const Entry*>& subset) {
+ConfusionMatrix run_traditional_tool(const std::vector<const Entry*>& subset,
+                                     const ExperimentOptions& opts) {
   // Legacy-tool configuration: conservative subscript reasoning, no
   // modelling of locks / depend clauses / ordered regions (capabilities
   // production tools acquired slowly), unioned with the dynamic detector.
@@ -51,46 +60,51 @@ ConfusionMatrix run_traditional_tool(const std::vector<const Entry*>& subset) {
   legacy.model_depend_clauses = false;
   legacy.model_ordered = false;
   legacy.depend.conservative_nonaffine = true;
-  analysis::StaticRaceDetector static_tool(legacy);
 
   runtime::DynamicDetectorOptions dyn_opts;
   dyn_opts.schedule_seeds = {1, 2};
-  runtime::DynamicRaceDetector dynamic_tool(dyn_opts);
 
-  ConfusionMatrix cm;
-  for (const Entry* e : subset) {
-    bool flagged = false;
-    try {
-      flagged = static_tool.analyze_source(e->trimmed_code).race_detected;
-    } catch (const Error&) {
-      flagged = false;
-    }
-    if (!flagged) {
-      flagged = dynamic_tool.analyze_source(e->trimmed_code).race_detected;
-    }
-    cm.add(flagged, e->data_race == 1);
-  }
-  return cm;
+  ArtifactCache& cache = artifact_cache();
+  return fold_outcomes(
+      support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
+        bool flagged = false;
+        try {
+          flagged = cache.static_report(e->trimmed_code, legacy).race_detected;
+        } catch (const Error&) {
+          flagged = false;
+        }
+        if (!flagged) {
+          // A program the dynamic tool cannot parse or execute yields no
+          // observed race: count it as a negative, don't abort the table.
+          try {
+            flagged =
+                cache.dynamic_report(e->trimmed_code, dyn_opts).race_detected;
+          } catch (const Error&) {
+            flagged = false;
+          }
+        }
+        return Outcome{flagged, e->data_race == 1};
+      }));
 }
 
 ConfusionMatrix run_detection_modal(
     const ChatModel& model, prompts::Style style, prompts::Modality modality,
-    const std::vector<const Entry*>& subset) {
-  ConfusionMatrix cm;
-  for (const Entry* e : subset) {
-    std::string aux;
-    if (modality == prompts::Modality::Ast) {
-      minic::Program prog = minic::parse_program(e->trimmed_code);
-      aux = minic::unit_to_string(*prog.unit);
-    } else if (modality == prompts::Modality::DepGraph) {
-      aux = analysis::build_dependence_graph(e->trimmed_code).to_text();
-    }
-    const prompts::Chat chat =
-        prompts::modal_detection_chat(style, modality, e->trimmed_code, aux);
-    const llm::Reply reply = model.chat(chat);
-    cm.add(parse_detection(reply.text).value_or(false), e->data_race == 1);
-  }
-  return cm;
+    const std::vector<const Entry*>& subset, const ExperimentOptions& opts) {
+  ArtifactCache& cache = artifact_cache();
+  return fold_outcomes(
+      support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
+        std::string aux;
+        if (modality == prompts::Modality::Ast) {
+          aux = cache.ast_text(e->trimmed_code);
+        } else if (modality == prompts::Modality::DepGraph) {
+          aux = cache.depgraph_text(e->trimmed_code);
+        }
+        const prompts::Chat chat =
+            prompts::modal_detection_chat(style, modality, e->trimmed_code, aux);
+        const llm::Reply reply = model.chat(chat);
+        return Outcome{parse_detection(reply.text).value_or(false),
+                       e->data_race == 1};
+      }));
 }
 
 namespace {
@@ -125,6 +139,20 @@ bool pair_matches_label(const ParsedPair& pair,
          (side_match(0, 1) && side_match(1, 0));
 }
 
+/// One var-id outcome (shared by run_varid and the CV loop): TP requires
+/// correct pair information for a racy program; TN requires a clean "no"
+/// without extraneous pair info.
+Outcome varid_outcome(const ChatModel& model, const Entry& e) {
+  const prompts::Chat chat = prompts::varid_chat(e.trimmed_code);
+  const llm::Reply reply = model.chat(chat);
+  const ParsedVarId parsed = parse_varid(reply.text);
+  if (e.data_race == 1) {
+    return Outcome{varid_matches(parsed, e), true};
+  }
+  const bool clean_no = !parsed.verdict.value_or(true) && parsed.pairs.empty();
+  return Outcome{!clean_no, false};
+}
+
 }  // namespace
 
 bool varid_matches(const ParsedVarId& parsed, const Entry& entry) {
@@ -137,29 +165,17 @@ bool varid_matches(const ParsedVarId& parsed, const Entry& entry) {
 }
 
 ConfusionMatrix run_varid(const ChatModel& model,
-                          const std::vector<const Entry*>& subset) {
-  ConfusionMatrix cm;
-  for (const Entry* e : subset) {
-    const prompts::Chat chat = prompts::varid_chat(e->trimmed_code);
-    const llm::Reply reply = model.chat(chat);
-    const ParsedVarId parsed = parse_varid(reply.text);
-    const bool truth = e->data_race == 1;
-    if (truth) {
-      // TP: correct pair information for a racy program.
-      cm.add(varid_matches(parsed, *e), true);
-    } else {
-      // TN requires a clean "no" without extraneous pair info.
-      const bool clean_no = !parsed.verdict.value_or(true) &&
-                            parsed.pairs.empty();
-      cm.add(!clean_no, false);
-    }
-  }
-  return cm;
+                          const std::vector<const Entry*>& subset,
+                          const ExperimentOptions& opts) {
+  return fold_outcomes(
+      support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
+        return varid_outcome(model, *e);
+      }));
 }
 
 CvResult run_cv(const llm::Persona& persona, Objective objective,
                 bool finetuned, int k, std::uint64_t seed,
-                int synthetic_augmentation) {
+                int synthetic_augmentation, const ExperimentOptions& opts) {
   const std::vector<const Entry*> subset = token_filtered_subset();
   std::vector<bool> labels;
   labels.reserve(subset.size());
@@ -176,6 +192,8 @@ CvResult run_cv(const llm::Persona& persona, Objective objective,
     if (finetuned) {
       // Build training samples from the DRB-ML prompt-response pairs,
       // parsing labels back out of the responses (the honest path).
+      // Training stays serial: sample order is part of the optimizer's
+      // deterministic trajectory.
       std::vector<llm::TrainSample> train;
       train.reserve(fold.train_indices.size());
       for (int idx : fold.train_indices) {
@@ -211,27 +229,20 @@ CvResult run_cv(const llm::Persona& persona, Objective objective,
       }
     }
 
-    ConfusionMatrix cm;
-    for (int idx : fold.test_indices) {
-      const Entry& e = *subset[static_cast<std::size_t>(idx)];
-      if (objective == Objective::Detection) {
-        const prompts::Chat chat =
-            prompts::detection_chat(prompts::Style::P1, e.trimmed_code);
-        const llm::Reply reply = model.chat(chat);
-        cm.add(parse_detection(reply.text).value_or(false), e.data_race == 1);
-      } else {
-        const prompts::Chat chat = prompts::varid_chat(e.trimmed_code);
-        const llm::Reply reply = model.chat(chat);
-        const ParsedVarId parsed = parse_varid(reply.text);
-        if (e.data_race == 1) {
-          cm.add(varid_matches(parsed, e), true);
-        } else {
-          const bool clean_no = !parsed.verdict.value_or(true) &&
-                                parsed.pairs.empty();
-          cm.add(!clean_no, false);
-        }
-      }
-    }
+    // Fan the fold's test entries out over the pool; per-entry outcomes
+    // are keyed by content, so evaluation order cannot affect them.
+    const ConfusionMatrix cm = fold_outcomes(support::parallel_map(
+        opts.jobs, fold.test_indices, [&](const int& idx) {
+          const Entry& e = *subset[static_cast<std::size_t>(idx)];
+          if (objective == Objective::Detection) {
+            const prompts::Chat chat =
+                prompts::detection_chat(prompts::Style::P1, e.trimmed_code);
+            const llm::Reply reply = model.chat(chat);
+            return Outcome{parse_detection(reply.text).value_or(false),
+                           e.data_race == 1};
+          }
+          return varid_outcome(model, e);
+        }));
     result.folds.push_back(cm);
     recalls.push_back(cm.recall());
     precisions.push_back(cm.precision());
@@ -246,61 +257,65 @@ CvResult run_cv(const llm::Persona& persona, Objective objective,
 
 // ------------------------------------------------------------- table rows
 
-std::vector<DetectionRow> table2_rows() {
+std::vector<DetectionRow> table2_rows(const ExperimentOptions& opts) {
   const auto subset = token_filtered_subset();
   ChatModel gpt35(llm::gpt35_persona());
   std::vector<DetectionRow> rows;
-  rows.push_back(
-      {"GPT-3.5-turbo", "BP1", run_detection(gpt35, prompts::Style::BP1, subset)});
-  rows.push_back(
-      {"GPT-3.5-turbo", "BP2", run_detection(gpt35, prompts::Style::BP2, subset)});
+  rows.push_back({"GPT-3.5-turbo", "BP1",
+                  run_detection(gpt35, prompts::Style::BP1, subset, opts)});
+  rows.push_back({"GPT-3.5-turbo", "BP2",
+                  run_detection(gpt35, prompts::Style::BP2, subset, opts)});
   return rows;
 }
 
-std::vector<DetectionRow> table3_rows() {
+std::vector<DetectionRow> table3_rows(const ExperimentOptions& opts) {
   const auto subset = token_filtered_subset();
   std::vector<DetectionRow> rows;
-  rows.push_back({"Ins", "N/A", run_traditional_tool(subset)});
+  rows.push_back({"Ins", "N/A", run_traditional_tool(subset, opts)});
   for (const llm::Persona& persona : llm::all_personas()) {
     ChatModel model(persona);
     for (prompts::Style style :
          {prompts::Style::P1, prompts::Style::P2, prompts::Style::P3}) {
       rows.push_back({persona.name, prompts::style_name(style),
-                      run_detection(model, style, subset)});
+                      run_detection(model, style, subset, opts)});
     }
   }
   return rows;
 }
 
-std::vector<CvRow> table4_rows() {
+std::vector<CvRow> table4_rows(const ExperimentOptions& opts) {
   std::vector<CvRow> rows;
   for (const llm::Persona& persona :
        {llm::starchat_persona(), llm::llama2_persona()}) {
-    const CvResult base = run_cv(persona, Objective::Detection, false);
+    const CvResult base =
+        run_cv(persona, Objective::Detection, false, 5, 2023, 0, opts);
     rows.push_back({persona.name, base.recall, base.precision, base.f1});
-    const CvResult ft = run_cv(persona, Objective::Detection, true);
+    const CvResult ft =
+        run_cv(persona, Objective::Detection, true, 5, 2023, 0, opts);
     rows.push_back({persona.name + " (FT)", ft.recall, ft.precision, ft.f1});
   }
   return rows;
 }
 
-std::vector<DetectionRow> table5_rows() {
+std::vector<DetectionRow> table5_rows(const ExperimentOptions& opts) {
   const auto subset = token_filtered_subset();
   std::vector<DetectionRow> rows;
   for (const llm::Persona& persona : llm::all_personas()) {
     ChatModel model(persona);
-    rows.push_back({persona.name, "BP2", run_varid(model, subset)});
+    rows.push_back({persona.name, "BP2", run_varid(model, subset, opts)});
   }
   return rows;
 }
 
-std::vector<CvRow> table6_rows() {
+std::vector<CvRow> table6_rows(const ExperimentOptions& opts) {
   std::vector<CvRow> rows;
   for (const llm::Persona& persona :
        {llm::starchat_persona(), llm::llama2_persona()}) {
-    const CvResult base = run_cv(persona, Objective::VarId, false);
+    const CvResult base =
+        run_cv(persona, Objective::VarId, false, 5, 2023, 0, opts);
     rows.push_back({persona.name, base.recall, base.precision, base.f1});
-    const CvResult ft = run_cv(persona, Objective::VarId, true);
+    const CvResult ft =
+        run_cv(persona, Objective::VarId, true, 5, 2023, 0, opts);
     rows.push_back({persona.name + " (FT)", ft.recall, ft.precision, ft.f1});
   }
   return rows;

@@ -3,9 +3,18 @@
 // Every LLM measurement goes through the full pipeline: prompt rendering
 // -> simulated chat completion -> natural-language response parsing ->
 // metric accumulation, exactly as the paper's harness drives hosted APIs.
+//
+// Execution model: each runner fans its per-entry work out over a
+// fixed-size thread pool (support/parallel.hpp) and folds the per-entry
+// (prediction, label) outcomes into the ConfusionMatrix in input order,
+// so results are bit-identical to the serial path at any job count.
+// Derived per-entry artifacts (token counts, ASTs, dependence graphs,
+// static/dynamic race evidence) are memoized in the shared ArtifactCache
+// and computed once across all experiments.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dataset/drbml.hpp"
@@ -15,6 +24,20 @@
 #include "prompts/prompts.hpp"
 
 namespace drbml::eval {
+
+/// Knobs shared by all experiment runners.
+struct ExperimentOptions {
+  /// Worker threads for per-entry fan-out. 0 = auto (the DRBML_JOBS
+  /// environment variable if set, otherwise hardware concurrency);
+  /// 1 = the exact serial path. Any value produces identical results.
+  int jobs = 0;
+};
+
+/// Per-entry outcome: (predicted positive, ground-truth positive).
+using Outcome = std::pair<bool, bool>;
+
+/// Folds outcomes into a confusion matrix in input order.
+[[nodiscard]] ConfusionMatrix fold_outcomes(const std::vector<Outcome>& outcomes);
 
 /// The paper's evaluation subset: entries whose trimmed code is within
 /// `token_limit` model tokens (Section 3.2: 198 of 201 under 4k).
@@ -27,13 +50,15 @@ namespace drbml::eval {
 /// the subset; responses are parsed back from natural language.
 [[nodiscard]] ConfusionMatrix run_detection(
     const llm::ChatModel& model, prompts::Style style,
-    const std::vector<const dataset::Entry*>& subset);
+    const std::vector<const dataset::Entry*>& subset,
+    const ExperimentOptions& opts = {});
 
 /// The traditional-tool baseline (the paper's Intel Inspector column):
 /// a hybrid of a legacy-configured conservative static pass and the
 /// dynamic vector-clock detector.
 [[nodiscard]] ConfusionMatrix run_traditional_tool(
-    const std::vector<const dataset::Entry*>& subset);
+    const std::vector<const dataset::Entry*>& subset,
+    const ExperimentOptions& opts = {});
 
 /// Detection with an auxiliary input modality (paper future work): the
 /// prompt carries the code plus a pretty-printed AST or a serialized
@@ -41,7 +66,8 @@ namespace drbml::eval {
 [[nodiscard]] ConfusionMatrix run_detection_modal(
     const llm::ChatModel& model, prompts::Style style,
     prompts::Modality modality,
-    const std::vector<const dataset::Entry*>& subset);
+    const std::vector<const dataset::Entry*>& subset,
+    const ExperimentOptions& opts = {});
 
 // ------------------------------------------------------------- var-id
 
@@ -52,7 +78,8 @@ namespace drbml::eval {
 
 [[nodiscard]] ConfusionMatrix run_varid(
     const llm::ChatModel& model,
-    const std::vector<const dataset::Entry*>& subset);
+    const std::vector<const dataset::Entry*>& subset,
+    const ExperimentOptions& opts = {});
 
 // ------------------------------------------------------------- fine-tuning
 
@@ -74,7 +101,8 @@ struct CvResult {
 [[nodiscard]] CvResult run_cv(const llm::Persona& persona, Objective objective,
                               bool finetuned, int k = 5,
                               std::uint64_t seed = 2023,
-                              int synthetic_augmentation = 0);
+                              int synthetic_augmentation = 0,
+                              const ExperimentOptions& opts = {});
 
 // ------------------------------------------------------------- table rows
 
@@ -92,14 +120,19 @@ struct CvRow {
 };
 
 /// Table 2: GPT-3.5-turbo with basic prompts 1 and 2.
-[[nodiscard]] std::vector<DetectionRow> table2_rows();
+[[nodiscard]] std::vector<DetectionRow> table2_rows(
+    const ExperimentOptions& opts = {});
 /// Table 3: traditional tool + four LLMs x {p1, p2, p3}.
-[[nodiscard]] std::vector<DetectionRow> table3_rows();
+[[nodiscard]] std::vector<DetectionRow> table3_rows(
+    const ExperimentOptions& opts = {});
 /// Table 4: 5-fold CV, detection, StarChat/Llama2 with and without FT.
-[[nodiscard]] std::vector<CvRow> table4_rows();
+[[nodiscard]] std::vector<CvRow> table4_rows(
+    const ExperimentOptions& opts = {});
 /// Table 5: variable identification, four pretrained LLMs.
-[[nodiscard]] std::vector<DetectionRow> table5_rows();
+[[nodiscard]] std::vector<DetectionRow> table5_rows(
+    const ExperimentOptions& opts = {});
 /// Table 6: 5-fold CV, variable identification, with and without FT.
-[[nodiscard]] std::vector<CvRow> table6_rows();
+[[nodiscard]] std::vector<CvRow> table6_rows(
+    const ExperimentOptions& opts = {});
 
 }  // namespace drbml::eval

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <mutex>
 
 #include "llm/finetune.hpp"
 #include "llm/tokenizer.hpp"
 #include "support/hash.hpp"
 #include "support/json.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -83,19 +82,24 @@ std::vector<std::string> fallback_identifiers(const std::string& code) {
 
 }  // namespace
 
-const ProgramFeatures& cached_features(const std::string& code) {
-  static std::map<std::uint64_t, ProgramFeatures> cache;
-  static std::mutex mu;
-  const std::uint64_t key = fnv1a64(code);
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
-  }
-  ProgramFeatures f = extract_features(code);
-  std::lock_guard<std::mutex> lock(mu);
-  return cache.emplace(key, std::move(f)).first->second;
+namespace {
+
+// Exactly-once memoization: concurrent first requests for the same
+// program block on one extraction instead of racing to compute it
+// twice (the two static analyses inside are the expensive part).
+support::OnceMap<ProgramFeatures>& feature_cache() {
+  static support::OnceMap<ProgramFeatures> cache;
+  return cache;
 }
+
+}  // namespace
+
+const ProgramFeatures& cached_features(const std::string& code) {
+  return feature_cache().get_or_compute(
+      fnv1a64(code), [&] { return extract_features(code); });
+}
+
+void clear_feature_cache() { feature_cache().clear(); }
 
 std::string extract_code_from_prompt(const std::string& prompt) {
   // Auxiliary-modality sections follow the code; cut them off first.

@@ -6,6 +6,15 @@
 // (persona rates + optional fine-tuned adapter), and verbalizes the result
 // with persona-dependent formatting discipline. Everything is
 // deterministic given (persona, prompt style, code).
+//
+// Concurrency contract: the const methods (chat, decide, persona) are
+// data-race-free and may be called from many threads at once. They touch
+// no mutable members -- per-call state (tokenizers, PRNGs seeded from
+// stable keys) lives on the stack, the adapter is held by shared_ptr to
+// const, and the only shared state is the exactly-once feature cache
+// behind cached_features. The non-const mutators (set_adapter,
+// set_varid_boost) are configuration-time only: call them before the
+// model is shared across threads, never concurrently with chat/decide.
 #pragma once
 
 #include <memory>
@@ -35,6 +44,10 @@ struct Verdict {
 /// Feature cache: extraction runs two static analyses, so results are
 /// memoized by content hash across all models and experiments.
 [[nodiscard]] const ProgramFeatures& cached_features(const std::string& code);
+
+/// Drops the feature cache (benchmark cold-start fairness). Only safe
+/// while no thread is inside cached_features or holding its references.
+void clear_feature_cache();
 
 /// Recovers the code block embedded in a rendered prompt.
 [[nodiscard]] std::string extract_code_from_prompt(const std::string& prompt);

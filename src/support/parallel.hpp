@@ -1,0 +1,202 @@
+// Deterministic parallel execution primitives.
+//
+// ThreadPool is a fixed-size worker pool; parallel_map fans a pure
+// per-item function out over the pool and returns results **in input
+// order**, regardless of completion order. With jobs <= 1 the map runs
+// inline on the caller's thread in input order -- byte-for-byte the old
+// serial path -- so parallelism can never change a result, only its
+// wall-clock cost. OnceMap is the thread-safe memoization primitive
+// underneath the artifact caches: concurrent get_or_compute calls for
+// the same key run the compute function exactly once (per success) and
+// share the result.
+//
+// The executor preserves the repository's determinism contract
+// (DESIGN.md section 6.2): per-item work must already be
+// order-independent (counter-based PRNGs keyed by stable strings, no
+// shared mutable state), and the fold back into aggregate results
+// happens in input order on the caller's thread.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace drbml::support {
+
+/// Resolves a jobs request: `jobs > 0` is taken literally; `jobs == 0`
+/// means "auto" -- the DRBML_JOBS environment variable if set to a
+/// positive integer, otherwise std::thread::hardware_concurrency().
+/// Always returns >= 1.
+[[nodiscard]] int resolve_jobs(int jobs);
+
+/// A fixed pool of worker threads executing indexed batches.
+///
+/// `threads == 0` is a degenerate inline pool: run() executes the batch
+/// on the caller's thread in index order (the serial path). With
+/// `threads >= 1`, run() hands indices to the workers through a shared
+/// atomic cursor and blocks until the batch completes; the first
+/// exception thrown by any task is rethrown on the caller's thread
+/// after the batch drains. A pool is reusable across successive run()
+/// calls, including after a batch that threw.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for the inline pool).
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Runs fn(0) .. fn(n - 1), blocking until all calls finish.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // caller waits for completion
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t batch_size_ = 0;
+  std::size_t next_index_ = 0;        // cursor into the current batch
+  std::size_t in_flight_ = 0;         // tasks started but not finished
+  std::uint64_t generation_ = 0;      // bumped per batch
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+namespace detail {
+
+template <typename Fn, typename In>
+using MapResult = std::decay_t<std::invoke_result_t<Fn&, const In&>>;
+
+}  // namespace detail
+
+/// Ordered parallel map over a reusable pool: out[i] == fn(items[i]).
+/// Results land in input order regardless of completion order. fn must
+/// be safe to call concurrently from multiple threads.
+template <typename In, typename Fn>
+std::vector<detail::MapResult<Fn, In>> parallel_map(ThreadPool& pool,
+                                                    const std::vector<In>& items,
+                                                    Fn&& fn) {
+  using Out = detail::MapResult<Fn, In>;
+  if (pool.size() <= 1 || items.size() <= 1) {
+    std::vector<Out> out;
+    out.reserve(items.size());
+    for (const In& item : items) out.push_back(fn(item));
+    return out;
+  }
+  std::vector<std::optional<Out>> slots(items.size());
+  pool.run(items.size(),
+           [&](std::size_t i) { slots[i].emplace(fn(items[i])); });
+  std::vector<Out> out;
+  out.reserve(items.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// Ordered parallel map with a transient pool. jobs follows
+/// resolve_jobs(); jobs <= 1 (after resolution) runs inline in input
+/// order -- exactly the serial loop it replaces.
+template <typename In, typename Fn>
+std::vector<detail::MapResult<Fn, In>> parallel_map(int jobs,
+                                                    const std::vector<In>& items,
+                                                    Fn&& fn) {
+  const int n = resolve_jobs(jobs);
+  if (n <= 1 || items.size() <= 1) {
+    ThreadPool inline_pool(0);
+    return parallel_map(inline_pool, items, std::forward<Fn>(fn));
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(n), items.size())));
+  return parallel_map(pool, items, std::forward<Fn>(fn));
+}
+
+/// Thread-safe memoization map keyed by a caller-computed 64-bit hash.
+///
+/// get_or_compute runs `fn` exactly once per key among all concurrent
+/// callers (losers block until the winner finishes, then share the
+/// value); if the compute throws, the exception propagates to that
+/// caller and a later call retries. Returned references stay valid
+/// until the entry is dropped: values live in stable heap cells, so
+/// inserting other keys never invalidates them, but clear() does.
+template <typename Value>
+class OnceMap {
+ public:
+  template <typename Fn>
+  const Value& get_or_compute(std::uint64_t key, Fn&& fn) {
+    std::shared_ptr<Cell> cell;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Cell>& slot = cells_[key];
+      if (slot == nullptr) slot = std::make_shared<Cell>();
+      cell = slot;
+    }
+    // Hand-rolled once-synchronization instead of std::call_once:
+    // libstdc++ implements call_once on pthread_once, which cannot
+    // unwind -- a throwing compute would deadlock every later call on
+    // the same flag (GCC bug 66146).
+    std::unique_lock<std::mutex> lock(cell->mu);
+    for (;;) {
+      if (cell->value.has_value()) return *cell->value;
+      if (!cell->computing) break;
+      cell->cv.wait(lock);
+    }
+    cell->computing = true;
+    lock.unlock();
+    try {
+      Value v = fn();
+      lock.lock();
+      cell->value.emplace(std::move(v));
+    } catch (...) {
+      lock.lock();
+      cell->computing = false;  // let a later caller retry
+      cell->cv.notify_all();
+      throw;
+    }
+    cell->computing = false;
+    cell->cv.notify_all();
+    return *cell->value;
+  }
+
+  /// Number of keys ever requested (including in-progress computes).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cells_.size();
+  }
+
+  /// Drops all entries. References handed out earlier dangle once their
+  /// cell's last owner releases it -- only call this while no other
+  /// thread is using the map.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_.clear();
+  }
+
+ private:
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool computing = false;
+    std::optional<Value> value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Cell>> cells_;
+};
+
+}  // namespace drbml::support

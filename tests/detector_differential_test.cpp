@@ -1,0 +1,119 @@
+// Differential testing of the static and dynamic detectors over the
+// synthetic kernel generator, driven through the cached/parallel
+// invocation path the experiment harness uses.
+//
+// The synthesizer's construction labels are ground truth: each template
+// family is structurally racy or structurally safe for every parameter
+// choice. The dynamic (vector-clock) detector reports only races it
+// observed, so it must never flag a race-free kernel -- a false positive
+// here means the happens-before tracking, the artifact cache, or the
+// parallel executor corrupted an analysis.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/drbml.hpp"
+#include "drb/synth.hpp"
+#include "eval/artifact_cache.hpp"
+#include "eval/experiments.hpp"
+#include "runtime/dynamic.hpp"
+#include "support/parallel.hpp"
+
+namespace drbml {
+namespace {
+
+std::vector<drb::SynthEntry> kernels() {
+  drb::SynthConfig config;
+  config.count = 200;
+  config.seed = 20230806;
+  return drb::synthesize(config);
+}
+
+TEST(DetectorDifferential, DynamicNeverFlagsRaceFreeSynthKernels) {
+  const std::vector<drb::SynthEntry> entries = kernels();
+  ASSERT_EQ(entries.size(), 200u);
+
+  runtime::DynamicDetectorOptions dyn_opts;  // default 3 schedule seeds
+  eval::ArtifactCache& cache = eval::artifact_cache();
+
+  // Analyze through the shared cache from 8 worker threads, exactly as
+  // the parallel experiment harness does.
+  const std::vector<int> verdicts = support::parallel_map(
+      8, entries, [&](const drb::SynthEntry& e) -> int {
+        return cache.dynamic_report(e.code, dyn_opts).race_detected ? 1 : 0;
+      });
+
+  int safe_kernels = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].race) continue;
+    ++safe_kernels;
+    EXPECT_EQ(verdicts[i], 0)
+        << "dynamic detector false positive on race-free kernel "
+        << entries[i].name << " (pattern " << entries[i].pattern << ")";
+  }
+  ASSERT_GT(safe_kernels, 50) << "generator produced too few safe kernels "
+                                 "for the assertion to mean anything";
+}
+
+TEST(DetectorDifferential, CachedVerdictsMatchFreshDetectors) {
+  // The cache must be a pure memo: verdicts served through it agree with
+  // fresh, uncached detector runs.
+  std::vector<drb::SynthEntry> entries = kernels();
+  entries.resize(40);
+
+  runtime::DynamicDetectorOptions dyn_opts;
+  analysis::StaticDetectorOptions static_opts;
+  eval::ArtifactCache& cache = eval::artifact_cache();
+
+  for (const drb::SynthEntry& e : entries) {
+    const bool cached_dynamic =
+        cache.dynamic_report(e.code, dyn_opts).race_detected;
+    const bool fresh_dynamic = runtime::DynamicRaceDetector(dyn_opts)
+                                   .analyze_source(e.code)
+                                   .race_detected;
+    EXPECT_EQ(cached_dynamic, fresh_dynamic) << e.name;
+
+    const bool cached_static =
+        cache.static_report(e.code, static_opts).race_detected;
+    const bool fresh_static = analysis::StaticRaceDetector(static_opts)
+                                  .analyze_source(e.code)
+                                  .race_detected;
+    EXPECT_EQ(cached_static, fresh_static) << e.name;
+  }
+}
+
+TEST(TraditionalTool, MalformedEntryCountsAsNegativeInsteadOfAborting) {
+  // Neither the static nor the dynamic tool can parse this; the harness
+  // must swallow both failures and count the entry as a negative
+  // prediction instead of aborting the whole table.
+  dataset::Entry malformed;
+  malformed.id = 9001;
+  malformed.name = "MALFORMED-001";
+  malformed.trimmed_code = "#pragma omp parallel for\nfor (int i = 0; i <";
+  malformed.data_race = 1;  // labeled racy, so the miss lands in FN
+
+  dataset::Entry healthy;
+  healthy.id = 9002;
+  healthy.name = "HEALTHY-001";
+  healthy.trimmed_code =
+      "int main() {\n"
+      "  int a[64];\n"
+      "  #pragma omp parallel for\n"
+      "  for (int i = 0; i < 64; i = i + 1) {\n"
+      "    a[i] = i;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n";
+  healthy.data_race = 0;
+
+  const std::vector<const dataset::Entry*> subset = {&malformed, &healthy};
+  eval::ConfusionMatrix cm;
+  ASSERT_NO_THROW(cm = eval::run_traditional_tool(subset));
+  EXPECT_EQ(cm.total(), 2);
+  EXPECT_EQ(cm.fn, 1);  // malformed racy entry -> negative prediction
+  EXPECT_EQ(cm.tn, 1);  // healthy race-free entry -> true negative
+}
+
+}  // namespace
+}  // namespace drbml

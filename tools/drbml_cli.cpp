@@ -1,6 +1,9 @@
 // drbml -- command line interface to the library.
 //
-//   drbml analyze  [--detector SPEC] FILE.c     analyze one program
+//   drbml analyze  [--detector SPEC] [--jobs N] FILE.c...
+//                                               analyze programs (many
+//                                               files fan out over N
+//                                               worker threads)
 //   drbml graph    [--dot] FILE.c               print its dependence graph
 //   drbml corpus   [--pattern P] [--limit N]    list corpus entries
 //   drbml entry    NAME                         print one entry's DRB file
@@ -32,7 +35,7 @@ int usage() {
       "drbml -- data race detection substrate (LLM study reproduction)\n"
       "\n"
       "usage:\n"
-      "  drbml analyze [--detector SPEC] FILE.c\n"
+      "  drbml analyze [--detector SPEC] [--jobs N] FILE.c...\n"
       "  drbml graph [--dot] FILE.c\n"
       "  drbml corpus [--pattern P] [--limit N]\n"
       "  drbml entry NAME\n"
@@ -41,7 +44,9 @@ int usage() {
       "  drbml detectors\n"
       "\n"
       "detector specs: static | dynamic | hybrid | llm:<persona>[:<prompt>]\n"
-      "personas: gpt35, gpt4, starchat, llama2; prompts: p1, p2, p3, bp2\n");
+      "personas: gpt35, gpt4, starchat, llama2; prompts: p1, p2, p3, bp2\n"
+      "--jobs N: worker threads for multi-file analyze (0 = auto from\n"
+      "          DRBML_JOBS or hardware; results identical at any N)\n");
   return 2;
 }
 
@@ -53,22 +58,7 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
-int cmd_analyze(const std::vector<std::string>& args) {
-  std::string spec = "hybrid";
-  std::string path;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--detector" && i + 1 < args.size()) {
-      spec = args[++i];
-    } else {
-      path = args[i];
-    }
-  }
-  if (path.empty()) return usage();
-  const std::string code = read_file(path);
-  auto detector = core::make_detector(spec);
-  const core::RaceVerdict v = detector->analyze(code);
-  std::printf("%s: %s\n", detector->name().c_str(),
-              v.race ? "DATA RACE" : "no race detected");
+void print_verdict(const core::RaceVerdict& v) {
   for (const auto& pair : v.pairs) {
     std::printf("  %s@%d:%d:%c vs. %s@%d:%d:%c\n",
                 pair.first.expr_text.c_str(), pair.first.loc.line,
@@ -79,7 +69,45 @@ int cmd_analyze(const std::vector<std::string>& args) {
   if (!v.model_response.empty()) {
     std::printf("model response:\n%s\n", v.model_response.c_str());
   }
-  return v.race ? 1 : 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  core::DetectorSpec spec;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--detector" && i + 1 < args.size()) {
+      spec.spec = args[++i];
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      spec.jobs = std::atoi(args[++i].c_str());
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) return usage();
+  auto detector = core::make_detector(spec);
+
+  if (paths.size() == 1) {
+    const core::RaceVerdict v = detector->analyze(read_file(paths[0]));
+    std::printf("%s: %s\n", detector->name().c_str(),
+                v.race ? "DATA RACE" : "no race detected");
+    print_verdict(v);
+    return v.race ? 1 : 0;
+  }
+
+  // Many files: fan out over the pool; verdicts print in input order.
+  std::vector<std::string> sources;
+  sources.reserve(paths.size());
+  for (const auto& path : paths) sources.push_back(read_file(path));
+  const std::vector<core::RaceVerdict> verdicts =
+      detector->analyze_batch(sources);
+  bool any_race = false;
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    std::printf("%s: %s: %s\n", paths[i].c_str(), detector->name().c_str(),
+                verdicts[i].race ? "DATA RACE" : "no race detected");
+    print_verdict(verdicts[i]);
+    any_race = any_race || verdicts[i].race;
+  }
+  return any_race ? 1 : 0;
 }
 
 int cmd_graph(const std::vector<std::string>& args) {
