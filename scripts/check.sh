@@ -5,11 +5,14 @@
 #   scripts/check.sh --fast     full suite only (skip the TSan build)
 #
 # Stage 1 is the repository's tier-1 gate: configure, build, run every
-# test. Stage 2 rebuilds under ThreadSanitizer (-DDRBML_SANITIZE=thread)
-# and runs the `parallel`-labelled suites -- the thread pool, the
-# memoized artifact caches, and the parallel experiment executor -- so
-# the infrastructure this repo uses to find data races is itself checked
-# for data races.
+# test. Stage 2 is the self-lint gate: the OpenMP correctness linter
+# must survive the full corpus plus a fixed synthetic batch with zero
+# crashes and a shape-valid SARIF log. Stage 3 rebuilds under
+# ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
+# `parallel`-labelled suites -- the thread pool, the memoized artifact
+# caches, the parallel experiment executor, and the lint detector's
+# batch fan-out -- so the infrastructure this repo uses to find data
+# races is itself checked for data races.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,14 +21,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== stage 2: self-lint gate (corpus + 200 synth kernels) =="
+# The linter must digest every corpus entry and a fixed synthetic batch
+# without a single crash or parse failure, and the combined SARIF log
+# must satisfy the 2.1.0 shape invariants (--check validates both).
+build/tools/drbml lint --corpus --synth 200 --seed 7 --check >/dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="
   exit 0
 fi
 
-echo "== stage 2: ThreadSanitizer build of the parallel suites =="
+echo "== stage 3: ThreadSanitizer build of the parallel suites =="
 cmake -B build-tsan -S . -DDRBML_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
-  parallel_test parallel_determinism_test detector_differential_test
+  parallel_test parallel_determinism_test detector_differential_test \
+  lint_test
 (cd build-tsan && ctest -L parallel --output-on-failure)
 echo "== all checks passed =="

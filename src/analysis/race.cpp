@@ -106,6 +106,9 @@ RaceReport StaticRaceDetector::analyze_unit(TranslationUnit& unit) const {
       collect_regions(unit, res, opts_.collect);
 
   RaceReport report;
+  // Distinct pairs dropped at the cap (kept separately so the suppressed
+  // count collapses duplicates exactly like add_pair does).
+  RaceReport overflow;
   for (const auto& region : regions) {
     const auto& acc = region.accesses;
     for (std::size_t i = 0; i < acc.size(); ++i) {
@@ -113,7 +116,6 @@ RaceReport StaticRaceDetector::analyze_unit(TranslationUnit& unit) const {
         // j == i covers the self-conflict of a single statement executed
         // by many threads/iterations (e.g. `x = x + 1;`).
         if (j == i && !acc[i].is_write) continue;
-        if (static_cast<int>(report.pairs.size()) >= opts_.max_pairs) break;
         if (!may_race(acc[i], acc[j], region)) continue;
         // Writer first, matching DRB's pair convention.
         const AccessInfo& first = acc[i].is_write ? acc[i] : acc[j];
@@ -123,9 +125,23 @@ RaceReport StaticRaceDetector::analyze_unit(TranslationUnit& unit) const {
         pair.second = to_race_access(second);
         pair.note = "static: conflicting accesses to shared '" +
                     first.var->name + "'";
+        if (report.contains(pair)) continue;
+        if (static_cast<int>(report.pairs.size()) >= opts_.max_pairs) {
+          // Never truncate silently: count the distinct pairs dropped and
+          // report them below.
+          overflow.add_pair(std::move(pair));
+          continue;
+        }
         report.add_pair(std::move(pair));
       }
     }
+  }
+  report.suppressed_pairs = static_cast<int>(overflow.pairs.size());
+  if (report.suppressed_pairs > 0) {
+    report.diagnostics.push_back(
+        "static: " + std::to_string(report.suppressed_pairs) +
+        " additional pair(s) suppressed (max_pairs=" +
+        std::to_string(opts_.max_pairs) + ")");
   }
   if (!report.race_detected) {
     report.diagnostics.push_back("static: no conflicting pair found");

@@ -37,13 +37,22 @@ struct RaceReport {
   bool race_detected = false;
   std::vector<RacePair> pairs;
   std::vector<std::string> diagnostics;
+  /// Distinct pairs dropped because `pairs` hit the detector's max_pairs
+  /// cap (a matching "N additional pairs suppressed" diagnostic is
+  /// appended so truncation is never silent).
+  int suppressed_pairs = 0;
+
+  /// True if `p` (or its symmetric twin) is already reported.
+  [[nodiscard]] bool contains(const RacePair& p) const {
+    for (const auto& q : pairs) {
+      if (q == p) return true;
+      if (q.first == p.second && q.second == p.first) return true;
+    }
+    return false;
+  }
 
   void add_pair(RacePair p) {
-    for (const auto& q : pairs) {
-      if (q == p) return;
-      // Symmetric duplicates collapse too.
-      if (q.first == p.second && q.second == p.first) return;
-    }
+    if (contains(p)) return;  // exact and symmetric duplicates collapse
     pairs.push_back(std::move(p));
     race_detected = true;
   }

@@ -2,6 +2,7 @@
 
 #include "analysis/race.hpp"
 #include "eval/parse.hpp"
+#include "lint/lint.hpp"
 #include "llm/model.hpp"
 #include "prompts/prompts.hpp"
 #include "runtime/dynamic.hpp"
@@ -63,6 +64,29 @@ class HybridTool final : public RaceDetector {
     return v;
   }
   std::string name() const override { return "hybrid"; }
+};
+
+class LintTool final : public RaceDetector {
+ public:
+  RaceVerdict analyze(const std::string& code) const override {
+    const lint::LintReport report = linter_.lint_source(code);
+    RaceVerdict v;
+    v.race = report.race.race_detected;
+    v.pairs = report.race.pairs;
+    for (const auto& d : report.diagnostics) {
+      v.diagnostics.push_back(lint::to_text_line(d));
+    }
+    if (report.suppressed > 0) {
+      v.diagnostics.push_back("lint: " + std::to_string(report.suppressed) +
+                              " finding(s) suppressed by "
+                              "drbml-lint-suppress comments");
+    }
+    return v;
+  }
+  std::string name() const override { return "lint"; }
+
+ private:
+  lint::Linter linter_;
 };
 
 class LlmTool final : public RaceDetector {
@@ -147,6 +171,7 @@ std::unique_ptr<RaceDetector> make_detector(const std::string& spec) {
   if (spec == "static") return std::make_unique<StaticTool>();
   if (spec == "dynamic") return std::make_unique<DynamicTool>();
   if (spec == "hybrid") return std::make_unique<HybridTool>();
+  if (spec == "lint") return std::make_unique<LintTool>();
   if (starts_with(spec, "llm:")) {
     const std::vector<std::string> parts = split(spec, ':');
     const std::string key = parts.size() > 1 ? parts[1] : "gpt4";
@@ -155,11 +180,11 @@ std::unique_ptr<RaceDetector> make_detector(const std::string& spec) {
     return std::make_unique<LlmTool>(persona_by_key(key), style);
   }
   throw Error("unknown detector spec: " + spec +
-              " (try: static, dynamic, hybrid, llm:gpt4:p1)");
+              " (try: static, dynamic, hybrid, lint, llm:gpt4:p1)");
 }
 
 std::vector<std::string> available_detectors() {
-  std::vector<std::string> out = {"static", "dynamic", "hybrid"};
+  std::vector<std::string> out = {"static", "dynamic", "hybrid", "lint"};
   for (const llm::Persona& p : llm::all_personas()) {
     for (const char* style : {"p1", "p2", "p3", "bp2"}) {
       out.push_back("llm:" + p.key + ":" + style);

@@ -1,10 +1,12 @@
 // Unified detector interface -- the library's primary public API.
 //
-// Four interchangeable detectors analyze OpenMP C source for data races:
+// Interchangeable detectors analyze OpenMP C source for data races:
 //   - "static":  dependence-based static analysis (RELAY/ompVerify-style)
 //   - "dynamic": interpreted execution with vector-clock happens-before
 //                checking (ThreadSanitizer/Inspector-style)
 //   - "hybrid":  static union dynamic (the paper's traditional-tool column)
+//   - "lint":    the OpenMP correctness linter (src/lint); race verdict from
+//                the static pipeline, diagnostics rendered per finding
 //   - "llm:<persona>[:<prompt>]": a simulated LLM queried through the
 //     paper's prompt pipeline, e.g. "llm:gpt4:p3"
 //

@@ -78,9 +78,33 @@ const analysis::RaceReport& ArtifactCache::dynamic_report(
   });
 }
 
+const lint::LintReport& ArtifactCache::lint_report(const std::string& code) {
+  // Default LintOptions only, so the code hash alone is a sound key.
+  return lint_reports_.get_or_compute(fnv1a64(code), [&] {
+    const lint::Linter linter;
+    return linter.lint_source(code);
+  });
+}
+
+const std::string& ArtifactCache::lint_text(const std::string& code) {
+  return lint_texts_.get_or_compute(fnv1a64(code), [&] {
+    std::string out;
+    try {
+      for (const auto& d : lint_report(code).diagnostics) {
+        out += lint::to_text_line(d) + "\n";
+      }
+    } catch (const Error& e) {
+      return std::string("note: linter unavailable: ") + e.what() + "\n";
+    }
+    if (out.empty()) out = "(no findings)\n";
+    return out;
+  });
+}
+
 std::size_t ArtifactCache::size() const {
   return tokens_.size() + asts_.size() + depgraphs_.size() +
-         static_reports_.size() + dynamic_reports_.size();
+         static_reports_.size() + dynamic_reports_.size() +
+         lint_reports_.size() + lint_texts_.size();
 }
 
 void ArtifactCache::clear() {
@@ -89,6 +113,8 @@ void ArtifactCache::clear() {
   depgraphs_.clear();
   static_reports_.clear();
   dynamic_reports_.clear();
+  lint_reports_.clear();
+  lint_texts_.clear();
 }
 
 ArtifactCache& artifact_cache() {

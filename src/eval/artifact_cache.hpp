@@ -22,6 +22,7 @@
 
 #include "analysis/race.hpp"
 #include "analysis/report.hpp"
+#include "lint/lint.hpp"
 #include "llm/features.hpp"
 #include "runtime/dynamic.hpp"
 #include "support/parallel.hpp"
@@ -56,6 +57,16 @@ class ArtifactCache {
   const analysis::RaceReport& dynamic_report(
       const std::string& code, const runtime::DynamicDetectorOptions& opts);
 
+  /// Linter report for `code` under the default LintOptions (all checks,
+  /// default detector knobs). Throws Error on unparseable input; failures
+  /// are not cached.
+  const lint::LintReport& lint_report(const std::string& code);
+
+  /// Linter findings rendered one per line for prompt embedding
+  /// ("(no findings)" when the linter is silent). Parse failures yield a
+  /// one-line note instead of throwing, so prompt assembly never aborts.
+  const std::string& lint_text(const std::string& code);
+
   /// Entries currently resident across all artifact kinds.
   [[nodiscard]] std::size_t size() const;
 
@@ -68,6 +79,8 @@ class ArtifactCache {
   support::OnceMap<std::string> depgraphs_;
   support::OnceMap<analysis::RaceReport> static_reports_;
   support::OnceMap<analysis::RaceReport> dynamic_reports_;
+  support::OnceMap<lint::LintReport> lint_reports_;
+  support::OnceMap<std::string> lint_texts_;
 };
 
 /// The process-wide cache used by the experiment runners.

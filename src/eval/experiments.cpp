@@ -87,6 +87,21 @@ ConfusionMatrix run_traditional_tool(const std::vector<const Entry*>& subset,
       }));
 }
 
+ConfusionMatrix run_lint_tool(const std::vector<const Entry*>& subset,
+                              const ExperimentOptions& opts) {
+  ArtifactCache& cache = artifact_cache();
+  return fold_outcomes(
+      support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
+        bool flagged = false;
+        try {
+          flagged = cache.lint_report(e->trimmed_code).race.race_detected;
+        } catch (const Error&) {
+          flagged = false;  // unparseable: no finding, count as negative
+        }
+        return Outcome{flagged, e->data_race == 1};
+      }));
+}
+
 ConfusionMatrix run_detection_modal(
     const ChatModel& model, prompts::Style style, prompts::Modality modality,
     const std::vector<const Entry*>& subset, const ExperimentOptions& opts) {
@@ -98,6 +113,8 @@ ConfusionMatrix run_detection_modal(
           aux = cache.ast_text(e->trimmed_code);
         } else if (modality == prompts::Modality::DepGraph) {
           aux = cache.depgraph_text(e->trimmed_code);
+        } else if (modality == prompts::Modality::Lint) {
+          aux = cache.lint_text(e->trimmed_code);
         }
         const prompts::Chat chat =
             prompts::modal_detection_chat(style, modality, e->trimmed_code, aux);
@@ -170,6 +187,37 @@ ConfusionMatrix run_varid(const ChatModel& model,
   return fold_outcomes(
       support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
         return varid_outcome(model, *e);
+      }));
+}
+
+ConfusionMatrix run_lint_varid(const std::vector<const Entry*>& subset,
+                               const ExperimentOptions& opts) {
+  ArtifactCache& cache = artifact_cache();
+  return fold_outcomes(
+      support::parallel_map(opts.jobs, subset, [&](const Entry* e) {
+        // Shape the linter's race evidence like a parsed LLM answer so
+        // the exact Table 5 matching rules apply to both.
+        ParsedVarId parsed;
+        try {
+          const lint::LintReport& report = cache.lint_report(e->trimmed_code);
+          parsed.verdict = report.race.race_detected;
+          for (const auto& rp : report.race.pairs) {
+            ParsedPair pair;
+            pair.names = {rp.first.expr_text, rp.second.expr_text};
+            pair.lines = {rp.first.loc.line, rp.second.loc.line};
+            pair.ops = {std::string(1, rp.first.op),
+                        std::string(1, rp.second.op)};
+            parsed.pairs.push_back(std::move(pair));
+          }
+        } catch (const Error&) {
+          parsed.verdict = false;
+        }
+        if (e->data_race == 1) {
+          return Outcome{varid_matches(parsed, *e), true};
+        }
+        const bool clean_no =
+            !parsed.verdict.value_or(true) && parsed.pairs.empty();
+        return Outcome{!clean_no, false};
       }));
 }
 
@@ -272,6 +320,7 @@ std::vector<DetectionRow> table3_rows(const ExperimentOptions& opts) {
   const auto subset = token_filtered_subset();
   std::vector<DetectionRow> rows;
   rows.push_back({"Ins", "N/A", run_traditional_tool(subset, opts)});
+  rows.push_back({"Lint", "N/A", run_lint_tool(subset, opts)});
   for (const llm::Persona& persona : llm::all_personas()) {
     ChatModel model(persona);
     for (prompts::Style style :
@@ -300,6 +349,7 @@ std::vector<CvRow> table4_rows(const ExperimentOptions& opts) {
 std::vector<DetectionRow> table5_rows(const ExperimentOptions& opts) {
   const auto subset = token_filtered_subset();
   std::vector<DetectionRow> rows;
+  rows.push_back({"Linter", "N/A", run_lint_varid(subset, opts)});
   for (const llm::Persona& persona : llm::all_personas()) {
     ChatModel model(persona);
     rows.push_back({persona.name, "BP2", run_varid(model, subset, opts)});

@@ -60,9 +60,16 @@ using Outcome = std::pair<bool, bool>;
     const std::vector<const dataset::Entry*>& subset,
     const ExperimentOptions& opts = {});
 
+/// The OpenMP correctness linter as a detector baseline: predicted
+/// positive iff the lint run's underlying static race evidence fires.
+/// Scored against the same DRB-ML labels as every other Table 3 column.
+[[nodiscard]] ConfusionMatrix run_lint_tool(
+    const std::vector<const dataset::Entry*>& subset,
+    const ExperimentOptions& opts = {});
+
 /// Detection with an auxiliary input modality (paper future work): the
-/// prompt carries the code plus a pretty-printed AST or a serialized
-/// dependence graph.
+/// prompt carries the code plus a pretty-printed AST, a serialized
+/// dependence graph, or the linter's findings.
 [[nodiscard]] ConfusionMatrix run_detection_modal(
     const llm::ChatModel& model, prompts::Style style,
     prompts::Modality modality,
@@ -78,6 +85,13 @@ using Outcome = std::pair<bool, bool>;
 
 [[nodiscard]] ConfusionMatrix run_varid(
     const llm::ChatModel& model,
+    const std::vector<const dataset::Entry*>& subset,
+    const ExperimentOptions& opts = {});
+
+/// The linter scored under Table 5 (variable identification) semantics:
+/// its race pairs are matched against the DRB-ML var_pairs labels with
+/// the same name/line/op comparison applied to LLM answers.
+[[nodiscard]] ConfusionMatrix run_lint_varid(
     const std::vector<const dataset::Entry*>& subset,
     const ExperimentOptions& opts = {});
 

@@ -1,0 +1,12 @@
+#include "lint/lint.hpp"
+
+#include "minic/parser.hpp"
+
+namespace drbml::lint {
+
+LintReport Linter::lint_source(std::string_view source) const {
+  minic::Program program = minic::parse_program(source);
+  return manager_.run(program, opts_);
+}
+
+}  // namespace drbml::lint

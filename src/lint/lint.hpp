@@ -1,0 +1,25 @@
+// Top-level linter facade: source text in, LintReport out.
+#pragma once
+
+#include <string_view>
+
+#include "lint/emit.hpp"
+#include "lint/pass.hpp"
+
+namespace drbml::lint {
+
+class Linter {
+ public:
+  explicit Linter(LintOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Parses and lints one program. Throws ParseError on malformed input.
+  [[nodiscard]] LintReport lint_source(std::string_view source) const;
+
+  [[nodiscard]] const LintOptions& options() const noexcept { return opts_; }
+
+ private:
+  LintOptions opts_;
+  PassManager manager_;
+};
+
+}  // namespace drbml::lint

@@ -40,6 +40,9 @@ prompts::Style infer_style(const prompts::Chat& chat) {
 
 prompts::Modality infer_modality(const prompts::Chat& chat) {
   const std::string& content = chat.front().content;
+  if (content.find(prompts::kLintMarker) != std::string::npos) {
+    return prompts::Modality::Lint;
+  }
   if (content.find(prompts::kDepGraphMarker) != std::string::npos) {
     return prompts::Modality::DepGraph;
   }
@@ -104,7 +107,8 @@ void clear_feature_cache() { feature_cache().clear(); }
 std::string extract_code_from_prompt(const std::string& prompt) {
   // Auxiliary-modality sections follow the code; cut them off first.
   std::size_t end = prompt.size();
-  for (const char* stop : {prompts::kAstMarker, prompts::kDepGraphMarker}) {
+  for (const char* stop : {prompts::kAstMarker, prompts::kDepGraphMarker,
+                           prompts::kLintMarker}) {
     const std::size_t pos = prompt.find(stop);
     if (pos != std::string::npos) end = std::min(end, pos);
   }
@@ -129,7 +133,8 @@ Verdict ChatModel::decide(prompts::Style style, const std::string& code,
   if (!f.parsed) {
     p_yes = 0.5;
   } else if (!f.evidence_consistent() &&
-             modality != prompts::Modality::DepGraph) {
+             modality != prompts::Modality::DepGraph &&
+             modality != prompts::Modality::Lint) {
     p_yes = rates.yes_given_uncertain;
   } else if (f.evidence_race()) {
     // With an explicit dependence graph the model reads the conflict
@@ -145,6 +150,9 @@ Verdict ChatModel::decide(prompts::Style style, const std::string& code,
     case prompts::Modality::Text: break;
     case prompts::Modality::Ast: z *= 1.10; break;
     case prompts::Modality::DepGraph: z *= 1.25; break;
+    // Linter findings name the construct and the fix, the strongest of
+    // the structured hints.
+    case prompts::Modality::Lint: z *= 1.30; break;
   }
   if (adapter_ != nullptr) {
     z += adapter_->predict(featurize(code));

@@ -112,6 +112,7 @@ const char* modality_name(Modality m) noexcept {
     case Modality::Text: return "text";
     case Modality::Ast: return "text+ast";
     case Modality::DepGraph: return "text+depgraph";
+    case Modality::Lint: return "text+lint";
   }
   return "?";
 }
@@ -120,8 +121,9 @@ Chat modal_detection_chat(Style style, Modality modality,
                           const std::string& code, const std::string& aux) {
   Chat chat = detection_chat(style, code);
   if (modality == Modality::Text || chat.empty()) return chat;
-  const char* marker =
-      modality == Modality::Ast ? kAstMarker : kDepGraphMarker;
+  const char* marker = modality == Modality::Ast ? kAstMarker
+                       : modality == Modality::Lint ? kLintMarker
+                                                    : kDepGraphMarker;
   chat.front().content += "\n";
   chat.front().content += marker;
   chat.front().content += "\n";

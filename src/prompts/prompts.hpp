@@ -38,6 +38,7 @@ enum class Modality {
   Text,      // code only (the paper's evaluated setting)
   Ast,       // + pretty-printed abstract syntax tree
   DepGraph,  // + serialized data-dependence graph
+  Lint,      // + OpenMP correctness linter findings (src/lint)
 };
 
 [[nodiscard]] const char* modality_name(Modality m) noexcept;
@@ -56,6 +57,8 @@ enum class Modality {
 inline constexpr const char* kAstMarker = "=== Abstract syntax tree ===";
 inline constexpr const char* kDepGraphMarker =
     "=== Data dependence graph ===";
+inline constexpr const char* kLintMarker =
+    "=== Static analysis findings ===";
 
 /// Listing 5 / BP2: detection plus structured variable identification.
 [[nodiscard]] Chat varid_chat(const std::string& code);

@@ -135,4 +135,23 @@ std::string format_double(double v, int precision) {
   return buf;
 }
 
+std::optional<std::int64_t> parse_int(std::string_view s) noexcept {
+  std::size_t i = 0;
+  bool negative = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+    negative = s[i] == '-';
+    ++i;
+  }
+  if (i == s.size()) return std::nullopt;
+  std::int64_t value = 0;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::int64_t digit = c - '0';
+    if (value > (INT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return negative ? -value : value;
+}
+
 }  // namespace drbml

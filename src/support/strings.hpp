@@ -1,6 +1,8 @@
 // String helpers used across the codebase.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,5 +46,10 @@ namespace drbml {
 
 /// Formats a double with fixed precision (no locale surprises).
 [[nodiscard]] std::string format_double(double v, int precision);
+
+/// Strict decimal integer parse: optional sign, at least one digit, no
+/// trailing characters, no overflow. Returns nullopt on any violation
+/// (unlike std::atoi, which silently returns 0 for garbage).
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s) noexcept;
 
 }  // namespace drbml

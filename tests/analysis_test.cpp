@@ -709,5 +709,55 @@ TEST(StaticRace, ReportPairHasTrimmedCoordinates) {
   EXPECT_EQ(pair.second.op, 'r');
 }
 
+// ------------------------------------------------------------ race report
+
+TEST(RaceReportTest, AddPairCollapsesExactAndSymmetricDuplicates) {
+  RacePair p;
+  p.first = {"x", "x", {3, 5}, 'w'};
+  p.second = {"x", "x", {4, 7}, 'r'};
+  RacePair sym;
+  sym.first = p.second;
+  sym.second = p.first;
+
+  RaceReport report;
+  EXPECT_FALSE(report.contains(p));
+  report.add_pair(p);
+  report.add_pair(p);    // exact duplicate
+  report.add_pair(sym);  // symmetric twin
+  EXPECT_TRUE(report.race_detected);
+  EXPECT_EQ(report.pairs.size(), 1u);
+  EXPECT_TRUE(report.contains(p));
+  EXPECT_TRUE(report.contains(sym));
+
+  RacePair other = p;
+  other.second.loc.line = 9;
+  report.add_pair(other);
+  EXPECT_EQ(report.pairs.size(), 2u);
+}
+
+TEST(StaticRace, PairCapReportsSuppressedCountInsteadOfSilence) {
+  StaticDetectorOptions opts;
+  opts.max_pairs = 1;
+  auto report = detect(
+      "int main() {\n"
+      "  int i;\n"
+      "  int total = 0;\n"
+      "#pragma omp parallel for\n"
+      "  for (i = 0; i < 100; i++)\n"
+      "    total = total + i;\n"
+      "  return 0;\n"
+      "}\n",
+      opts);
+  ASSERT_TRUE(report.race_detected);
+  EXPECT_EQ(report.pairs.size(), 1u);
+  EXPECT_GT(report.suppressed_pairs, 0);
+  bool noted = false;
+  for (const auto& d : report.diagnostics) {
+    noted = noted ||
+            d.find("additional pair(s) suppressed") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
 }  // namespace
 }  // namespace drbml::analysis

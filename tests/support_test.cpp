@@ -75,6 +75,30 @@ TEST(Strings, FormatDouble) {
   EXPECT_EQ(format_double(1.0, 2), "1.00");
 }
 
+TEST(Strings, ParseIntAcceptsStrictDecimals) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("+5"), 5);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(Strings, ParseIntRejectsNonNumericInput) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("-").has_value());
+  EXPECT_FALSE(parse_int("+").has_value());
+  EXPECT_FALSE(parse_int(" 3").has_value());
+  EXPECT_FALSE(parse_int("3 ").has_value());
+}
+
+TEST(Strings, ParseIntRejectsOverflow) {
+  EXPECT_FALSE(parse_int("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int("123456789012345678901234").has_value());
+}
+
 // ---------------------------------------------------------------- rng
 
 TEST(Rng, DeterministicFromKey) {

@@ -5,6 +5,10 @@
 //                                               files fan out over N
 //                                               worker threads)
 //   drbml graph    [--dot] FILE.c               print its dependence graph
+//   drbml lint     [--format text|json|sarif] [--check] [--jobs N]
+//                  [FILE.c... | --entry NAME | --corpus | --synth N]
+//                                               run the OpenMP correctness
+//                                               linter (SARIF 2.1.0 capable)
 //   drbml corpus   [--pattern P] [--limit N]    list corpus entries
 //   drbml entry    NAME                         print one entry's DRB file
 //   drbml dataset  [--out DIR]                  write DRB-ML JSON to disk
@@ -24,7 +28,10 @@
 #include "dataset/drbml.hpp"
 #include "drb/corpus.hpp"
 #include "drb/synth.hpp"
+#include "lint/lint.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/strings.hpp"
 
 namespace {
 
@@ -37,17 +44,31 @@ int usage() {
       "usage:\n"
       "  drbml analyze [--detector SPEC] [--jobs N] FILE.c...\n"
       "  drbml graph [--dot] FILE.c\n"
+      "  drbml lint [--format text|json|sarif] [--check] [--jobs N]\n"
+      "             [FILE.c... | --entry NAME | --corpus | --synth N "
+      "[--seed S]]\n"
       "  drbml corpus [--pattern P] [--limit N]\n"
       "  drbml entry NAME\n"
       "  drbml dataset [--out DIR]\n"
       "  drbml synth [--count N] [--seed S] [--out DIR]\n"
       "  drbml detectors\n"
       "\n"
-      "detector specs: static | dynamic | hybrid | llm:<persona>[:<prompt>]\n"
+      "detector specs: static | dynamic | hybrid | lint | "
+      "llm:<persona>[:<prompt>]\n"
       "personas: gpt35, gpt4, starchat, llama2; prompts: p1, p2, p3, bp2\n"
       "--jobs N: worker threads for multi-file analyze (0 = auto from\n"
       "          DRBML_JOBS or hardware; results identical at any N)\n");
   return 2;
+}
+
+/// Strict integer flag value: rejects the std::atoi garbage-becomes-0
+/// behaviour with a usage error instead.
+std::int64_t int_flag(const char* flag, const std::string& value) {
+  const std::optional<std::int64_t> parsed = parse_int(value);
+  if (!parsed.has_value()) {
+    throw Error(std::string(flag) + " expects an integer, got '" + value + "'");
+  }
+  return *parsed;
 }
 
 std::string read_file(const std::string& path) {
@@ -66,6 +87,11 @@ void print_verdict(const core::RaceVerdict& v) {
                 pair.second.expr_text.c_str(), pair.second.loc.line,
                 pair.second.loc.col, pair.second.op);
   }
+  // Tool notes (e.g. "N additional pair(s) suppressed (max_pairs=...)")
+  // must reach the user: truncation is never silent.
+  for (const auto& diag : v.diagnostics) {
+    std::printf("  %s\n", diag.c_str());
+  }
   if (!v.model_response.empty()) {
     std::printf("model response:\n%s\n", v.model_response.c_str());
   }
@@ -78,7 +104,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
     if (args[i] == "--detector" && i + 1 < args.size()) {
       spec.spec = args[++i];
     } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-      spec.jobs = std::atoi(args[++i].c_str());
+      spec.jobs = static_cast<int>(int_flag("--jobs", args[++i]));
     } else {
       paths.push_back(args[i]);
     }
@@ -127,13 +153,134 @@ int cmd_graph(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_lint(const std::vector<std::string>& args) {
+  std::string format = "text";
+  bool check = false;
+  int jobs = 0;
+  int synth_count = 0;
+  std::uint64_t synth_seed = 0;
+  bool whole_corpus = false;
+  std::vector<std::string> entry_names;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        throw Error("--format expects text, json, or sarif, got '" + format +
+                    "'");
+      }
+    } else if (args[i] == "--check") {
+      check = true;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      jobs = static_cast<int>(int_flag("--jobs", args[++i]));
+    } else if (args[i] == "--entry" && i + 1 < args.size()) {
+      entry_names.push_back(args[++i]);
+    } else if (args[i] == "--corpus") {
+      whole_corpus = true;
+    } else if (args[i] == "--synth" && i + 1 < args.size()) {
+      synth_count = static_cast<int>(int_flag("--synth", args[++i]));
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      synth_seed = static_cast<std::uint64_t>(int_flag("--seed", args[++i]));
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> sources;  // (name, code)
+  for (const auto& path : paths) sources.emplace_back(path, read_file(path));
+  for (const auto& name : entry_names) {
+    const drb::CorpusEntry* e = drb::find_entry(name);
+    if (e == nullptr) throw Error("no such entry: " + name);
+    sources.emplace_back(e->name, drb::drb_code(*e));
+  }
+  if (whole_corpus) {
+    for (const auto& e : drb::corpus()) {
+      sources.emplace_back(e.name, drb::drb_code(e));
+    }
+  }
+  if (synth_count > 0) {
+    drb::SynthConfig config;
+    config.count = synth_count;
+    config.seed = synth_seed;
+    for (const drb::SynthEntry& e : drb::synthesize(config)) {
+      sources.emplace_back(e.name, e.code);
+    }
+  }
+  if (sources.empty()) return usage();
+
+  // Lint every file; a parse failure aborts that file, not the run.
+  struct Outcome {
+    lint::LintReport report;
+    std::string error;
+  };
+  const lint::Linter linter;
+  const std::vector<Outcome> outcomes = support::parallel_map(
+      jobs, sources, [&](const std::pair<std::string, std::string>& src) {
+        Outcome o;
+        try {
+          o.report = linter.lint_source(src.second);
+        } catch (const Error& e) {
+          o.error = e.what();
+        }
+        return o;
+      });
+
+  std::vector<lint::FileLint> files;
+  int failed = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].error.empty()) {
+      std::fprintf(stderr, "%s: error: %s\n", sources[i].first.c_str(),
+                   outcomes[i].error.c_str());
+      ++failed;
+      continue;
+    }
+    files.push_back({sources[i].first, outcomes[i].report});
+  }
+
+  int errors = 0;
+  int warnings = 0;
+  int suppressed = 0;
+  for (const auto& f : files) {
+    suppressed += f.report.suppressed;
+    for (const auto& d : f.report.diagnostics) {
+      if (d.severity == lint::Severity::Error) ++errors;
+      if (d.severity == lint::Severity::Warning) ++warnings;
+    }
+  }
+
+  if (check) {
+    // Self-check gate: every file linted without crashing and the SARIF
+    // rendering of the full run is structurally valid.
+    std::string why;
+    const bool shape_ok = lint::sarif_shape_ok(lint::to_sarif(files), &why);
+    std::printf(
+        "linted %zu file(s): %d error(s), %d warning(s), %d suppressed; "
+        "%d parse failure(s); SARIF shape %s\n",
+        files.size(), errors, warnings, suppressed, failed,
+        shape_ok ? "OK" : ("INVALID: " + why).c_str());
+    return (failed == 0 && shape_ok) ? 0 : 1;
+  }
+
+  if (format == "sarif") {
+    std::printf("%s\n", lint::to_sarif(files).dump_pretty().c_str());
+  } else if (format == "json") {
+    json::Array per_file;
+    for (const auto& f : files) per_file.push_back(lint::to_json(f));
+    std::printf("%s\n", json::Value(std::move(per_file)).dump_pretty().c_str());
+  } else {
+    for (const auto& f : files) std::printf("%s", lint::to_text(f).c_str());
+  }
+  if (failed > 0) return 2;
+  return errors > 0 ? 1 : 0;
+}
+
 int cmd_corpus(const std::vector<std::string>& args) {
   std::string pattern;
   int limit = -1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--pattern" && i + 1 < args.size()) pattern = args[++i];
     if (args[i] == "--limit" && i + 1 < args.size()) {
-      limit = std::atoi(args[++i].c_str());
+      limit = static_cast<int>(int_flag("--limit", args[++i]));
     }
   }
   int shown = 0;
@@ -179,9 +326,9 @@ int cmd_synth(const std::vector<std::string>& args) {
   std::filesystem::path out = "synth";
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--count" && i + 1 < args.size()) {
-      config.count = std::atoi(args[++i].c_str());
+      config.count = static_cast<int>(int_flag("--count", args[++i]));
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      config.seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+      config.seed = static_cast<std::uint64_t>(int_flag("--seed", args[++i]));
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out = args[++i];
     }
@@ -214,6 +361,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "graph") return cmd_graph(args);
+    if (cmd == "lint") return cmd_lint(args);
     if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "entry") return cmd_entry(args);
     if (cmd == "dataset") return cmd_dataset(args);
