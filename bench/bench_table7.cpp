@@ -1,0 +1,24 @@
+// Table 7 (repair extension, not in the paper): the automated race
+// repair subsystem's verified fix loop over every race-labeled corpus
+// entry, grouped by DRB pattern family. A fix counts only when the
+// patched program passes the static detector, the dynamic vector-clock
+// detector on every schedule seed, and the output-equivalence gate.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace drbml;
+  std::printf("%s", heading("Table 7 -- automated race repair, verified "
+                            "fix loop").c_str());
+  const int rc = bench::print_with_speedup([](const eval::ExperimentOptions& o) {
+    return bench::repair_table(eval::table7_rows({}, o));
+  });
+  bench::print_reference(
+      "\nNo paper reference: the paper stops at detection; this table\n"
+      "extends the reproduction with DR.FIX-style detector-verified\n"
+      "repair. Shape to expect: clause-level fixes (reduction/private)\n"
+      "land on the first candidate, synchronization families need more\n"
+      "attempts, and the total verified fix rate clears 60%.\n");
+  return rc;
+}

@@ -44,6 +44,22 @@ inline std::string cv_table(const std::vector<eval::CvRow>& rows) {
   return t.render();
 }
 
+/// Renders the repair experiment (Table 7) rows: verified-fix outcomes
+/// per DRB pattern family.
+inline std::string repair_table(const std::vector<eval::RepairRow>& rows) {
+  TextTable t({"Family", "Entries", "Fixed", "Verified", "NoCand", "Rej",
+               "Err", "FixRate", "VerRate", "Patches/Fix"});
+  for (const auto& row : rows) {
+    t.add_row({row.family, std::to_string(row.entries),
+               std::to_string(row.fixed), std::to_string(row.verified),
+               std::to_string(row.no_candidate), std::to_string(row.rejected),
+               std::to_string(row.errors), format_double(row.fix_rate(), 3),
+               format_double(row.verified_rate(), 3),
+               format_double(row.patches_per_fix(), 2)});
+  }
+  return t.render();
+}
+
 inline void print_reference(const char* text) {
   std::printf("%s", text);
 }

@@ -7,11 +7,16 @@
 # Stage 1 is the repository's tier-1 gate: configure, build, run every
 # test. Stage 2 is the self-lint gate: the OpenMP correctness linter
 # must survive the full corpus plus a fixed synthetic batch with zero
-# crashes and a shape-valid SARIF log. Stage 3 rebuilds under
-# ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
-# `parallel`-labelled suites -- the thread pool, the memoized artifact
-# caches, the parallel experiment executor, and the lint detector's
-# batch fan-out -- so the infrastructure this repo uses to find data
+# crashes and a shape-valid SARIF log. Stage 2b is the repair gate:
+# every race-labeled corpus entry must either gain a detector-verified
+# fix or report a structured no-candidate/rejected reason, the verified
+# fix rate must clear 60%, and no-race entries must come back
+# byte-identical (or, on a detector false positive, with a patch that
+# passed the output-equivalence gate -- never written under --check).
+# Stage 3 rebuilds under ThreadSanitizer (-DDRBML_SANITIZE=thread) and
+# runs the `parallel`-labelled suites -- the thread pool, the memoized
+# artifact caches, the parallel experiment executor, and the lint and
+# repair fan-outs -- so the infrastructure this repo uses to find data
 # races is itself checked for data races.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +32,10 @@ echo "== stage 2: self-lint gate (corpus + 200 synth kernels) =="
 # must satisfy the 2.1.0 shape invariants (--check validates both).
 build/tools/drbml lint --corpus --synth 200 --seed 7 --check >/dev/null
 
+echo "== stage 2b: repair gate (verified fixes over the corpus) =="
+build/tools/drbml fix --corpus --check --min-fix-rate 60 --dry-run \
+  | tail -n 1
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="
   exit 0
@@ -36,6 +45,6 @@ echo "== stage 3: ThreadSanitizer build of the parallel suites =="
 cmake -B build-tsan -S . -DDRBML_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   parallel_test parallel_determinism_test detector_differential_test \
-  lint_test
+  lint_test repair_test
 (cd build-tsan && ctest -L parallel --output-on-failure)
 echo "== all checks passed =="

@@ -1,0 +1,27 @@
+#include "core/fix.hpp"
+
+#include "eval/artifact_cache.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace drbml::core {
+
+RaceFixer::RaceFixer(const FixerSpec& spec) : jobs_(spec.jobs) {
+  const auto strategy = repair::parse_strategy(spec.strategy);
+  if (!strategy) {
+    throw Error("unknown repair strategy: " + spec.strategy);
+  }
+  options_.strategy = *strategy;
+}
+
+const repair::RepairResult& RaceFixer::fix(const std::string& code) const {
+  return eval::artifact_cache().repair_result(code, options_);
+}
+
+std::vector<const repair::RepairResult*> RaceFixer::fix_batch(
+    const std::vector<std::string>& sources) const {
+  return support::parallel_map(jobs_, sources,
+                               [&](const std::string& s) { return &fix(s); });
+}
+
+}  // namespace drbml::core

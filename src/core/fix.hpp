@@ -1,0 +1,57 @@
+// Unified repair interface -- the public face of the race repair
+// subsystem (src/repair), sibling to core::make_detector.
+//
+// Quickstart:
+//   drbml::core::RaceFixer fixer;                   // auto strategy
+//   auto result = fixer.fix(source_code);
+//   if (result.status == drbml::repair::RepairStatus::Fixed) {
+//     ... result.patched ...
+//   }
+//
+// Per-source results are memoized in the shared eval ArtifactCache, so a
+// batch re-run (or a later experiment over the same corpus) pays for each
+// (source, options) pair once. fix_batch fans out over a thread pool and
+// returns results in input order -- bit-identical to a serial loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "repair/repair.hpp"
+
+namespace drbml::core {
+
+/// Structured fixer specification.
+struct FixerSpec {
+  /// Candidate-class filter: "auto", "lint", "sync", or "serialize"
+  /// (see repair::parse_strategy).
+  std::string strategy = "auto";
+  /// Worker threads for fix_batch: 0 = auto (DRBML_JOBS env var, else
+  /// hardware concurrency), 1 = serial, N = fixed.
+  int jobs = 0;
+};
+
+class RaceFixer {
+ public:
+  RaceFixer() : RaceFixer(FixerSpec{}) {}
+  /// Throws Error for an unknown strategy name.
+  explicit RaceFixer(const FixerSpec& spec);
+
+  /// Runs the verified fix loop on one program (memoized; never throws).
+  [[nodiscard]] const repair::RepairResult& fix(const std::string& code) const;
+
+  /// Repairs many programs, fanning out over a thread pool and returning
+  /// results in input order.
+  [[nodiscard]] std::vector<const repair::RepairResult*> fix_batch(
+      const std::vector<std::string>& sources) const;
+
+  [[nodiscard]] const repair::RepairOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  repair::RepairOptions options_;
+  int jobs_ = 0;
+};
+
+}  // namespace drbml::core

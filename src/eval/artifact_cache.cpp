@@ -32,6 +32,13 @@ std::uint64_t hash_dynamic_options(const runtime::DynamicDetectorOptions& o) {
   return h;
 }
 
+std::uint64_t hash_repair_options(const repair::RepairOptions& o) {
+  std::uint64_t h = hash_combine(static_cast<std::uint64_t>(o.strategy),
+                                 static_cast<std::uint64_t>(o.max_candidates));
+  h = hash_combine(h, hash_static_options(o.static_opts));
+  return hash_combine(h, hash_dynamic_options(o.dynamic_opts));
+}
+
 }  // namespace
 
 int ArtifactCache::token_count(const std::string& code) {
@@ -78,6 +85,14 @@ const analysis::RaceReport& ArtifactCache::dynamic_report(
   });
 }
 
+const repair::RepairResult& ArtifactCache::repair_result(
+    const std::string& code, const repair::RepairOptions& opts) {
+  const std::uint64_t key =
+      hash_combine(fnv1a64(code), hash_repair_options(opts));
+  return repair_results_.get_or_compute(
+      key, [&] { return repair::repair_source(code, opts); });
+}
+
 const lint::LintReport& ArtifactCache::lint_report(const std::string& code) {
   // Default LintOptions only, so the code hash alone is a sound key.
   return lint_reports_.get_or_compute(fnv1a64(code), [&] {
@@ -104,7 +119,7 @@ const std::string& ArtifactCache::lint_text(const std::string& code) {
 std::size_t ArtifactCache::size() const {
   return tokens_.size() + asts_.size() + depgraphs_.size() +
          static_reports_.size() + dynamic_reports_.size() +
-         lint_reports_.size() + lint_texts_.size();
+         lint_reports_.size() + repair_results_.size() + lint_texts_.size();
 }
 
 void ArtifactCache::clear() {
@@ -114,6 +129,7 @@ void ArtifactCache::clear() {
   static_reports_.clear();
   dynamic_reports_.clear();
   lint_reports_.clear();
+  repair_results_.clear();
   lint_texts_.clear();
 }
 

@@ -24,6 +24,7 @@
 #include "analysis/report.hpp"
 #include "lint/lint.hpp"
 #include "llm/features.hpp"
+#include "repair/repair.hpp"
 #include "runtime/dynamic.hpp"
 #include "support/parallel.hpp"
 
@@ -62,6 +63,13 @@ class ArtifactCache {
   /// are not cached.
   const lint::LintReport& lint_report(const std::string& code);
 
+  /// Verified repair outcome for `code` under `opts` (the full
+  /// detect -> generate -> apply -> verify loop of repair_source). The key
+  /// covers the strategy, the candidate cap, and both detector option
+  /// sets. repair_source never throws, so every result is cacheable.
+  const repair::RepairResult& repair_result(const std::string& code,
+                                            const repair::RepairOptions& opts);
+
   /// Linter findings rendered one per line for prompt embedding
   /// ("(no findings)" when the linter is silent). Parse failures yield a
   /// one-line note instead of throwing, so prompt assembly never aborts.
@@ -80,6 +88,7 @@ class ArtifactCache {
   support::OnceMap<analysis::RaceReport> static_reports_;
   support::OnceMap<analysis::RaceReport> dynamic_reports_;
   support::OnceMap<lint::LintReport> lint_reports_;
+  support::OnceMap<repair::RepairResult> repair_results_;
   support::OnceMap<std::string> lint_texts_;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <map>
+
 #include "analysis/depgraph.hpp"
 #include "analysis/race.hpp"
 #include "dataset/folds.hpp"
+#include "drb/corpus.hpp"
 #include "drb/synth.hpp"
 #include "eval/artifact_cache.hpp"
 #include "llm/finetune.hpp"
@@ -368,6 +371,71 @@ std::vector<CvRow> table6_rows(const ExperimentOptions& opts) {
         run_cv(persona, Objective::VarId, true, 5, 2023, 0, opts);
     rows.push_back({persona.name + " (FT)", ft.recall, ft.precision, ft.f1});
   }
+  return rows;
+}
+
+double RepairRow::fix_rate() const noexcept {
+  return entries == 0 ? 0.0 : static_cast<double>(fixed) / entries;
+}
+
+double RepairRow::verified_rate() const noexcept {
+  return entries == 0 ? 0.0 : static_cast<double>(verified) / entries;
+}
+
+double RepairRow::patches_per_fix() const noexcept {
+  return fixed == 0 ? 0.0 : static_cast<double>(attempts_on_fixed) / fixed;
+}
+
+std::vector<RepairRow> table7_rows(const repair::RepairOptions& ropts,
+                                   const ExperimentOptions& opts) {
+  std::vector<const drb::CorpusEntry*> racy;
+  for (const drb::CorpusEntry& e : drb::corpus()) {
+    if (e.race) racy.push_back(&e);
+  }
+
+  ArtifactCache& cache = artifact_cache();
+  const std::vector<const repair::RepairResult*> results =
+      support::parallel_map(opts.jobs, racy, [&](const drb::CorpusEntry* e) {
+        return &cache.repair_result(drb::drb_code(*e), ropts);
+      });
+
+  // Fold per family in input order; std::map keeps families name-sorted.
+  std::map<std::string, RepairRow> by_family;
+  RepairRow total;
+  total.family = "(all)";
+  for (std::size_t i = 0; i < racy.size(); ++i) {
+    RepairRow& row = by_family[racy[i]->pattern];
+    row.family = racy[i]->pattern;
+    const repair::RepairResult& res = *results[i];
+    for (RepairRow* r : {&row, &total}) {
+      ++r->entries;
+      switch (res.status) {
+        case repair::RepairStatus::Fixed:
+          ++r->fixed;
+          if (res.equivalence_checked) ++r->verified;
+          r->attempts_on_fixed += res.attempts;
+          break;
+        case repair::RepairStatus::NoCandidate:
+          ++r->no_candidate;
+          break;
+        case repair::RepairStatus::Rejected:
+          ++r->rejected;
+          break;
+        case repair::RepairStatus::NoRaceDetected:
+          // Detector miss on a race-labeled entry: counted as unfixed but
+          // not as a candidate-generation failure.
+          break;
+        case repair::RepairStatus::Error:
+          ++r->errors;
+          break;
+      }
+    }
+  }
+
+  std::vector<RepairRow> rows;
+  rows.reserve(by_family.size() + 1);
+  for (auto& [_, row] : by_family) rows.push_back(std::move(row));
+  rows.push_back(std::move(total));
   return rows;
 }
 

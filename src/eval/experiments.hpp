@@ -22,6 +22,7 @@
 #include "eval/parse.hpp"
 #include "llm/model.hpp"
 #include "prompts/prompts.hpp"
+#include "repair/repair.hpp"
 
 namespace drbml::eval {
 
@@ -147,6 +148,34 @@ struct CvRow {
     const ExperimentOptions& opts = {});
 /// Table 6: 5-fold CV, variable identification, with and without FT.
 [[nodiscard]] std::vector<CvRow> table6_rows(
+    const ExperimentOptions& opts = {});
+
+// ------------------------------------------------------------- repair
+
+/// One Table 7 row: verified-repair outcomes for a DRB pattern family.
+struct RepairRow {
+  std::string family;       // DRB pattern family; "(all)" on the total row
+  int entries = 0;          // race-labeled corpus entries in the family
+  int fixed = 0;            // entries with an accepted patch
+  int verified = 0;         // ... whose output-equivalence gate also ran
+  int no_candidate = 0;     // no strategy applied
+  int rejected = 0;         // every candidate failed verification
+  int errors = 0;           // parse/analysis failures
+  int attempts_on_fixed = 0;  // candidates tried across fixed entries
+
+  [[nodiscard]] double fix_rate() const noexcept;
+  [[nodiscard]] double verified_rate() const noexcept;
+  /// Average candidates applied+verified per successful fix.
+  [[nodiscard]] double patches_per_fix() const noexcept;
+};
+
+/// Table 7 (repair extension, not in the paper): the verified fix loop
+/// over every race-labeled DRB corpus entry, grouped by pattern family
+/// and sorted by family name, with an "(all)" total row last. Per-entry
+/// repair results are memoized in the ArtifactCache; the fold happens in
+/// input order, so rows are bit-identical at any job count.
+[[nodiscard]] std::vector<RepairRow> table7_rows(
+    const repair::RepairOptions& ropts = {},
     const ExperimentOptions& opts = {});
 
 }  // namespace drbml::eval

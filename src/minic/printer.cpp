@@ -175,6 +175,81 @@ std::string expr_to_string(const Expr& e) {
   return "?";
 }
 
+std::string clause_to_string(const OmpClause& c) {
+  std::string out;
+  auto var_list = [&](const char* name) {
+    std::string s = std::string(name) + "(";
+    for (std::size_t i = 0; i < c.vars.size(); ++i) {
+      if (i != 0) s += ",";
+      s += c.vars[i];
+    }
+    return s + ")";
+  };
+  switch (c.kind) {
+    case OmpClauseKind::Private: out += var_list("private"); break;
+    case OmpClauseKind::FirstPrivate: out += var_list("firstprivate"); break;
+    case OmpClauseKind::LastPrivate: out += var_list("lastprivate"); break;
+    case OmpClauseKind::Shared: out += var_list("shared"); break;
+    case OmpClauseKind::Copyprivate: out += var_list("copyprivate"); break;
+    case OmpClauseKind::Linear: out += var_list("linear"); break;
+    case OmpClauseKind::Reduction: {
+      out += "reduction(" + c.arg + ":";
+      for (std::size_t i = 0; i < c.vars.size(); ++i) {
+        if (i != 0) out += ",";
+        out += c.vars[i];
+      }
+      out += ")";
+      break;
+    }
+    case OmpClauseKind::Schedule:
+      out += "schedule(" + c.arg;
+      if (c.expr) out += "," + expr_to_string(*c.expr);
+      out += ")";
+      break;
+    case OmpClauseKind::NumThreads:
+      out += "num_threads(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
+      break;
+    case OmpClauseKind::Collapse:
+      out += "collapse(" + std::to_string(c.int_arg) + ")";
+      break;
+    case OmpClauseKind::Nowait: out += "nowait"; break;
+    case OmpClauseKind::Ordered:
+      out += "ordered";
+      if (c.int_arg > 0) out += "(" + std::to_string(c.int_arg) + ")";
+      break;
+    case OmpClauseKind::Depend: {
+      out += "depend(" + c.arg + ":";
+      for (std::size_t i = 0; i < c.vars.size(); ++i) {
+        if (i != 0) out += ",";
+        out += c.vars[i];
+      }
+      out += ")";
+      break;
+    }
+    case OmpClauseKind::Map: {
+      out += "map(";
+      if (!c.arg.empty()) out += c.arg + ":";
+      for (std::size_t i = 0; i < c.vars.size(); ++i) {
+        if (i != 0) out += ",";
+        out += c.vars[i];
+      }
+      out += ")";
+      break;
+    }
+    case OmpClauseKind::Safelen:
+      out += "safelen(" + std::to_string(c.int_arg) + ")";
+      break;
+    case OmpClauseKind::Default: out += "default(" + c.arg + ")"; break;
+    case OmpClauseKind::If:
+      out += "if(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
+      break;
+    case OmpClauseKind::Device:
+      out += "device(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
+      break;
+  }
+  return out;
+}
+
 std::string directive_to_string(const OmpDirective& d) {
   std::string out = "#pragma omp " + omp_directive_kind_name(d.kind);
   if (d.kind == OmpDirectiveKind::Critical && !d.critical_name.empty()) {
@@ -190,76 +265,7 @@ std::string directive_to_string(const OmpDirective& d) {
   }
   for (const auto& c : d.clauses) {
     out += ' ';
-    auto var_list = [&](const char* name) {
-      std::string s = std::string(name) + "(";
-      for (std::size_t i = 0; i < c.vars.size(); ++i) {
-        if (i != 0) s += ",";
-        s += c.vars[i];
-      }
-      return s + ")";
-    };
-    switch (c.kind) {
-      case OmpClauseKind::Private: out += var_list("private"); break;
-      case OmpClauseKind::FirstPrivate: out += var_list("firstprivate"); break;
-      case OmpClauseKind::LastPrivate: out += var_list("lastprivate"); break;
-      case OmpClauseKind::Shared: out += var_list("shared"); break;
-      case OmpClauseKind::Copyprivate: out += var_list("copyprivate"); break;
-      case OmpClauseKind::Linear: out += var_list("linear"); break;
-      case OmpClauseKind::Reduction: {
-        out += "reduction(" + c.arg + ":";
-        for (std::size_t i = 0; i < c.vars.size(); ++i) {
-          if (i != 0) out += ",";
-          out += c.vars[i];
-        }
-        out += ")";
-        break;
-      }
-      case OmpClauseKind::Schedule:
-        out += "schedule(" + c.arg;
-        if (c.expr) out += "," + expr_to_string(*c.expr);
-        out += ")";
-        break;
-      case OmpClauseKind::NumThreads:
-        out += "num_threads(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
-        break;
-      case OmpClauseKind::Collapse:
-        out += "collapse(" + std::to_string(c.int_arg) + ")";
-        break;
-      case OmpClauseKind::Nowait: out += "nowait"; break;
-      case OmpClauseKind::Ordered:
-        out += "ordered";
-        if (c.int_arg > 0) out += "(" + std::to_string(c.int_arg) + ")";
-        break;
-      case OmpClauseKind::Depend: {
-        out += "depend(" + c.arg + ":";
-        for (std::size_t i = 0; i < c.vars.size(); ++i) {
-          if (i != 0) out += ",";
-          out += c.vars[i];
-        }
-        out += ")";
-        break;
-      }
-      case OmpClauseKind::Map: {
-        out += "map(";
-        if (!c.arg.empty()) out += c.arg + ":";
-        for (std::size_t i = 0; i < c.vars.size(); ++i) {
-          if (i != 0) out += ",";
-          out += c.vars[i];
-        }
-        out += ")";
-        break;
-      }
-      case OmpClauseKind::Safelen:
-        out += "safelen(" + std::to_string(c.int_arg) + ")";
-        break;
-      case OmpClauseKind::Default: out += "default(" + c.arg + ")"; break;
-      case OmpClauseKind::If:
-        out += "if(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
-        break;
-      case OmpClauseKind::Device:
-        out += "device(" + (c.expr ? expr_to_string(*c.expr) : "") + ")";
-        break;
-    }
+    out += clause_to_string(c);
   }
   return out;
 }

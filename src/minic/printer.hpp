@@ -13,6 +13,12 @@ namespace drbml::minic {
 
 [[nodiscard]] std::string expr_to_string(const Expr& e);
 
+/// Renders one OpenMP clause in canonical spelling (e.g.
+/// "reduction(+:sum)"). Exposed for the repair subsystem's patch engine,
+/// which re-renders edited pragma lines through the printer so textual
+/// patches and AST rewrites cannot drift apart.
+[[nodiscard]] std::string clause_to_string(const OmpClause& c);
+
 /// Pretty-prints a statement subtree with `indent` leading spaces per level.
 [[nodiscard]] std::string stmt_to_string(const Stmt& s, int indent = 0);
 

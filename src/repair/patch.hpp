@@ -1,0 +1,123 @@
+// Structured patch engine over the Mini-C + OpenMP AST.
+//
+// A Patch is a small list of structured edits (add/remove a clause, wrap a
+// statement under a new directive, insert a standalone pragma, bracket a
+// statement with lock calls). Every patch is executed through *two*
+// independent routes:
+//
+//   1. a textual line edit against the original source, so comments
+//      (including `// drbml-lint-suppress(id)` directives), DRB header
+//      annotations, and layout survive untouched;
+//   2. an AST mutation of the parsed program, re-emitting edited pragma
+//      lines through the printer's canonical renderer.
+//
+// The patched text is accepted only if re-parsing it produces exactly the
+// canonical printed form of the mutated AST (`unit_to_string` equality) --
+// the two routes cannot drift apart silently. Apply is deterministic: the
+// same (source, patch) always yields the same bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace drbml::repair {
+
+enum class EditKind {
+  AddClause,           // append a clause to the directive at `anchor`
+  RemoveClause,        // drop every clause of `clause_kind` at `anchor`
+  SetCriticalName,     // rename the critical directive at `anchor`
+  DemoteSimd,          // drop the simd-ness of the directive at `anchor`
+  WrapStmt,            // wrap the statement at `anchor` under a directive
+  WrapLock,            // bracket the statement at `anchor` with set/unset_lock
+  InsertPragmaBefore,  // standalone pragma line before the stmt at `anchor`
+};
+
+[[nodiscard]] const char* edit_kind_name(EditKind k) noexcept;
+
+struct Edit {
+  EditKind kind = EditKind::AddClause;
+  /// Trimmed-code location of the target: the directive's loc for clause
+  /// edits, the statement's own loc for wrap/insert edits.
+  minic::SourceLoc anchor;
+
+  // Clause payload (AddClause / RemoveClause).
+  minic::OmpClauseKind clause_kind = minic::OmpClauseKind::Private;
+  std::vector<std::string> clause_vars;
+  std::string clause_arg;  // reduction operator, ...
+
+  // Directive payload (WrapStmt / InsertPragmaBefore).
+  minic::OmpDirectiveKind directive_kind = minic::OmpDirectiveKind::Critical;
+
+  /// Critical name (SetCriticalName / WrapStmt on critical) or the lock
+  /// variable (WrapLock).
+  std::string name;
+};
+
+/// A ranked repair candidate: one or more edits applied atomically.
+struct Patch {
+  std::string id;           // stable slug, e.g. "reduction(+:sum)@4"
+  std::string description;  // human summary
+  std::string family;       // DRB pattern family this patch targets
+  int cost = 0;             // ranking key: smaller = preferred
+  std::vector<Edit> edits;
+};
+
+/// Line renumbering induced by a patch, tracked in both coordinate
+/// systems: trimmed-code lines (what DRB-ML labels and diagnostics use)
+/// and original-file lines (what DRB header annotations use).
+struct LineMap {
+  struct Event {
+    int line = 0;   // lines >= this shift ...
+    int delta = 0;  // ... by this much
+
+    friend bool operator==(const Event&, const Event&) = default;
+  };
+  std::vector<Event> trimmed_events;
+  std::vector<Event> original_events;
+  std::vector<int> dropped_trimmed;   // trimmed lines deleted by the patch
+  std::vector<int> dropped_original;  // original lines deleted by the patch
+
+  /// Maps a pre-patch trimmed line to its post-patch trimmed line
+  /// (0 if the line was deleted).
+  [[nodiscard]] int to_patched_trimmed(int line) const noexcept;
+  /// Maps a pre-patch original line to its post-patch original line
+  /// (0 if the line was deleted).
+  [[nodiscard]] int to_patched_original(int line) const noexcept;
+
+  friend bool operator==(const LineMap&, const LineMap&) = default;
+};
+
+struct ApplyResult {
+  bool ok = false;
+  std::string patched;  // full patched source, original coordinates
+  LineMap line_map;
+  std::string message;  // failure reason when !ok
+};
+
+/// Applies `patch` to `source` (see file comment for the two-route
+/// consistency contract). Never throws; failures come back as !ok.
+[[nodiscard]] ApplyResult apply_patch(const std::string& source,
+                                      const Patch& patch);
+
+// ---------------------------------------------------------------------------
+// AST navigation shared between the applier and the candidate generator.
+
+/// The chain of statements (outermost first) whose subtree contains a node
+/// -- statement or expression -- located exactly at `loc`. Empty when no
+/// node matches.
+[[nodiscard]] std::vector<minic::Stmt*> stmt_chain_at(
+    minic::TranslationUnit& tu, minic::SourceLoc loc);
+
+/// Innermost statement in `chain` that is an OmpStmt forking a team or
+/// distributing a loop (the region a data-sharing clause belongs on).
+[[nodiscard]] minic::OmpStmt* enclosing_region(
+    const std::vector<minic::Stmt*>& chain) noexcept;
+
+/// First / last trimmed-code line covered by the statement subtree
+/// (0 when the subtree carries no valid locations).
+[[nodiscard]] int subtree_first_line(const minic::Stmt& s);
+[[nodiscard]] int subtree_last_line(const minic::Stmt& s);
+
+}  // namespace drbml::repair

@@ -1,0 +1,98 @@
+// The verified fix loop (DR.FIX-style detector-guided repair).
+//
+// A candidate patch is accepted only when, on the patched program:
+//   1. the static detector reports race-free;
+//   2. the dynamic vector-clock detector finds no race and no fault across
+//      every schedule seed;
+//   3. the program is output-equivalent to the *serial* execution of the
+//      original (num_threads=1 defines the intended semantics of a racy
+//      program): same stdout bytes and exit code, serially and under every
+//      parallel schedule. Gate 3 is what rejects "fixes" like privatizing
+//      an accumulator -- they silence the detectors but change the answer.
+//
+// Everything is deterministic: fixed candidate ranking, fixed schedule
+// seeds, no wall clock -- the same (source, options) always produces the
+// same RepairResult, which is what makes the repair experiment cacheable
+// and bit-identical at any job count.
+#pragma once
+
+#include <string>
+
+#include "analysis/race.hpp"
+#include "repair/candidates.hpp"
+#include "repair/patch.hpp"
+#include "runtime/dynamic.hpp"
+
+namespace drbml::repair {
+
+struct RepairOptions {
+  Strategy strategy = Strategy::Auto;
+  analysis::StaticDetectorOptions static_opts;
+  runtime::DynamicDetectorOptions dynamic_opts;
+  /// Cap on candidates tried per program.
+  int max_candidates = 16;
+};
+
+enum class RepairStatus {
+  NoRaceDetected,  // neither detector fired; source returned untouched
+  Fixed,           // a candidate survived every gate
+  NoCandidate,     // race detected but no strategy applies
+  Rejected,        // candidates existed; all failed verification
+  Error,           // the program did not parse / analyze
+};
+
+[[nodiscard]] const char* repair_status_name(RepairStatus s) noexcept;
+
+struct RepairResult {
+  RepairStatus status = RepairStatus::Error;
+  /// Patched source (== input for NoRaceDetected; empty otherwise unless
+  /// Fixed).
+  std::string patched;
+  std::string patch_id;
+  std::string description;
+  std::string family;
+  int candidates_generated = 0;
+  /// Candidates applied+verified before accepting (the "patches per fix"
+  /// metric); equals candidates tried when nothing was accepted.
+  int attempts = 0;
+  /// True when the output-equivalence gate actually ran (it cannot when
+  /// the original program faults under serial execution).
+  bool equivalence_checked = false;
+  LineMap line_map;
+  /// Structured reason for every non-Fixed status, e.g.
+  /// "no-candidate: no strategy for this race shape".
+  std::string message;
+
+  friend bool operator==(const RepairResult&, const RepairResult&) = default;
+};
+
+/// Verdict of the verification gates for one already-applied candidate.
+struct VerifyOutcome {
+  bool accepted = false;
+  bool equivalence_checked = false;
+  std::string reason;  // which gate failed, when !accepted
+};
+
+/// Runs gates 1-3 on `patched` against `original` (exposed for tests; the
+/// fix loop uses it internally). Never throws.
+[[nodiscard]] VerifyOutcome verify_candidate(const std::string& original,
+                                             const std::string& patched,
+                                             const RepairOptions& opts);
+
+/// The full loop: detect, generate ranked candidates, apply + verify until
+/// one survives. Never throws.
+[[nodiscard]] RepairResult repair_source(const std::string& source,
+                                         const RepairOptions& opts = {});
+
+/// Rewrites DRB "Data race pair:" header annotations so their
+/// original-file line numbers track the patch's insertions/deletions
+/// (repaired corpus entries keep scoring correctly).
+[[nodiscard]] std::string remap_annotations(const std::string& patched,
+                                            const LineMap& line_map);
+
+/// Minimal unified diff (no context collapsing) between two sources, for
+/// `drbml fix --diff`.
+[[nodiscard]] std::string unified_diff(const std::string& before,
+                                       const std::string& after);
+
+}  // namespace drbml::repair

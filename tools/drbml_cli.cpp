@@ -9,6 +9,13 @@
 //                  [FILE.c... | --entry NAME | --corpus | --synth N]
 //                                               run the OpenMP correctness
 //                                               linter (SARIF 2.1.0 capable)
+//   drbml fix      [--strategy auto|lint|sync|serialize] [--dry-run]
+//                  [--diff] [--check] [--min-fix-rate PCT] [--jobs N]
+//                  [FILE.c... | --entry NAME | --corpus | --synth N]
+//                                               detector-verified automatic
+//                                               race repair; FILE args are
+//                                               rewritten in place unless
+//                                               --dry-run
 //   drbml corpus   [--pattern P] [--limit N]    list corpus entries
 //   drbml entry    NAME                         print one entry's DRB file
 //   drbml dataset  [--out DIR]                  write DRB-ML JSON to disk
@@ -25,6 +32,7 @@
 
 #include "analysis/depgraph.hpp"
 #include "core/detector.hpp"
+#include "core/fix.hpp"
 #include "dataset/drbml.hpp"
 #include "drb/corpus.hpp"
 #include "drb/synth.hpp"
@@ -46,6 +54,11 @@ int usage() {
       "  drbml graph [--dot] FILE.c\n"
       "  drbml lint [--format text|json|sarif] [--check] [--jobs N]\n"
       "             [FILE.c... | --entry NAME | --corpus | --synth N "
+      "[--seed S]]\n"
+      "  drbml fix [--strategy auto|lint|sync|serialize] [--dry-run] "
+      "[--diff]\n"
+      "            [--check] [--min-fix-rate PCT] [--jobs N]\n"
+      "            [FILE.c... | --entry NAME | --corpus | --synth N "
       "[--seed S]]\n"
       "  drbml corpus [--pattern P] [--limit N]\n"
       "  drbml entry NAME\n"
@@ -274,6 +287,157 @@ int cmd_lint(const std::vector<std::string>& args) {
   return errors > 0 ? 1 : 0;
 }
 
+int cmd_fix(const std::vector<std::string>& args) {
+  core::FixerSpec spec;
+  bool dry_run = false;
+  bool show_diff = false;
+  bool check = false;
+  int min_fix_rate = 60;  // percent, --check only
+  int synth_count = 0;
+  std::uint64_t synth_seed = 0;
+  bool whole_corpus = false;
+  std::vector<std::string> entry_names;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--strategy" && i + 1 < args.size()) {
+      spec.strategy = args[++i];
+    } else if (args[i] == "--dry-run") {
+      dry_run = true;
+    } else if (args[i] == "--diff") {
+      show_diff = true;
+    } else if (args[i] == "--check") {
+      check = true;
+    } else if (args[i] == "--min-fix-rate" && i + 1 < args.size()) {
+      min_fix_rate = static_cast<int>(int_flag("--min-fix-rate", args[++i]));
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      spec.jobs = static_cast<int>(int_flag("--jobs", args[++i]));
+    } else if (args[i] == "--entry" && i + 1 < args.size()) {
+      entry_names.push_back(args[++i]);
+    } else if (args[i] == "--corpus") {
+      whole_corpus = true;
+    } else if (args[i] == "--synth" && i + 1 < args.size()) {
+      synth_count = static_cast<int>(int_flag("--synth", args[++i]));
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      synth_seed = static_cast<std::uint64_t>(int_flag("--seed", args[++i]));
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+
+  struct Source {
+    std::string name;
+    std::string code;
+    bool is_file = false;    // rewrite in place on fix (unless --dry-run)
+    int race_label = -1;     // ground truth: 1 race, 0 no race, -1 unknown
+  };
+  std::vector<Source> sources;
+  for (const auto& path : paths) {
+    sources.push_back({path, read_file(path), true, -1});
+  }
+  for (const auto& name : entry_names) {
+    const drb::CorpusEntry* e = drb::find_entry(name);
+    if (e == nullptr) throw Error("no such entry: " + name);
+    sources.push_back({e->name, drb::drb_code(*e), false, e->race ? 1 : 0});
+  }
+  if (whole_corpus) {
+    for (const auto& e : drb::corpus()) {
+      sources.push_back({e.name, drb::drb_code(e), false, e.race ? 1 : 0});
+    }
+  }
+  if (synth_count > 0) {
+    drb::SynthConfig config;
+    config.count = synth_count;
+    config.seed = synth_seed;
+    for (const drb::SynthEntry& e : drb::synthesize(config)) {
+      sources.push_back({e.name, e.code, false, e.race ? 1 : 0});
+    }
+  }
+  if (sources.empty()) return usage();
+
+  const core::RaceFixer fixer(spec);  // throws on a bad --strategy
+  std::vector<std::string> codes;
+  codes.reserve(sources.size());
+  for (const auto& s : sources) codes.push_back(s.code);
+  const std::vector<const repair::RepairResult*> results =
+      fixer.fix_batch(codes);
+
+  int race_total = 0;     // labeled racy
+  int race_fixed = 0;     // ... with a fix accepted
+  int race_verified = 0;  // ... whose equivalence gate also ran
+  int unfixed = 0;        // needed a fix and did not get one
+  int check_failures = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Source& src = sources[i];
+    const repair::RepairResult& r = *results[i];
+    const char* status = repair::repair_status_name(r.status);
+    switch (r.status) {
+      case repair::RepairStatus::NoRaceDetected:
+        std::printf("%s: %s\n", src.name.c_str(), status);
+        break;
+      case repair::RepairStatus::Fixed:
+        std::printf("%s: %s by %s [%s] (%d of %d candidate(s) tried%s)\n",
+                    src.name.c_str(), status, r.patch_id.c_str(),
+                    r.family.c_str(), r.attempts, r.candidates_generated,
+                    r.equivalence_checked ? ", output-equivalent"
+                                          : ", equivalence unchecked");
+        if (show_diff) {
+          std::printf("%s", repair::unified_diff(src.code, r.patched).c_str());
+        }
+        if (src.is_file && !dry_run && !check) {
+          std::ofstream out(sources[i].name);
+          if (!out) throw Error("cannot write " + src.name);
+          out << r.patched;
+        }
+        break;
+      default:
+        std::printf("%s: %s: %s\n", src.name.c_str(), status,
+                    r.message.c_str());
+        ++unfixed;
+        break;
+    }
+
+    if (src.race_label == 1) {
+      ++race_total;
+      if (r.status == repair::RepairStatus::Fixed) {
+        ++race_fixed;
+        if (r.equivalence_checked) ++race_verified;
+      } else if (r.message.empty()) {
+        // Every miss must carry a structured reason.
+        std::printf("%s: CHECK: unfixed without a reason\n", src.name.c_str());
+        ++check_failures;
+      }
+    } else if (src.race_label == 0) {
+      // A no-race entry must come back untouched, or -- when the
+      // detectors false-positive -- with a patch that at least passed the
+      // output-equivalence gate (and is never written in --check mode).
+      if (r.status == repair::RepairStatus::NoRaceDetected) {
+        if (r.patched != src.code) {
+          std::printf("%s: CHECK: no-race entry not byte-identical\n",
+                      src.name.c_str());
+          ++check_failures;
+        }
+      } else if (r.status != repair::RepairStatus::Fixed ||
+                 !r.equivalence_checked) {
+        std::printf("%s: CHECK: no-race entry %s\n", src.name.c_str(), status);
+        ++check_failures;
+      }
+    }
+  }
+
+  if (check) {
+    const double rate =
+        race_total == 0 ? 100.0 : 100.0 * race_fixed / race_total;
+    const bool rate_ok = rate >= static_cast<double>(min_fix_rate);
+    std::printf(
+        "fix check: %d/%d race entr%s fixed (%.1f%%, %d output-equivalent), "
+        "min %d%%: %s; %d check failure(s)\n",
+        race_fixed, race_total, race_total == 1 ? "y" : "ies", rate,
+        race_verified, min_fix_rate, rate_ok ? "OK" : "BELOW", check_failures);
+    return (rate_ok && check_failures == 0) ? 0 : 1;
+  }
+  return unfixed > 0 ? 1 : 0;
+}
+
 int cmd_corpus(const std::vector<std::string>& args) {
   std::string pattern;
   int limit = -1;
@@ -362,6 +526,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "graph") return cmd_graph(args);
     if (cmd == "lint") return cmd_lint(args);
+    if (cmd == "fix") return cmd_fix(args);
     if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "entry") return cmd_entry(args);
     if (cmd == "dataset") return cmd_dataset(args);
