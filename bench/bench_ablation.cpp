@@ -38,7 +38,8 @@ void print_cm(const char* label, const eval::ConfusionMatrix& cm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   std::printf("%s",
               heading("Ablation A -- static detector modelling capabilities")
                   .c_str());

@@ -6,7 +6,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s",
               heading("Extension -- synthetic data augmentation for "

@@ -4,13 +4,15 @@
 // cut to 198, the 50.5%/49.5% class balance, fold sizes).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "dataset/drbml.hpp"
 #include "dataset/folds.hpp"
 #include "eval/experiments.hpp"
 #include "llm/tokenizer.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("DRB-ML dataset construction (Section 3.1)")
                         .c_str());

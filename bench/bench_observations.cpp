@@ -16,7 +16,8 @@ void check(bool ok, const char* text) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Section 4.4 observations, re-verified").c_str());
   const auto subset = eval::token_filtered_subset();

@@ -10,7 +10,8 @@
 #include "drb/corpus.hpp"
 #include "runtime/dynamic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Per-pattern accuracy: GPT-4 (p1) vs the "
                             "traditional tool").c_str());

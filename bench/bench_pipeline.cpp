@@ -90,7 +90,8 @@ PipelineRun run_pipeline(const drbml::eval::ExperimentOptions& opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Figure 1 -- end-to-end pipeline stages").c_str());
 

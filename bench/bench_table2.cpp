@@ -4,7 +4,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s",
               heading("Table 2 -- GPT-3.5-turbo with basic prompts BP1/BP2")

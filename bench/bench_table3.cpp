@@ -5,7 +5,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Table 3 -- detection: traditional tool vs LLMs "
                             "x {p1,p2,p3} (198-entry DRB-ML subset)").c_str());

@@ -4,7 +4,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Table 4 -- 5-fold CV fine-tuning, detection "
                             "(SC/LM vs fine-tuned)").c_str());

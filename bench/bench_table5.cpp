@@ -4,7 +4,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Table 5 -- variable identification, pretrained "
                             "LLMs").c_str());

@@ -7,7 +7,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  drbml::bench::init_bench(argc, argv);
   using namespace drbml;
   std::printf("%s", heading("Table 7 -- automated race repair, verified "
                             "fix loop").c_str());

@@ -10,11 +10,25 @@
 #include "eval/artifact_cache.hpp"
 #include "eval/experiments.hpp"
 #include "llm/model.hpp"
+#include "obs/obs.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace drbml::bench {
+
+/// Shared argv handling for bench mains: consumes the global
+/// observability flags (--trace FILE / --metrics FILE) and warns about
+/// anything left over. The DRBML_TRACE / DRBML_METRICS environment
+/// variables work without any flags.
+inline void init_bench(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  obs::consume_obs_flags(args);
+  for (const std::string& a : args) {
+    std::fprintf(stderr, "%s: ignoring unknown argument '%s'\n", argv[0],
+                 a.c_str());
+  }
+}
 
 /// Renders detection rows in the paper's Table 2/3 layout.
 inline std::string detection_table(

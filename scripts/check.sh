@@ -13,11 +13,15 @@
 # fix rate must clear 60%, and no-race entries must come back
 # byte-identical (or, on a detector false positive, with a patch that
 # passed the output-equivalence gate -- never written under --check).
-# Stage 3 rebuilds under ThreadSanitizer (-DDRBML_SANITIZE=thread) and
-# runs the `parallel`-labelled suites -- the thread pool, the memoized
-# artifact caches, the parallel experiment executor, and the lint and
-# repair fan-outs -- so the infrastructure this repo uses to find data
-# races is itself checked for data races.
+# Stage 2c is the docs gate: the generated span/metric catalog sections
+# in docs/OBSERVABILITY.md must match the code (gen_obs_docs --check),
+# and every relative link and #anchor in the top-level and docs/
+# markdown must resolve (gen_obs_docs --check-links). Stage 3 rebuilds
+# under ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
+# `parallel`-labelled suites -- the thread pool, the memoized artifact
+# caches, the parallel experiment executor, the lint and repair
+# fan-outs, and the observability layer -- so the infrastructure this
+# repo uses to find data races is itself checked for data races.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +40,11 @@ echo "== stage 2b: repair gate (verified fixes over the corpus) =="
 build/tools/drbml fix --corpus --check --min-fix-rate 60 --dry-run \
   | tail -n 1
 
+echo "== stage 2c: docs gate (generated catalog + link check) =="
+build/tools/gen_obs_docs --check
+build/tools/gen_obs_docs --check-links \
+  README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="
   exit 0
@@ -45,6 +54,6 @@ echo "== stage 3: ThreadSanitizer build of the parallel suites =="
 cmake -B build-tsan -S . -DDRBML_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   parallel_test parallel_determinism_test detector_differential_test \
-  lint_test repair_test
+  lint_test repair_test obs_test
 (cd build-tsan && ctest -L parallel --output-on-failure)
 echo "== all checks passed =="

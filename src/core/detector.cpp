@@ -4,6 +4,7 @@
 #include "eval/parse.hpp"
 #include "lint/lint.hpp"
 #include "llm/model.hpp"
+#include "obs/catalog.hpp"
 #include "prompts/prompts.hpp"
 #include "runtime/dynamic.hpp"
 #include "support/error.hpp"
@@ -156,7 +157,12 @@ prompts::Style style_by_name(const std::string& name) {
 
 std::vector<RaceVerdict> RaceDetector::analyze_batch(
     const std::vector<std::string>& sources) const {
-  return support::parallel_map(jobs_, sources, [this](const std::string& code) {
+  static obs::Counter& entries = obs::metrics().counter(obs::kDetectEntries);
+  entries.add(sources.size());
+  const std::string spec = name();
+  obs::Span batch_span(obs::kSpanDetectBatch, spec);
+  return support::parallel_map(jobs_, sources, [this, &spec](const std::string& code) {
+    obs::Span span(obs::kSpanDetectEntry, spec);
     return analyze(code);
   });
 }

@@ -1,10 +1,17 @@
 #include "eval/artifact_cache.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
 #include "analysis/depgraph.hpp"
 #include "llm/model.hpp"
 #include "llm/tokenizer.hpp"
 #include "minic/parser.hpp"
 #include "minic/printer.hpp"
+#include "obs/catalog.hpp"
 #include "support/hash.hpp"
 
 namespace drbml::eval {
@@ -42,21 +49,38 @@ std::uint64_t hash_repair_options(const repair::RepairOptions& o) {
 }  // namespace
 
 int ArtifactCache::token_count(const std::string& code) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheTokensProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheTokensCompute);
+  probes.add();
   return tokens_.get_or_compute(fnv1a64(code), [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactTokens);
     llm::SimpleTokenizer tok;
     return tok.count_tokens(code);
   });
 }
 
 const std::string& ArtifactCache::ast_text(const std::string& code) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheAstProbe);
+  static obs::Counter& computes = obs::metrics().counter(obs::kCacheAstCompute);
+  probes.add();
   return asts_.get_or_compute(fnv1a64(code), [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactAst);
     minic::Program prog = minic::parse_program(code);
     return minic::unit_to_string(*prog.unit);
   });
 }
 
 const std::string& ArtifactCache::depgraph_text(const std::string& code) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheDepgraphProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheDepgraphCompute);
+  probes.add();
   return depgraphs_.get_or_compute(fnv1a64(code), [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactDepgraph);
     return analysis::build_dependence_graph(code).to_text();
   });
 }
@@ -67,9 +91,15 @@ const llm::ProgramFeatures& ArtifactCache::features(const std::string& code) {
 
 const analysis::RaceReport& ArtifactCache::static_report(
     const std::string& code, const analysis::StaticDetectorOptions& opts) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheStaticProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheStaticCompute);
+  probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_static_options(opts));
   return static_reports_.get_or_compute(key, [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactStatic);
     analysis::StaticRaceDetector detector(opts);
     return detector.analyze_source(code);
   });
@@ -77,9 +107,15 @@ const analysis::RaceReport& ArtifactCache::static_report(
 
 const analysis::RaceReport& ArtifactCache::dynamic_report(
     const std::string& code, const runtime::DynamicDetectorOptions& opts) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheDynamicProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheDynamicCompute);
+  probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_dynamic_options(opts));
   return dynamic_reports_.get_or_compute(key, [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactDynamic);
     runtime::DynamicRaceDetector detector(opts);
     return detector.analyze_source(code);
   });
@@ -87,22 +123,40 @@ const analysis::RaceReport& ArtifactCache::dynamic_report(
 
 const repair::RepairResult& ArtifactCache::repair_result(
     const std::string& code, const repair::RepairOptions& opts) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheRepairProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheRepairCompute);
+  probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_repair_options(opts));
-  return repair_results_.get_or_compute(
-      key, [&] { return repair::repair_source(code, opts); });
+  return repair_results_.get_or_compute(key, [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactRepair);
+    return repair::repair_source(code, opts);
+  });
 }
 
 const lint::LintReport& ArtifactCache::lint_report(const std::string& code) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheLintProbe);
+  static obs::Counter& computes = obs::metrics().counter(obs::kCacheLintCompute);
+  probes.add();
   // Default LintOptions only, so the code hash alone is a sound key.
   return lint_reports_.get_or_compute(fnv1a64(code), [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactLint);
     const lint::Linter linter;
     return linter.lint_source(code);
   });
 }
 
 const std::string& ArtifactCache::lint_text(const std::string& code) {
+  static obs::Counter& probes = obs::metrics().counter(obs::kCacheLintTextProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheLintTextCompute);
+  probes.add();
   return lint_texts_.get_or_compute(fnv1a64(code), [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactLintText);
     std::string out;
     try {
       for (const auto& d : lint_report(code).diagnostics) {
@@ -131,6 +185,158 @@ void ArtifactCache::clear() {
   lint_reports_.clear();
   repair_results_.clear();
   lint_texts_.clear();
+}
+
+// ----------------------------------------------------- snapshot persistence
+//
+// Format ("drbml-cache v1"): a header line, then one record per entry.
+//   T <key-hex16> <int>\n                       token count
+//   A <key-hex16> <nbytes>\n<nbytes raw>\n      AST text
+//   D <key-hex16> <nbytes>\n<nbytes raw>\n      dependence-graph text
+//   L <key-hex16> <nbytes>\n<nbytes raw>\n      lint-findings text
+// Payloads are length-prefixed so arbitrary program text round-trips.
+// Any deviation -- bad header, unknown tag, short payload, trailing
+// garbage -- marks the whole file corrupt: nothing is seeded and
+// `cache.corrupt` counts the rejection.
+
+namespace {
+
+constexpr const char* kSnapshotHeader = "drbml-cache v1";
+
+void append_text_record(std::string& out, char tag, std::uint64_t key,
+                        const std::string& text) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "%c %016" PRIx64 " %zu\n", tag, key,
+                text.size());
+  out += head;
+  out += text;
+  out += '\n';
+}
+
+std::size_t reject_corrupt(const std::string& path, const char* why) {
+  obs::metrics().counter(obs::kCacheCorrupt).add();
+  std::fprintf(stderr, "warning: cache snapshot %s ignored (%s)\n",
+               path.c_str(), why);
+  return 0;
+}
+
+}  // namespace
+
+bool ArtifactCache::save_snapshot(const std::string& path) const {
+  std::string out = kSnapshotHeader;
+  out += '\n';
+  std::uint64_t written = 0;
+  tokens_.for_each([&](std::uint64_t key, const int& v) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "T %016" PRIx64 " %d\n", key, v);
+    out += line;
+    ++written;
+  });
+  asts_.for_each([&](std::uint64_t key, const std::string& v) {
+    append_text_record(out, 'A', key, v);
+    ++written;
+  });
+  depgraphs_.for_each([&](std::uint64_t key, const std::string& v) {
+    append_text_record(out, 'D', key, v);
+    ++written;
+  });
+  lint_texts_.for_each([&](std::uint64_t key, const std::string& v) {
+    append_text_record(out, 'L', key, v);
+    ++written;
+  });
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!file) return false;
+  obs::metrics().counter(obs::kCacheSnapshotSaved).add(written);
+  return true;
+}
+
+std::size_t ArtifactCache::load_snapshot(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return reject_corrupt(path, "cannot open");
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  if (!file && !file.eof()) return reject_corrupt(path, "read error");
+  const std::string text = buf.str();
+
+  std::size_t pos = 0;
+  const auto read_line = [&](std::string& line) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    line.assign(text, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+
+  std::string line;
+  if (!read_line(line) || line != kSnapshotHeader) {
+    return reject_corrupt(path, "bad header");
+  }
+
+  // Parse fully before seeding anything: a corrupt tail must not leave
+  // the cache half-seeded.
+  struct TextRecord {
+    char tag;
+    std::uint64_t key;
+    std::string payload;
+  };
+  std::vector<std::pair<std::uint64_t, int>> token_records;
+  std::vector<TextRecord> text_records;
+  while (pos < text.size()) {
+    if (!read_line(line)) return reject_corrupt(path, "truncated record");
+    char tag = 0;
+    std::uint64_t key = 0;
+    if (line.size() < 20 || line[1] != ' ' ||
+        std::sscanf(line.c_str(), "%c %" SCNx64, &tag, &key) != 2) {
+      return reject_corrupt(path, "malformed record");
+    }
+    const std::size_t field = line.find(' ', 2);
+    if (field == std::string::npos || field + 1 >= line.size()) {
+      return reject_corrupt(path, "malformed record");
+    }
+    const std::string rest = line.substr(field + 1);
+    if (tag == 'T') {
+      int count = 0;
+      if (std::sscanf(rest.c_str(), "%d", &count) != 1) {
+        return reject_corrupt(path, "malformed token count");
+      }
+      token_records.emplace_back(key, count);
+      continue;
+    }
+    if (tag != 'A' && tag != 'D' && tag != 'L') {
+      return reject_corrupt(path, "unknown record tag");
+    }
+    std::size_t nbytes = 0;
+    if (std::sscanf(rest.c_str(), "%zu", &nbytes) != 1) {
+      return reject_corrupt(path, "malformed payload length");
+    }
+    if (pos + nbytes + 1 > text.size() || text[pos + nbytes] != '\n') {
+      return reject_corrupt(path, "short payload");
+    }
+    text_records.push_back({tag, key, text.substr(pos, nbytes)});
+    pos += nbytes + 1;
+  }
+
+  std::size_t loaded = 0;
+  for (const auto& [key, count] : token_records) {
+    if (tokens_.seed(key, count)) ++loaded;
+  }
+  for (auto& r : text_records) {
+    switch (r.tag) {
+      case 'A':
+        if (asts_.seed(r.key, std::move(r.payload))) ++loaded;
+        break;
+      case 'D':
+        if (depgraphs_.seed(r.key, std::move(r.payload))) ++loaded;
+        break;
+      default:
+        if (lint_texts_.seed(r.key, std::move(r.payload))) ++loaded;
+        break;
+    }
+  }
+  obs::metrics().counter(obs::kCacheSnapshotLoaded).add(loaded);
+  return loaded;
 }
 
 ArtifactCache& artifact_cache() {

@@ -81,6 +81,21 @@ class ArtifactCache {
   /// Drops everything. Only safe while no experiment is running.
   void clear();
 
+  /// Writes the plain-text artifact kinds (token counts, AST texts,
+  /// dependence-graph texts, lint-findings texts) to `path` in the
+  /// versioned "drbml-cache v1" format. Detector reports are not
+  /// persisted: they are cheap relative to (de)serialization and their
+  /// option hashing is an internal detail. Returns false on I/O failure.
+  /// Each written entry increments `cache.snapshot.saved`.
+  bool save_snapshot(const std::string& path) const;
+
+  /// Seeds the cache from a snapshot written by save_snapshot; returns
+  /// the number of entries loaded. An unreadable, truncated, or
+  /// otherwise corrupt file is treated as a full miss (nothing is
+  /// seeded, 0 is returned) and counted by the `cache.corrupt` metric --
+  /// the structured warning that replaces the old silent swallow.
+  std::size_t load_snapshot(const std::string& path);
+
  private:
   support::OnceMap<int> tokens_;
   support::OnceMap<std::string> asts_;

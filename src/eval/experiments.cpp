@@ -14,6 +14,7 @@
 #include "llm/tokenizer.hpp"
 #include "minic/parser.hpp"
 #include "minic/printer.hpp"
+#include "obs/catalog.hpp"
 #include "runtime/dynamic.hpp"
 #include "support/parallel.hpp"
 
@@ -309,6 +310,7 @@ CvResult run_cv(const llm::Persona& persona, Objective objective,
 // ------------------------------------------------------------- table rows
 
 std::vector<DetectionRow> table2_rows(const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "table2");
   const auto subset = token_filtered_subset();
   ChatModel gpt35(llm::gpt35_persona());
   std::vector<DetectionRow> rows;
@@ -320,6 +322,7 @@ std::vector<DetectionRow> table2_rows(const ExperimentOptions& opts) {
 }
 
 std::vector<DetectionRow> table3_rows(const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "table3");
   const auto subset = token_filtered_subset();
   std::vector<DetectionRow> rows;
   rows.push_back({"Ins", "N/A", run_traditional_tool(subset, opts)});
@@ -336,6 +339,7 @@ std::vector<DetectionRow> table3_rows(const ExperimentOptions& opts) {
 }
 
 std::vector<CvRow> table4_rows(const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "table4");
   std::vector<CvRow> rows;
   for (const llm::Persona& persona :
        {llm::starchat_persona(), llm::llama2_persona()}) {
@@ -350,6 +354,7 @@ std::vector<CvRow> table4_rows(const ExperimentOptions& opts) {
 }
 
 std::vector<DetectionRow> table5_rows(const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "table5");
   const auto subset = token_filtered_subset();
   std::vector<DetectionRow> rows;
   rows.push_back({"Linter", "N/A", run_lint_varid(subset, opts)});
@@ -361,6 +366,7 @@ std::vector<DetectionRow> table5_rows(const ExperimentOptions& opts) {
 }
 
 std::vector<CvRow> table6_rows(const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "table6");
   std::vector<CvRow> rows;
   for (const llm::Persona& persona :
        {llm::starchat_persona(), llm::llama2_persona()}) {
@@ -388,6 +394,7 @@ double RepairRow::patches_per_fix() const noexcept {
 
 std::vector<RepairRow> table7_rows(const repair::RepairOptions& ropts,
                                    const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "table7");
   std::vector<const drb::CorpusEntry*> racy;
   for (const drb::CorpusEntry& e : drb::corpus()) {
     if (e.race) racy.push_back(&e);

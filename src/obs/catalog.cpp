@@ -1,0 +1,319 @@
+#include "obs/catalog.hpp"
+
+namespace drbml::obs {
+
+// ------------------------------------------------------------- span descs
+
+const SpanDesc kSpanStageDataset{
+    "stage.dataset", "stage",
+    "Corpus render + DRB-ML dataset construction for one run."};
+const SpanDesc kSpanStageTokens{
+    "stage.tokens", "stage",
+    "Token-length filtering of all dataset entries (Section 3.2)."};
+const SpanDesc kSpanStageStatic{
+    "stage.static", "stage",
+    "Static dependence-based race analysis over the corpus."};
+const SpanDesc kSpanStageDynamic{
+    "stage.dynamic", "stage",
+    "Dynamic vector-clock detection (all schedule seeds) over the corpus."};
+const SpanDesc kSpanStageLint{
+    "stage.lint", "stage", "OpenMP correctness linter over the corpus."};
+const SpanDesc kSpanStageRepair{
+    "stage.repair", "stage",
+    "Verified race repair over the racy subset of the corpus."};
+
+const SpanDesc kSpanArtifactTokens{
+    "artifact.tokens", "artifact",
+    "Cache-miss compute of a token count (code tokenizer)."};
+const SpanDesc kSpanArtifactAst{
+    "artifact.ast", "artifact",
+    "Cache-miss compute of a canonical AST rendering."};
+const SpanDesc kSpanArtifactDepgraph{
+    "artifact.depgraph", "artifact",
+    "Cache-miss compute of a dependence-graph rendering."};
+const SpanDesc kSpanArtifactStatic{
+    "artifact.static", "artifact",
+    "Cache-miss compute of a static race report."};
+const SpanDesc kSpanArtifactDynamic{
+    "artifact.dynamic", "artifact",
+    "Cache-miss compute of a dynamic race report (all seeds)."};
+const SpanDesc kSpanArtifactLint{
+    "artifact.lint", "artifact", "Cache-miss compute of a lint report."};
+const SpanDesc kSpanArtifactRepair{
+    "artifact.repair", "artifact",
+    "Cache-miss compute of a verified repair result."};
+const SpanDesc kSpanArtifactLintText{
+    "artifact.lint_text", "artifact",
+    "Cache-miss compute of a rendered lint-findings text (prompt modality)."};
+
+const SpanDesc kSpanDetectBatch{
+    "detect.batch", "core",
+    "RaceDetector::analyze_batch over N sources (parallel_map)."};
+const SpanDesc kSpanDetectEntry{
+    "detect.entry", "core",
+    "One detector run on one source (detail: detector spec)."};
+const SpanDesc kSpanInterpReplay{
+    "interp.replay", "runtime",
+    "One deterministic schedule replay (detail: seed)."};
+const SpanDesc kSpanLintRun{
+    "lint.run", "lint", "One linter pass-manager run over one source."};
+const SpanDesc kSpanRepairEntry{
+    "repair.entry", "repair",
+    "repair_source: candidate generation + verify loop for one source."};
+const SpanDesc kSpanRepairVerify{
+    "repair.verify", "repair",
+    "One candidate through the three verification gates."};
+
+const SpanDesc kSpanExpRun{
+    "exp.run", "eval",
+    "One experiment runner (detail: table/figure name)."};
+
+// --------------------------------------------------------- metric descs
+
+namespace {
+constexpr bool kStable = true;
+constexpr bool kUnstable = false;
+}  // namespace
+
+const MetricDesc kCacheTokensProbe{
+    "cache.tokens.probe", MetricKind::Counter, "count", kStable,
+    "Token-count cache lookups (hits = probe - compute)."};
+const MetricDesc kCacheTokensCompute{
+    "cache.tokens.compute", MetricKind::Counter, "count", kStable,
+    "Token counts computed on a cache miss."};
+const MetricDesc kCacheAstProbe{
+    "cache.ast.probe", MetricKind::Counter, "count", kStable,
+    "AST-text cache lookups."};
+const MetricDesc kCacheAstCompute{
+    "cache.ast.compute", MetricKind::Counter, "count", kStable,
+    "AST texts computed on a cache miss."};
+const MetricDesc kCacheDepgraphProbe{
+    "cache.depgraph.probe", MetricKind::Counter, "count", kStable,
+    "Dependence-graph-text cache lookups."};
+const MetricDesc kCacheDepgraphCompute{
+    "cache.depgraph.compute", MetricKind::Counter, "count", kStable,
+    "Dependence-graph texts computed on a cache miss."};
+const MetricDesc kCacheStaticProbe{
+    "cache.static.probe", MetricKind::Counter, "count", kStable,
+    "Static-report cache lookups (keyed by source + options hash)."};
+const MetricDesc kCacheStaticCompute{
+    "cache.static.compute", MetricKind::Counter, "count", kStable,
+    "Static reports computed on a cache miss."};
+const MetricDesc kCacheDynamicProbe{
+    "cache.dynamic.probe", MetricKind::Counter, "count", kStable,
+    "Dynamic-report cache lookups (keyed by source + options hash)."};
+const MetricDesc kCacheDynamicCompute{
+    "cache.dynamic.compute", MetricKind::Counter, "count", kStable,
+    "Dynamic reports computed on a cache miss."};
+const MetricDesc kCacheLintProbe{
+    "cache.lint.probe", MetricKind::Counter, "count", kStable,
+    "Lint-report cache lookups."};
+const MetricDesc kCacheLintCompute{
+    "cache.lint.compute", MetricKind::Counter, "count", kStable,
+    "Lint reports computed on a cache miss."};
+const MetricDesc kCacheRepairProbe{
+    "cache.repair.probe", MetricKind::Counter, "count", kStable,
+    "Repair-result cache lookups (keyed by source + options hash)."};
+const MetricDesc kCacheRepairCompute{
+    "cache.repair.compute", MetricKind::Counter, "count", kStable,
+    "Repair results computed on a cache miss."};
+const MetricDesc kCacheLintTextProbe{
+    "cache.lint_text.probe", MetricKind::Counter, "count", kStable,
+    "Lint-findings-text cache lookups (lint prompt modality)."};
+const MetricDesc kCacheLintTextCompute{
+    "cache.lint_text.compute", MetricKind::Counter, "count", kStable,
+    "Lint-findings texts computed on a cache miss."};
+
+const MetricDesc kCacheCorrupt{
+    "cache.corrupt", MetricKind::Counter, "count", kStable,
+    "Cache snapshot files rejected as unreadable or corrupt (each is "
+    "treated as a miss; this counter is the structured warning)."};
+const MetricDesc kCacheSnapshotLoaded{
+    "cache.snapshot.loaded", MetricKind::Counter, "count", kStable,
+    "Entries seeded from a cache snapshot file."};
+const MetricDesc kCacheSnapshotSaved{
+    "cache.snapshot.saved", MetricKind::Counter, "count", kStable,
+    "Entries written to a cache snapshot file."};
+
+const MetricDesc kLintRuns{
+    "lint.runs", MetricKind::Counter, "count", kStable,
+    "Linter pass-manager runs."};
+const MetricDesc kLintSuppressed{
+    "lint.suppressed", MetricKind::Counter, "count", kStable,
+    "Diagnostics silenced by drbml-lint-suppress comments."};
+const MetricDesc kLintDiagRace{
+    "lint.diag.race", MetricKind::Counter, "count", kStable,
+    "Diagnostics emitted by the race-pair check."};
+const MetricDesc kLintDiagDatashare{
+    "lint.diag.datashare", MetricKind::Counter, "count", kStable,
+    "Diagnostics emitted by the data-sharing audit."};
+const MetricDesc kLintDiagReduction{
+    "lint.diag.reduction", MetricKind::Counter, "count", kStable,
+    "Diagnostics emitted by the reduction recognizer."};
+const MetricDesc kLintDiagLock{
+    "lint.diag.lock", MetricKind::Counter, "count", kStable,
+    "Diagnostics emitted by the lock-discipline check."};
+const MetricDesc kLintDiagBarrier{
+    "lint.diag.barrier", MetricKind::Counter, "count", kStable,
+    "Diagnostics emitted by the barrier/nowait check."};
+const MetricDesc kLintDiagAtomic{
+    "lint.diag.atomic", MetricKind::Counter, "count", kStable,
+    "Diagnostics emitted by the atomic-vs-critical check."};
+
+const MetricDesc kRepairCandidates{
+    "repair.candidates", MetricKind::Counter, "count", kStable,
+    "Candidate patches entering the verify loop."};
+const MetricDesc kRepairAccepted{
+    "repair.accepted", MetricKind::Counter, "count", kStable,
+    "Candidates accepted (all three gates passed)."};
+const MetricDesc kRepairNoCandidate{
+    "repair.no_candidate", MetricKind::Counter, "count", kStable,
+    "repair_source calls that produced no candidate patch."};
+const MetricDesc kRepairRejectedStatic{
+    "repair.rejected.static", MetricKind::Counter, "count", kStable,
+    "Candidates rejected at gate 1: static detector still reports a race, "
+    "or static analysis failed on the patched program."};
+const MetricDesc kRepairRejectedFault{
+    "repair.rejected.fault", MetricKind::Counter, "count", kStable,
+    "Candidates rejected at gate 2: the patched program faulted."};
+const MetricDesc kRepairRejectedDynamic{
+    "repair.rejected.dynamic", MetricKind::Counter, "count", kStable,
+    "Candidates rejected at gate 2: dynamic detector still reports a race, "
+    "or dynamic verification failed."};
+const MetricDesc kRepairRejectedNondet{
+    "repair.rejected.nondet", MetricKind::Counter, "count", kStable,
+    "Candidates rejected at gate 2: output differs across schedules."};
+const MetricDesc kRepairRejectedOutput{
+    "repair.rejected.output", MetricKind::Counter, "count", kStable,
+    "Candidates rejected at gate 3: serial output diverges from original."};
+const MetricDesc kRepairRejectedError{
+    "repair.rejected.error", MetricKind::Counter, "count", kStable,
+    "Candidates rejected because patch application or re-parsing failed."};
+
+const MetricDesc kInterpReplays{
+    "interp.replays", MetricKind::Counter, "count", kStable,
+    "Deterministic schedule replays executed."};
+const MetricDesc kInterpFaults{
+    "interp.faults", MetricKind::Counter, "count", kStable,
+    "Replays that ended in a runtime fault."};
+const MetricDesc kInterpRaces{
+    "interp.races", MetricKind::Counter, "count", kStable,
+    "Replays on which the vector-clock checker flagged a race."};
+const MetricDesc kSchedSteps{
+    "sched.steps", MetricKind::Counter, "count", kStable,
+    "Cooperative-scheduler steps executed (summed over replays)."};
+const MetricDesc kSchedStepsPerReplay{
+    "sched.steps_per_replay", MetricKind::Histogram, "steps", kStable,
+    "Distribution of scheduler steps per replay (power-of-two buckets)."};
+
+const MetricDesc kDetectEntries{
+    "detect.entries", MetricKind::Counter, "count", kStable,
+    "Sources analyzed through RaceDetector::analyze_batch."};
+
+const MetricDesc kStageDatasetTime{
+    "stage.dataset.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the dataset-construction stage."};
+const MetricDesc kStageTokensTime{
+    "stage.tokens.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the token-filter stage."};
+const MetricDesc kStageStaticTime{
+    "stage.static.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the static-analysis stage."};
+const MetricDesc kStageDynamicTime{
+    "stage.dynamic.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the dynamic-detection stage."};
+const MetricDesc kStageLintTime{
+    "stage.lint.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the lint stage."};
+const MetricDesc kStageRepairTime{
+    "stage.repair.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the repair stage."};
+
+// ------------------------------------------------------------- catalogs
+
+const std::vector<const MetricDesc*>& metric_catalog() {
+  static const std::vector<const MetricDesc*> all = {
+      &kCacheTokensProbe,    &kCacheTokensCompute,
+      &kCacheAstProbe,       &kCacheAstCompute,
+      &kCacheDepgraphProbe,  &kCacheDepgraphCompute,
+      &kCacheStaticProbe,    &kCacheStaticCompute,
+      &kCacheDynamicProbe,   &kCacheDynamicCompute,
+      &kCacheLintProbe,      &kCacheLintCompute,
+      &kCacheRepairProbe,    &kCacheRepairCompute,
+      &kCacheLintTextProbe,  &kCacheLintTextCompute,
+      &kCacheCorrupt,        &kCacheSnapshotLoaded,
+      &kCacheSnapshotSaved,
+      &kLintRuns,            &kLintSuppressed,
+      &kLintDiagRace,        &kLintDiagDatashare,
+      &kLintDiagReduction,   &kLintDiagLock,
+      &kLintDiagBarrier,     &kLintDiagAtomic,
+      &kRepairCandidates,    &kRepairAccepted,
+      &kRepairNoCandidate,   &kRepairRejectedStatic,
+      &kRepairRejectedFault, &kRepairRejectedDynamic,
+      &kRepairRejectedNondet, &kRepairRejectedOutput,
+      &kRepairRejectedError,
+      &kInterpReplays,       &kInterpFaults,
+      &kInterpRaces,         &kSchedSteps,
+      &kSchedStepsPerReplay,
+      &kDetectEntries,
+      &kStageDatasetTime,    &kStageTokensTime,
+      &kStageStaticTime,     &kStageDynamicTime,
+      &kStageLintTime,       &kStageRepairTime,
+  };
+  return all;
+}
+
+const std::vector<const SpanDesc*>& span_catalog() {
+  static const std::vector<const SpanDesc*> all = {
+      &kSpanStageDataset,    &kSpanStageTokens,   &kSpanStageStatic,
+      &kSpanStageDynamic,    &kSpanStageLint,     &kSpanStageRepair,
+      &kSpanArtifactTokens,  &kSpanArtifactAst,   &kSpanArtifactDepgraph,
+      &kSpanArtifactStatic,  &kSpanArtifactDynamic, &kSpanArtifactLint,
+      &kSpanArtifactRepair,  &kSpanArtifactLintText,
+      &kSpanDetectBatch,     &kSpanDetectEntry,
+      &kSpanInterpReplay,    &kSpanLintRun,
+      &kSpanRepairEntry,     &kSpanRepairVerify,
+      &kSpanExpRun,
+  };
+  return all;
+}
+
+// ---------------------------------------------------------- doc rendering
+
+std::string render_span_catalog_md() {
+  std::string out;
+  out += "| Span | Category | Emitted around |\n";
+  out += "|---|---|---|\n";
+  for (const SpanDesc* s : span_catalog()) {
+    out += "| `";
+    out += s->name;
+    out += "` | `";
+    out += s->category;
+    out += "` | ";
+    out += s->help;
+    out += " |\n";
+  }
+  return out;
+}
+
+std::string render_metric_catalog_md() {
+  std::string out;
+  out += "| Metric | Kind | Unit | Deterministic | Meaning |\n";
+  out += "|---|---|---|---|---|\n";
+  for (const MetricDesc* m : metric_catalog()) {
+    out += "| `";
+    out += m->name;
+    out += "` | ";
+    out += metric_kind_name(m->kind);
+    out += " | ";
+    out += m->unit;
+    out += " | ";
+    out += m->stable ? "yes" : "no";
+    out += " | ";
+    out += m->help;
+    out += " |\n";
+  }
+  return out;
+}
+
+}  // namespace drbml::obs

@@ -1,0 +1,468 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/catalog.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace drbml::obs {
+
+const char* metric_kind_name(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    case MetricKind::Timer: return "timer";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------- clocks
+
+std::uint64_t now_wall_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t now_cpu_ns() noexcept {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<std::uint64_t>(std::clock()) *
+         (1'000'000'000ULL / CLOCKS_PER_SEC);
+}
+
+int thread_id() noexcept {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ------------------------------------------------------------- histogram
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  int i = 0;
+  // Bucket i covers values <= 2^i - 1; the final bucket is the sink.
+  while (i < kBuckets - 1 && v > bucket_bound(i)) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_bound(int i) noexcept {
+  if (i >= kBuckets - 1) return UINT64_MAX;
+  return (1ULL << i) - 1;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- registry
+
+namespace {
+
+struct MetricEntry {
+  const MetricDesc* desc;
+  // Exactly one of these is engaged, matching desc->kind.
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  Timer timer;
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Stable storage: entries are never moved after registration.
+  std::vector<std::unique_ptr<MetricEntry>> entries;
+  std::unordered_map<std::string_view, MetricEntry*> by_name;
+
+  MetricEntry& get(const MetricDesc& d, MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = by_name.find(d.name);
+    if (it == by_name.end()) {
+      entries.push_back(std::make_unique<MetricEntry>());
+      entries.back()->desc = &d;
+      it = by_name.emplace(d.name, entries.back().get()).first;
+    }
+    if (it->second->desc->kind != kind) {
+      throw Error(std::string("metric '") + d.name +
+                  "' registered with a different kind");
+    }
+    return *it->second;
+  }
+};
+
+namespace {
+
+// Exit-hook state lives outside the singletons so the atexit callbacks
+// need no access to Impl internals.
+std::mutex g_exit_mu;
+std::string g_metrics_exit_path;
+std::string g_trace_exit_path;
+
+void metrics_exit_hook() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_exit_mu);
+    path = g_metrics_exit_path;
+  }
+  if (!path.empty() && !MetricsRegistry::instance().write(path)) {
+    std::fprintf(stderr, "warning: cannot write metrics file %s\n",
+                 path.c_str());
+  }
+}
+
+void trace_exit_hook() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_exit_mu);
+    path = g_trace_exit_path;
+  }
+  if (!path.empty() && !Tracer::instance().write(path)) {
+    std::fprintf(stderr, "warning: cannot write trace file %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {
+  // Pre-register the full catalog so snapshots always cover it, even for
+  // metrics whose code paths never ran.
+  for (const MetricDesc* d : metric_catalog()) {
+    impl_->get(*d, d->kind);
+  }
+  if (const char* env = std::getenv("DRBML_METRICS")) {
+    if (*env != '\0') enable_to_file(env);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* reg = new MetricsRegistry;  // leaked deliberately
+  return *reg;
+}
+
+void MetricsRegistry::enable_to_file(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(g_exit_mu);
+    g_metrics_exit_path = std::move(path);
+  }
+  set_enabled(true);
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(metrics_exit_hook); });
+}
+
+Counter& MetricsRegistry::counter(const MetricDesc& d) {
+  return impl_->get(d, MetricKind::Counter).counter;
+}
+Gauge& MetricsRegistry::gauge(const MetricDesc& d) {
+  return impl_->get(d, MetricKind::Gauge).gauge;
+}
+Histogram& MetricsRegistry::histogram(const MetricDesc& d) {
+  return impl_->get(d, MetricKind::Histogram).histogram;
+}
+Timer& MetricsRegistry::timer(const MetricDesc& d) {
+  return impl_->get(d, MetricKind::Timer).timer;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& e : impl_->entries) {
+    e->counter.reset();
+    e->gauge.reset();
+    e->histogram.reset();
+    e->timer.reset();
+  }
+}
+
+std::vector<const MetricDesc*> MetricsRegistry::descriptors() const {
+  std::vector<const MetricDesc*> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    out.reserve(impl_->entries.size());
+    for (const auto& e : impl_->entries) out.push_back(e->desc);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricDesc* a, const MetricDesc* b) {
+              return std::strcmp(a->name, b->name) < 0;
+            });
+  return out;
+}
+
+namespace {
+
+/// Name-sorted entry views for snapshot emission.
+std::vector<const MetricEntry*> sorted_entries(
+    const std::vector<std::unique_ptr<MetricEntry>>& entries) {
+  std::vector<const MetricEntry*> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.get());
+  std::sort(out.begin(), out.end(),
+            [](const MetricEntry* a, const MetricEntry* b) {
+              return std::strcmp(a->desc->name, b->desc->name) < 0;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_text(bool include_unstable) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "# drbml metrics";
+  out += include_unstable ? " (full)\n" : " (deterministic)\n";
+  for (const MetricEntry* e : sorted_entries(impl_->entries)) {
+    const MetricDesc& d = *e->desc;
+    if (!d.stable && !include_unstable) continue;
+    out += d.name;
+    const auto field = [&out](const char* label, std::uint64_t v) {
+      out += label;
+      out += std::to_string(v);
+    };
+    switch (d.kind) {
+      case MetricKind::Counter:
+        field(" ", e->counter.value());
+        break;
+      case MetricKind::Gauge:
+        out += ' ';
+        out += std::to_string(e->gauge.value());
+        break;
+      case MetricKind::Histogram: {
+        field(" count ", e->histogram.count());
+        field(" sum ", e->histogram.sum());
+        out += " buckets";
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          field(i == 0 ? " " : "|", e->histogram.bucket(i));
+        }
+        break;
+      }
+      case MetricKind::Timer:
+        field(" count ", e->timer.count());
+        field(" wall_ns ", e->timer.wall_ns());
+        field(" cpu_ns ", e->timer.cpu_ns());
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json(bool include_unstable) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  json::Object root;
+  root.set("schema", json::Value("drbml-metrics-v1"));
+  root.set("deterministic", json::Value(!include_unstable));
+  json::Object metrics_obj;
+  for (const MetricEntry* e : sorted_entries(impl_->entries)) {
+    const MetricDesc& d = *e->desc;
+    if (!d.stable && !include_unstable) continue;
+    json::Object m;
+    m.set("kind", json::Value(metric_kind_name(d.kind)));
+    m.set("unit", json::Value(d.unit));
+    switch (d.kind) {
+      case MetricKind::Counter:
+        m.set("value", json::Value(static_cast<std::int64_t>(e->counter.value())));
+        break;
+      case MetricKind::Gauge:
+        m.set("value", json::Value(e->gauge.value()));
+        break;
+      case MetricKind::Histogram: {
+        m.set("count",
+              json::Value(static_cast<std::int64_t>(e->histogram.count())));
+        m.set("sum", json::Value(static_cast<std::int64_t>(e->histogram.sum())));
+        json::Array buckets;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          buckets.push_back(
+              json::Value(static_cast<std::int64_t>(e->histogram.bucket(i))));
+        }
+        m.set("buckets", json::Value(std::move(buckets)));
+        break;
+      }
+      case MetricKind::Timer:
+        m.set("count", json::Value(static_cast<std::int64_t>(e->timer.count())));
+        m.set("wall_ns",
+              json::Value(static_cast<std::int64_t>(e->timer.wall_ns())));
+        m.set("cpu_ns",
+              json::Value(static_cast<std::int64_t>(e->timer.cpu_ns())));
+        break;
+    }
+    metrics_obj.set(d.name, json::Value(std::move(m)));
+  }
+  root.set("metrics", json::Value(std::move(metrics_obj)));
+  return json::Value(std::move(root)).dump_pretty() + "\n";
+}
+
+bool MetricsRegistry::write(const std::string& path,
+                            bool include_unstable) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json(include_unstable);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+// ---------------------------------------------------------------- tracer
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t epoch_ns = now_wall_ns();
+};
+
+Tracer::Tracer() : impl_(new Impl) {
+  if (const char* env = std::getenv("DRBML_TRACE")) {
+    if (*env != '\0') enable_to_file(env);
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer;  // leaked deliberately
+  return *t;
+}
+
+void Tracer::enable_to_file(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(g_exit_mu);
+    g_trace_exit_path = std::move(path);
+  }
+  set_enabled(true);
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(trace_exit_hook); });
+}
+
+void Tracer::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (e.start_ns >= impl_->epoch_ns) e.start_ns -= impl_->epoch_ns;
+  impl_->events.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    out = impl_->events;
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  // Hand-rolled so timestamps render as fixed-precision microseconds
+  // (json::Value doubles print with %.17g, which Perfetto accepts but
+  // humans do not).
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char buf[160];
+  bool first = true;
+  int max_tid = 0;
+  for (const TraceEvent& e : events) max_tid = std::max(max_tid, e.tid);
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"drbml-%d\"}}",
+                  first ? "" : ",\n", tid, tid);
+    out += buf;
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                  first ? "" : ",\n", e.name, e.category,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    out += buf;
+    first = false;
+    if (!e.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"" + json::escape(e.detail) + "\"}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.clear();
+  impl_->epoch_ns = now_wall_ns();
+}
+
+// ------------------------------------------------------------------ span
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t wall1 = now_wall_ns();
+  const std::uint64_t wall_dur = wall1 > wall0_ ? wall1 - wall0_ : 0;
+  if (cpu_wanted_) {
+    const std::uint64_t cpu1 = now_cpu_ns();
+    timer_->record(wall_dur, cpu1 > cpu0_ ? cpu1 - cpu0_ : 0);
+  }
+  if (trace_) {
+    TraceEvent e;
+    e.name = desc_->name;
+    e.category = desc_->category;
+    e.detail = std::string(detail_);
+    e.start_ns = wall0_;
+    e.dur_ns = wall_dur;
+    e.tid = thread_id();
+    Tracer::instance().record(std::move(e));
+  }
+}
+
+// ----------------------------------------------------------- entry points
+
+void enable_tracing(std::string path) {
+  Tracer::instance().enable_to_file(std::move(path));
+}
+
+void enable_metrics(std::string path) {
+  MetricsRegistry::instance().enable_to_file(std::move(path));
+}
+
+void consume_obs_flags(std::vector<std::string>& args) {
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--trace" && i + 1 < args.size()) {
+      enable_tracing(args[++i]);
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      enable_metrics(args[++i]);
+    } else {
+      kept.push_back(args[i]);
+    }
+  }
+  args = std::move(kept);
+}
+
+}  // namespace drbml::obs

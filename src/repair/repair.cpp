@@ -6,6 +6,7 @@
 #include "dataset/drbml.hpp"
 #include "lint/lint.hpp"
 #include "minic/parser.hpp"
+#include "obs/catalog.hpp"
 #include "support/error.hpp"
 
 namespace drbml::repair {
@@ -40,19 +41,23 @@ const char* repair_status_name(RepairStatus s) noexcept {
   return "?";
 }
 
-VerifyOutcome verify_candidate(const std::string& original,
-                               const std::string& patched,
-                               const RepairOptions& opts) {
+namespace {
+
+VerifyOutcome verify_candidate_impl(const std::string& original,
+                                    const std::string& patched,
+                                    const RepairOptions& opts) {
   VerifyOutcome out;
 
   // Gate 1: static detector must report race-free.
   try {
     const analysis::StaticRaceDetector sdet(opts.static_opts);
     if (sdet.analyze_source(patched).race_detected) {
+      out.gate = RejectGate::Static;
       out.reason = "static detector still reports a race";
       return out;
     }
   } catch (const Error& e) {
+    out.gate = RejectGate::Static;
     out.reason = std::string("static analysis failed: ") + e.what();
     return out;
   }
@@ -89,16 +94,19 @@ VerifyOutcome verify_candidate(const std::string& original,
     for (const std::uint64_t seed : opts.dynamic_opts.schedule_seeds) {
       const runtime::RunResult run = ddet.run_once(patched, seed);
       if (run.faulted) {
+        out.gate = RejectGate::Fault;
         out.reason = "patched program faults: " + run.fault_message;
         return out;
       }
       if (run.report.race_detected) {
+        out.gate = RejectGate::Dynamic;
         out.reason = "dynamic detector still reports a race (seed " +
                      std::to_string(seed) + ")";
         return out;
       }
       if (have_par &&
           (run.output != par_output || run.exit_code != par_exit)) {
+        out.gate = RejectGate::Nondet;
         out.reason = "output not deterministic across schedules (seed " +
                      std::to_string(seed) + ")";
         return out;
@@ -116,11 +124,13 @@ VerifyOutcome verify_candidate(const std::string& original,
           serial_det.run_once(patched, serial_opts.run.seed);
       if (srun.faulted || srun.output != ref_output ||
           srun.exit_code != ref_exit) {
+        out.gate = RejectGate::Output;
         out.reason = "serial output diverges from the original";
         return out;
       }
     }
   } catch (const Error& e) {
+    out.gate = RejectGate::Dynamic;
     out.reason = std::string("dynamic verification failed: ") + e.what();
     return out;
   }
@@ -130,8 +140,53 @@ VerifyOutcome verify_candidate(const std::string& original,
   return out;
 }
 
+obs::Counter& reject_counter(RejectGate gate) {
+  static obs::Counter& stat = obs::metrics().counter(obs::kRepairRejectedStatic);
+  static obs::Counter& fault = obs::metrics().counter(obs::kRepairRejectedFault);
+  static obs::Counter& dyn = obs::metrics().counter(obs::kRepairRejectedDynamic);
+  static obs::Counter& nondet =
+      obs::metrics().counter(obs::kRepairRejectedNondet);
+  static obs::Counter& output =
+      obs::metrics().counter(obs::kRepairRejectedOutput);
+  switch (gate) {
+    case RejectGate::Fault: return fault;
+    case RejectGate::Dynamic: return dyn;
+    case RejectGate::Nondet: return nondet;
+    case RejectGate::Output: return output;
+    case RejectGate::Static:
+    case RejectGate::None: break;
+  }
+  return stat;
+}
+
+}  // namespace
+
+VerifyOutcome verify_candidate(const std::string& original,
+                               const std::string& patched,
+                               const RepairOptions& opts) {
+  static obs::Counter& accepted = obs::metrics().counter(obs::kRepairAccepted);
+  VerifyOutcome out;
+  {
+    obs::Span span(obs::kSpanRepairVerify);
+    out = verify_candidate_impl(original, patched, opts);
+  }
+  if (out.accepted) {
+    accepted.add();
+  } else {
+    reject_counter(out.gate).add();
+  }
+  return out;
+}
+
 RepairResult repair_source(const std::string& source,
                            const RepairOptions& opts) {
+  static obs::Counter& candidates_tried =
+      obs::metrics().counter(obs::kRepairCandidates);
+  static obs::Counter& no_candidate =
+      obs::metrics().counter(obs::kRepairNoCandidate);
+  static obs::Counter& rejected_error =
+      obs::metrics().counter(obs::kRepairRejectedError);
+  obs::Span entry_span(obs::kSpanRepairEntry);
   RepairResult r;
 
   minic::Program prog;
@@ -180,6 +235,7 @@ RepairResult repair_source(const std::string& source,
       generate_candidates(prog, static_report, lint_ptr, opts.strategy);
   r.candidates_generated = static_cast<int>(candidates.size());
   if (candidates.empty()) {
+    no_candidate.add();
     r.status = RepairStatus::NoCandidate;
     r.message = "no-candidate: no strategy applies to this race shape "
                 "(strategy " +
@@ -191,8 +247,10 @@ RepairResult repair_source(const std::string& source,
   for (const Patch& patch : candidates) {
     if (r.attempts >= opts.max_candidates) break;
     ++r.attempts;
+    candidates_tried.add();
     const ApplyResult applied = apply_patch(source, patch);
     if (!applied.ok) {
+      rejected_error.add();
       last_reason = patch.id + ": " + applied.message;
       continue;
     }

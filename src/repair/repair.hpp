@@ -66,10 +66,23 @@ struct RepairResult {
   friend bool operator==(const RepairResult&, const RepairResult&) = default;
 };
 
+/// Which verification gate rejected a candidate (the machine-readable
+/// companion to VerifyOutcome::reason; also the repair.rejected.* metric
+/// taxonomy).
+enum class RejectGate {
+  None,      // accepted
+  Static,    // gate 1: static race persists, or static analysis failed
+  Fault,     // gate 2: the patched program faulted
+  Dynamic,   // gate 2: dynamic race persists, or dynamic verification failed
+  Nondet,    // gate 2: output differs across parallel schedules
+  Output,    // gate 3: serial output diverges from the original
+};
+
 /// Verdict of the verification gates for one already-applied candidate.
 struct VerifyOutcome {
   bool accepted = false;
   bool equivalence_checked = false;
+  RejectGate gate = RejectGate::None;  // set iff !accepted
   std::string reason;  // which gate failed, when !accepted
 };
 

@@ -1,11 +1,19 @@
 #include "runtime/dynamic.hpp"
 
 #include "minic/parser.hpp"
+#include "obs/catalog.hpp"
 
 namespace drbml::runtime {
 
 analysis::RaceReport DynamicRaceDetector::analyze_source(
     std::string_view source) const {
+  static obs::Counter& replays = obs::metrics().counter(obs::kInterpReplays);
+  static obs::Counter& faults = obs::metrics().counter(obs::kInterpFaults);
+  static obs::Counter& races = obs::metrics().counter(obs::kInterpRaces);
+  static obs::Counter& steps = obs::metrics().counter(obs::kSchedSteps);
+  static obs::Histogram& steps_hist =
+      obs::metrics().histogram(obs::kSchedStepsPerReplay);
+
   minic::Program prog = minic::parse_program(source);
   analysis::Resolution res = analysis::resolve(*prog.unit);
 
@@ -13,7 +21,16 @@ analysis::RaceReport DynamicRaceDetector::analyze_source(
   for (std::uint64_t seed : opts_.schedule_seeds) {
     RunOptions run = opts_.run;
     run.seed = seed;
-    RunResult result = run_program(*prog.unit, res, run);
+    const std::string seed_label = "seed=" + std::to_string(seed);
+    RunResult result = [&] {
+      obs::Span span(obs::kSpanInterpReplay, seed_label);
+      return run_program(*prog.unit, res, run);
+    }();
+    replays.add();
+    steps.add(result.steps);
+    steps_hist.observe(result.steps);
+    if (result.faulted) faults.add();
+    if (result.report.race_detected) races.add();
     for (auto& pair : result.report.pairs) {
       merged.add_pair(std::move(pair));
     }

@@ -179,6 +179,36 @@ class OnceMap {
     return cells_.size();
   }
 
+  /// Calls fn(key, value) for every completed entry, in unspecified
+  /// order. Holds the map lock for the whole walk: fn must not re-enter
+  /// this map (snapshot serialization is the intended use).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, cell] : cells_) {
+      std::lock_guard<std::mutex> cell_lock(cell->mu);
+      if (cell->value.has_value()) fn(key, *cell->value);
+    }
+  }
+
+  /// Inserts a precomputed value unless the key is already present or
+  /// being computed. Returns true if the value was installed. Later
+  /// get_or_compute calls for the key return the seeded value without
+  /// running their compute function.
+  bool seed(std::uint64_t key, Value v) {
+    std::shared_ptr<Cell> cell;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Cell>& slot = cells_[key];
+      if (slot == nullptr) slot = std::make_shared<Cell>();
+      cell = slot;
+    }
+    std::lock_guard<std::mutex> cell_lock(cell->mu);
+    if (cell->value.has_value() || cell->computing) return false;
+    cell->value.emplace(std::move(v));
+    return true;
+  }
+
   /// Drops all entries. References handed out earlier dangle once their
   /// cell's last owner releases it -- only call this while no other
   /// thread is using the map.

@@ -16,12 +16,22 @@
 //                                               race repair; FILE args are
 //                                               rewritten in place unless
 //                                               --dry-run
+//   drbml stats    [--jobs N] [--no-repair] [--cache FILE]
+//                                               run the full corpus pipeline
+//                                               and print per-stage timings
+//                                               plus the deterministic
+//                                               counter snapshot
 //   drbml corpus   [--pattern P] [--limit N]    list corpus entries
 //   drbml entry    NAME                         print one entry's DRB file
 //   drbml dataset  [--out DIR]                  write DRB-ML JSON to disk
 //   drbml synth    [--count N] [--seed S] [--out DIR]  generate kernels
 //   drbml detectors                             list detector specs
 //   drbml help
+//
+// Every subcommand also accepts the global observability flags
+//   --trace FILE     write a Chrome trace (chrome://tracing, Perfetto)
+//   --metrics FILE   write the deterministic metrics JSON at exit
+// and honours the DRBML_TRACE / DRBML_METRICS environment variables.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -36,10 +46,14 @@
 #include "dataset/drbml.hpp"
 #include "drb/corpus.hpp"
 #include "drb/synth.hpp"
+#include "eval/artifact_cache.hpp"
+#include "eval/experiments.hpp"
 #include "lint/lint.hpp"
+#include "obs/catalog.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -60,6 +74,7 @@ int usage() {
       "            [--check] [--min-fix-rate PCT] [--jobs N]\n"
       "            [FILE.c... | --entry NAME | --corpus | --synth N "
       "[--seed S]]\n"
+      "  drbml stats [--jobs N] [--no-repair] [--cache FILE]\n"
       "  drbml corpus [--pattern P] [--limit N]\n"
       "  drbml entry NAME\n"
       "  drbml dataset [--out DIR]\n"
@@ -70,7 +85,10 @@ int usage() {
       "llm:<persona>[:<prompt>]\n"
       "personas: gpt35, gpt4, starchat, llama2; prompts: p1, p2, p3, bp2\n"
       "--jobs N: worker threads for multi-file analyze (0 = auto from\n"
-      "          DRBML_JOBS or hardware; results identical at any N)\n");
+      "          DRBML_JOBS or hardware; results identical at any N)\n"
+      "global flags (any subcommand): --trace FILE (Chrome trace JSON),\n"
+      "          --metrics FILE (deterministic metrics JSON at exit);\n"
+      "          DRBML_TRACE / DRBML_METRICS env vars do the same\n");
   return 2;
 }
 
@@ -438,6 +456,131 @@ int cmd_fix(const std::vector<std::string>& args) {
   return unfixed > 0 ? 1 : 0;
 }
 
+// Runs the full corpus pipeline stage by stage -- dataset construction,
+// token filtering, static analysis, dynamic detection, lint, verified
+// repair -- timing each stage through the obs stage timers and printing a
+// per-stage table plus the deterministic counter snapshot. With
+// --metrics FILE the snapshot is also written as JSON at exit; its bytes
+// are identical at any --jobs value (timers are excluded as unstable).
+int cmd_stats(const std::vector<std::string>& args) {
+  eval::ExperimentOptions eopts;
+  std::string cache_path;
+  bool run_repair = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--jobs" && i + 1 < args.size()) {
+      eopts.jobs = static_cast<int>(int_flag("--jobs", args[++i]));
+    } else if (args[i] == "--cache" && i + 1 < args.size()) {
+      cache_path = args[++i];
+    } else if (args[i] == "--no-repair") {
+      run_repair = false;
+    } else {
+      return usage();
+    }
+  }
+
+  eval::ArtifactCache& cache = eval::artifact_cache();
+  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    const std::size_t seeded = cache.load_snapshot(cache_path);
+    if (seeded > 0) {
+      std::printf("cache: seeded %zu entries from %s\n", seeded,
+                  cache_path.c_str());
+    }
+  }
+
+  // Stage timers need the metrics sink on; flipping it here does not make
+  // an exit file appear (that takes --metrics FILE / DRBML_METRICS).
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.set_enabled(true);
+
+  TextTable table({"stage", "wall ms", "cpu ms", "items"});
+  const auto run_stage = [&](const obs::SpanDesc& span_desc,
+                             const obs::MetricDesc& timer_desc,
+                             auto&& stage_fn) {
+    obs::Timer& timer = reg.timer(timer_desc);
+    std::uint64_t items = 0;
+    {
+      obs::Span span(span_desc, {}, &timer);
+      items = stage_fn();
+    }
+    char wall[32];
+    char cpu[32];
+    std::snprintf(wall, sizeof(wall), "%.1f", timer.wall_ns() / 1e6);
+    std::snprintf(cpu, sizeof(cpu), "%.1f", timer.cpu_ns() / 1e6);
+    table.add_row({span_desc.name, wall, cpu, std::to_string(items)});
+  };
+
+  run_stage(obs::kSpanStageDataset, obs::kStageDatasetTime,
+            [] { return dataset::dataset().size(); });
+  run_stage(obs::kSpanStageTokens, obs::kStageTokensTime,
+            [] { return eval::token_filtered_subset().size(); });
+
+  std::vector<const drb::CorpusEntry*> entries;
+  for (const drb::CorpusEntry& e : drb::corpus()) entries.push_back(&e);
+
+  run_stage(obs::kSpanStageStatic, obs::kStageStaticTime, [&] {
+    const std::vector<int> racy = support::parallel_map(
+        eopts.jobs, entries, [&](const drb::CorpusEntry* e) {
+          return cache.static_report(drb::drb_code(*e), {}).race_detected ? 1
+                                                                          : 0;
+        });
+    std::uint64_t n = 0;
+    for (int r : racy) n += static_cast<std::uint64_t>(r);
+    return n;
+  });
+  run_stage(obs::kSpanStageDynamic, obs::kStageDynamicTime, [&] {
+    const std::vector<int> racy = support::parallel_map(
+        eopts.jobs, entries, [&](const drb::CorpusEntry* e) {
+          try {
+            return cache.dynamic_report(drb::drb_code(*e), {}).race_detected
+                       ? 1
+                       : 0;
+          } catch (const Error&) {
+            return 0;  // non-executable entries fall out of the dynamic stage
+          }
+        });
+    std::uint64_t n = 0;
+    for (int r : racy) n += static_cast<std::uint64_t>(r);
+    return n;
+  });
+  run_stage(obs::kSpanStageLint, obs::kStageLintTime, [&] {
+    const std::vector<std::size_t> counts = support::parallel_map(
+        eopts.jobs, entries, [&](const drb::CorpusEntry* e) {
+          try {
+            return cache.lint_report(drb::drb_code(*e)).diagnostics.size();
+          } catch (const Error&) {
+            return std::size_t{0};
+          }
+        });
+    std::uint64_t n = 0;
+    for (std::size_t c : counts) n += c;
+    return n;
+  });
+  if (run_repair) {
+    run_stage(obs::kSpanStageRepair, obs::kStageRepairTime, [&] {
+      const std::vector<eval::RepairRow> rows = eval::table7_rows({}, eopts);
+      // The "(all)" total row is last; items = entries with a verified fix.
+      return rows.empty() ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(rows.back().fixed);
+    });
+  }
+
+  std::printf("%s", heading("Pipeline stages (items: entries produced, "
+                            "racy verdicts, diagnostics, fixes)")
+                        .c_str());
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s", reg.to_text().c_str());
+
+  if (!cache_path.empty()) {
+    if (cache.save_snapshot(cache_path)) {
+      std::printf("cache: snapshot written to %s\n", cache_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write cache snapshot %s\n",
+                   cache_path.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_corpus(const std::vector<std::string>& args) {
   std::string pattern;
   int limit = -1;
@@ -522,11 +665,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  drbml::obs::consume_obs_flags(args);
   try {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "graph") return cmd_graph(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "fix") return cmd_fix(args);
+    if (cmd == "stats") return cmd_stats(args);
     if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "entry") return cmd_entry(args);
     if (cmd == "dataset") return cmd_dataset(args);
