@@ -38,7 +38,7 @@ PipelineRun run_pipeline(const drbml::eval::ExperimentOptions& opts) {
   auto t0 = Clock::now();
   const auto& entries = dataset::dataset();
   t.add_row({"1. DRB -> DRB-ML labels + JSON", std::to_string(entries.size()),
-             format_double(ms_since(t0), 1), "201 JSON entries"});
+             format_double(ms_since(t0), 1), std::to_string(entries.size()) + " JSON entries"});
 
   // Stage 2: prompt-response pair generation (Listings 8/9).
   t0 = Clock::now();
@@ -49,13 +49,13 @@ PipelineRun run_pipeline(const drbml::eval::ExperimentOptions& opts) {
     pairs += static_cast<int>(dataset::make_varid_pair(e).prompt.size() > 0);
   }
   t.add_row({"2. prompt-response pairs", std::to_string(pairs),
-             format_double(ms_since(t0), 1), "2 sets x 201"});
+             format_double(ms_since(t0), 1), "2 sets x " + std::to_string(entries.size())});
 
   // Stage 3: token filter (16k/8k/4k context accounting).
   t0 = Clock::now();
   const auto subset = eval::token_filtered_subset();
   t.add_row({"3. 4k-token subset filter", std::to_string(subset.size()),
-             format_double(ms_since(t0), 1), "198 of 201"});
+             format_double(ms_since(t0), 1), std::to_string(subset.size()) + " of " + std::to_string(entries.size())});
 
   // Stage 4: prompting branch (one model x one prompt as representative).
   t0 = Clock::now();

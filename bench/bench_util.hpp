@@ -74,6 +74,28 @@ inline std::string repair_table(const std::vector<eval::RepairRow>& rows) {
   return t.render();
 }
 
+/// Renders the schedule-exploration comparison: uniform vs PCT at equal
+/// budget over the race-labeled corpus.
+inline std::string exploration_table(
+    const std::vector<eval::ExplorationRow>& rows) {
+  TextTable t({"Strategy", "Entries", "Detected", "OnlyHere", "Sched/Entry",
+               "ToFirstRace", "WitnessDec", "Plateau", "Err"});
+  for (const auto& row : rows) {
+    t.add_row({row.strategy, std::to_string(row.entries),
+               std::to_string(row.detected), std::to_string(row.only_here),
+               format_double(row.entries > 0
+                                 ? static_cast<double>(row.schedules) /
+                                       row.entries
+                                 : 0.0,
+                             2),
+               format_double(row.avg_schedules_to_first_race(), 2),
+               std::to_string(row.witness_decisions),
+               std::to_string(row.plateau_stops),
+               std::to_string(row.errors)});
+  }
+  return t.render();
+}
+
 inline void print_reference(const char* text) {
   std::printf("%s", text);
 }

@@ -16,7 +16,11 @@
 # Stage 2c is the docs gate: the generated span/metric catalog sections
 # in docs/OBSERVABILITY.md must match the code (gen_obs_docs --check),
 # and every relative link and #anchor in the top-level and docs/
-# markdown must resolve (gen_obs_docs --check-links). Stage 3 rebuilds
+# markdown must resolve (gen_obs_docs --check-links). Stage 2d is the
+# exploration gate: at equal schedule budget PCT must match or beat the
+# uniform walk on detected races over the race-labeled corpus with at
+# least one PCT-only entry, and every reported race must ship a
+# minimized witness that replays bit-identically. Stage 3 rebuilds
 # under ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
 # `parallel`-labelled suites -- the thread pool, the memoized artifact
 # caches, the parallel experiment executor, the lint and repair
@@ -45,6 +49,9 @@ build/tools/gen_obs_docs --check
 build/tools/gen_obs_docs --check-links \
   README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md
 
+echo "== stage 2d: exploration gate (PCT vs uniform + witness replay) =="
+build/tools/drbml explore --corpus --check --budget 12 | tail -n 1
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="
   exit 0
@@ -54,6 +61,6 @@ echo "== stage 3: ThreadSanitizer build of the parallel suites =="
 cmake -B build-tsan -S . -DDRBML_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   parallel_test parallel_determinism_test detector_differential_test \
-  lint_test repair_test obs_test
+  explore_test metamorphic_test lint_test repair_test obs_test
 (cd build-tsan && ctest -L parallel --output-on-failure)
 echo "== all checks passed =="

@@ -2,6 +2,7 @@
 
 #include "analysis/race.hpp"
 #include "eval/parse.hpp"
+#include "explore/explore.hpp"
 #include "lint/lint.hpp"
 #include "llm/model.hpp"
 #include "obs/catalog.hpp"
@@ -65,6 +66,32 @@ class HybridTool final : public RaceDetector {
     return v;
   }
   std::string name() const override { return "hybrid"; }
+};
+
+class ExploreTool final : public RaceDetector {
+ public:
+  explicit ExploreTool(explore::Strategy strategy) : strategy_(strategy) {}
+
+  RaceVerdict analyze(const std::string& code) const override {
+    explore::ExploreOptions opts;
+    opts.strategy = strategy_;
+    const explore::ExploreResult result = explore::explore_source(code, opts);
+    RaceVerdict v;
+    v.race = result.race_detected;
+    v.pairs = result.report.pairs;
+    v.diagnostics = result.report.diagnostics;
+    if (!result.witness.empty()) {
+      v.diagnostics.push_back("witness: " + result.witness);
+    }
+    return v;
+  }
+
+  std::string name() const override {
+    return std::string("explore:") + explore::strategy_name(strategy_);
+  }
+
+ private:
+  explore::Strategy strategy_;
 };
 
 class LintTool final : public RaceDetector {
@@ -178,6 +205,13 @@ std::unique_ptr<RaceDetector> make_detector(const std::string& spec) {
   if (spec == "dynamic") return std::make_unique<DynamicTool>();
   if (spec == "hybrid") return std::make_unique<HybridTool>();
   if (spec == "lint") return std::make_unique<LintTool>();
+  if (spec == "explore") {
+    return std::make_unique<ExploreTool>(explore::Strategy::Pct);
+  }
+  if (starts_with(spec, "explore:")) {
+    return std::make_unique<ExploreTool>(
+        explore::parse_strategy(spec.substr(8)));
+  }
   if (starts_with(spec, "llm:")) {
     const std::vector<std::string> parts = split(spec, ':');
     const std::string key = parts.size() > 1 ? parts[1] : "gpt4";
@@ -186,11 +220,14 @@ std::unique_ptr<RaceDetector> make_detector(const std::string& spec) {
     return std::make_unique<LlmTool>(persona_by_key(key), style);
   }
   throw Error("unknown detector spec: " + spec +
-              " (try: static, dynamic, hybrid, lint, llm:gpt4:p1)");
+              " (try: static, dynamic, hybrid, lint, explore, llm:gpt4:p1)");
 }
 
 std::vector<std::string> available_detectors() {
-  std::vector<std::string> out = {"static", "dynamic", "hybrid", "lint"};
+  std::vector<std::string> out = {"static",  "dynamic",
+                                  "hybrid",  "lint",
+                                  "explore", "explore:uniform",
+                                  "explore:pct"};
   for (const llm::Persona& p : llm::all_personas()) {
     for (const char* style : {"p1", "p2", "p3", "bp2"}) {
       out.push_back("llm:" + p.key + ":" + style);

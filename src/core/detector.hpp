@@ -7,6 +7,10 @@
 //   - "hybrid":  static union dynamic (the paper's traditional-tool column)
 //   - "lint":    the OpenMP correctness linter (src/lint); race verdict from
 //                the static pipeline, diagnostics rendered per finding
+//   - "explore[:uniform|:pct]": the schedule-exploration engine (src/explore):
+//     a budgeted loop of uniform-random or PCT priority schedules with a
+//     coverage-plateau cut; a detected race ships a minimized replayable
+//     witness in the diagnostics ("explore" alone means "explore:pct")
 //   - "llm:<persona>[:<prompt>]": a simulated LLM queried through the
 //     paper's prompt pipeline, e.g. "llm:gpt4:p3"
 //

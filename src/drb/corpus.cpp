@@ -162,6 +162,7 @@ const std::vector<CorpusEntry>& corpus() {
     register_extra_entries(b);
     register_app_entries(b);
     register_variant_entries(b);
+    register_exploration_entries(b);
     return b.take();
   }();
   return entries;

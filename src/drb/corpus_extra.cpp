@@ -1,6 +1,7 @@
 // Corpus entries: additional pattern families -- transposed subscripts,
 // while/do-while regions, memset, partial atomics, thread-range
-// partitioning, buffer swaps, and multiplicative reductions.
+// partitioning, buffer swaps, multiplicative reductions, and the
+// order-dependent lock-window races used by the exploration engine.
 #include "drb/corpus.hpp"
 
 namespace drbml::drb {
@@ -470,6 +471,52 @@ int main()
 }
 )";
     b.add("bufferswap-orig", std::move(e));
+  }
+}
+
+// Order-dependent races: the racy access pair only executes unordered on a
+// minority of interleavings, so single-schedule dynamic detection misses
+// them. These exist to exercise the schedule-exploration engine (PCT finds
+// them; the legacy uniform schedule does not) and MUST register last so the
+// DRB numbering of earlier entries stays stable.
+void register_exploration_entries(CorpusBuilder& b) {
+  {
+    CorpusEntry e;
+    e.race = true;
+    e.label = "Y3";
+    e.pattern = "lock-window";
+    e.description =
+        "Write before a critical section races with a read after it only "
+        "when the reader wins the lock first.";
+    e.pairs = {pair("data", 1, 'w', "data", 2, 'r')};
+    e.body = R"(#include <stdio.h>
+int main()
+{
+  int data = 0;
+  int done = 0;
+  int seen = 0;
+
+#pragma omp parallel num_threads(2)
+  {
+    if (omp_get_thread_num() == 0) {
+      data = 1;
+#pragma omp critical
+      {
+        done = done + 1;
+      }
+    } else {
+#pragma omp critical
+      {
+        done = done + 1;
+      }
+      seen = data;
+    }
+  }
+  printf("%d %d\n", seen, done);
+  return 0;
+}
+)";
+    b.add("lockwindow-orig", std::move(e));
   }
 }
 

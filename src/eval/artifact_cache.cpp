@@ -28,22 +28,57 @@ std::uint64_t hash_static_options(const analysis::StaticDetectorOptions& o) {
   return hash_combine(bits, static_cast<std::uint64_t>(o.max_pairs));
 }
 
-std::uint64_t hash_dynamic_options(const runtime::DynamicDetectorOptions& o) {
+std::uint64_t hash_run_options(const runtime::RunOptions& o) {
   std::uint64_t h = hash_combine(
-      static_cast<std::uint64_t>(o.run.num_threads),
-      hash_combine(o.run.seed,
-                   static_cast<std::uint64_t>(o.run.preempt_every)));
-  h = hash_combine(h, o.run.step_limit);
-  h = hash_combine(h, static_cast<std::uint64_t>(o.run.max_pairs));
+      static_cast<std::uint64_t>(o.num_threads),
+      hash_combine(o.seed, static_cast<std::uint64_t>(o.preempt_every)));
+  h = hash_combine(h, o.step_limit);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.max_pairs));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.strategy));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.pct_depth));
+  h = hash_combine(h, o.pct_expected_steps);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.capture_trace) << 1 |
+                          static_cast<std::uint64_t>(o.collect_coverage));
+  // A replay trace is part of the schedule the options describe: hash
+  // its decisions, not the pointer.
+  if (o.replay != nullptr) {
+    for (const runtime::RegionTrace& region : o.replay->regions) {
+      h = hash_combine(h, region.size());
+      for (const runtime::ScheduleDecision& d : region) {
+        h = hash_combine(
+            h, hash_combine(d.step, static_cast<std::uint64_t>(d.target) << 1 |
+                                        static_cast<std::uint64_t>(d.forced)));
+      }
+    }
+  }
+  return h;
+}
+
+std::uint64_t hash_dynamic_options(const runtime::DynamicDetectorOptions& o) {
+  std::uint64_t h = hash_run_options(o.run);
   for (std::uint64_t seed : o.schedule_seeds) h = hash_combine(h, seed);
   return h;
+}
+
+std::uint64_t hash_explore_options(const explore::ExploreOptions& o) {
+  std::uint64_t h = hash_run_options(o.run);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.strategy));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.pct_depth));
+  h = hash_combine(h, o.pct_expected_steps);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.max_schedules));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.plateau_window));
+  h = hash_combine(h, o.seed);
+  h = hash_combine(h, static_cast<std::uint64_t>(o.minimize));
+  return hash_combine(h, static_cast<std::uint64_t>(o.max_minimize_replays));
 }
 
 std::uint64_t hash_repair_options(const repair::RepairOptions& o) {
   std::uint64_t h = hash_combine(static_cast<std::uint64_t>(o.strategy),
                                  static_cast<std::uint64_t>(o.max_candidates));
   h = hash_combine(h, hash_static_options(o.static_opts));
-  return hash_combine(h, hash_dynamic_options(o.dynamic_opts));
+  h = hash_combine(h, hash_dynamic_options(o.dynamic_opts));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.explore_schedules));
+  return hash_combine(h, static_cast<std::uint64_t>(o.explore_pct_depth));
 }
 
 }  // namespace
@@ -121,6 +156,22 @@ const analysis::RaceReport& ArtifactCache::dynamic_report(
   });
 }
 
+const explore::ExploreResult& ArtifactCache::explore_result(
+    const std::string& code, const explore::ExploreOptions& opts) {
+  static obs::Counter& probes =
+      obs::metrics().counter(obs::kCacheExploreProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheExploreCompute);
+  probes.add();
+  const std::uint64_t key =
+      hash_combine(fnv1a64(code), hash_explore_options(opts));
+  return explore_results_.get_or_compute(key, [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactExplore);
+    return explore::explore_source(code, opts);
+  });
+}
+
 const repair::RepairResult& ArtifactCache::repair_result(
     const std::string& code, const repair::RepairOptions& opts) {
   static obs::Counter& probes = obs::metrics().counter(obs::kCacheRepairProbe);
@@ -173,7 +224,8 @@ const std::string& ArtifactCache::lint_text(const std::string& code) {
 std::size_t ArtifactCache::size() const {
   return tokens_.size() + asts_.size() + depgraphs_.size() +
          static_reports_.size() + dynamic_reports_.size() +
-         lint_reports_.size() + repair_results_.size() + lint_texts_.size();
+         explore_results_.size() + lint_reports_.size() +
+         repair_results_.size() + lint_texts_.size();
 }
 
 void ArtifactCache::clear() {
@@ -182,6 +234,7 @@ void ArtifactCache::clear() {
   depgraphs_.clear();
   static_reports_.clear();
   dynamic_reports_.clear();
+  explore_results_.clear();
   lint_reports_.clear();
   repair_results_.clear();
   lint_texts_.clear();

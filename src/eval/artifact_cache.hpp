@@ -22,6 +22,7 @@
 
 #include "analysis/race.hpp"
 #include "analysis/report.hpp"
+#include "explore/explore.hpp"
 #include "lint/lint.hpp"
 #include "llm/features.hpp"
 #include "repair/repair.hpp"
@@ -57,6 +58,14 @@ class ArtifactCache {
   /// DynamicRaceDetector::analyze_source); failures are not cached.
   const analysis::RaceReport& dynamic_report(
       const std::string& code, const runtime::DynamicDetectorOptions& opts);
+
+  /// Schedule-exploration outcome for `code` under `opts` (budgeted
+  /// uniform/PCT schedule loop, coverage plateau cut, minimized witness).
+  /// The key covers every ExploreOptions field, including the embedded
+  /// RunOptions (and any replay trace it points at). Throws Error on
+  /// unparseable input; failures are not cached.
+  const explore::ExploreResult& explore_result(
+      const std::string& code, const explore::ExploreOptions& opts);
 
   /// Linter report for `code` under the default LintOptions (all checks,
   /// default detector knobs). Throws Error on unparseable input; failures
@@ -102,6 +111,7 @@ class ArtifactCache {
   support::OnceMap<std::string> depgraphs_;
   support::OnceMap<analysis::RaceReport> static_reports_;
   support::OnceMap<analysis::RaceReport> dynamic_reports_;
+  support::OnceMap<explore::ExploreResult> explore_results_;
   support::OnceMap<lint::LintReport> lint_reports_;
   support::OnceMap<repair::RepairResult> repair_results_;
   support::OnceMap<std::string> lint_texts_;

@@ -446,4 +446,79 @@ std::vector<RepairRow> table7_rows(const repair::RepairOptions& ropts,
   return rows;
 }
 
+double ExplorationRow::races_per_schedule() const noexcept {
+  return schedules == 0 ? 0.0
+                        : static_cast<double>(detected) /
+                              static_cast<double>(schedules);
+}
+
+double ExplorationRow::avg_schedules_to_first_race() const noexcept {
+  return detected == 0 ? 0.0
+                       : static_cast<double>(first_race_schedules_) / detected;
+}
+
+std::vector<ExplorationRow> exploration_rows(
+    const explore::ExploreOptions& base, const ExperimentOptions& opts) {
+  obs::Span span(obs::kSpanExpRun, "exploration");
+  std::vector<const drb::CorpusEntry*> racy;
+  for (const drb::CorpusEntry& e : drb::corpus()) {
+    if (e.race) racy.push_back(&e);
+  }
+
+  ArtifactCache& cache = artifact_cache();
+  const explore::Strategy strategies[] = {explore::Strategy::Uniform,
+                                          explore::Strategy::Pct};
+  std::vector<ExplorationRow> rows;
+  // detected[s][i]: strategy s found entry i's race within budget.
+  std::vector<std::vector<bool>> detected;
+  for (explore::Strategy strategy : strategies) {
+    explore::ExploreOptions eopts = base;
+    eopts.strategy = strategy;
+    const std::vector<const explore::ExploreResult*> results =
+        support::parallel_map(
+            opts.jobs, racy,
+            [&](const drb::CorpusEntry* e) -> const explore::ExploreResult* {
+              try {
+                return &cache.explore_result(drb::drb_code(*e), eopts);
+              } catch (const Error&) {
+                return nullptr;  // unparseable/non-executable entry
+              }
+            });
+
+    ExplorationRow row;
+    row.strategy = explore::strategy_name(strategy);
+    std::vector<bool> found(racy.size(), false);
+    for (std::size_t i = 0; i < racy.size(); ++i) {
+      ++row.entries;
+      const explore::ExploreResult* r = results[i];
+      if (r == nullptr) {
+        ++row.errors;
+        continue;
+      }
+      row.schedules += static_cast<std::uint64_t>(r->schedules_run);
+      if (r->stopped_on_plateau) ++row.plateau_stops;
+      if (r->race_detected) {
+        found[i] = true;
+        ++row.detected;
+        row.first_race_schedules_ +=
+            static_cast<std::uint64_t>(r->first_race_schedule) + 1;
+        row.original_decisions += r->original_decisions;
+        row.witness_decisions += r->witness_decisions;
+        if (!r->witness.empty()) ++row.witnesses;
+      }
+    }
+    detected.push_back(std::move(found));
+    rows.push_back(std::move(row));
+  }
+
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const std::vector<bool>& mine = detected[s];
+    const std::vector<bool>& other = detected[1 - s];
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (mine[i] && !other[i]) ++rows[s].only_here;
+    }
+  }
+  return rows;
+}
+
 }  // namespace drbml::eval

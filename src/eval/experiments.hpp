@@ -19,6 +19,7 @@
 
 #include "dataset/drbml.hpp"
 #include "eval/metrics.hpp"
+#include "explore/explore.hpp"
 #include "eval/parse.hpp"
 #include "llm/model.hpp"
 #include "prompts/prompts.hpp"
@@ -176,6 +177,41 @@ struct RepairRow {
 /// input order, so rows are bit-identical at any job count.
 [[nodiscard]] std::vector<RepairRow> table7_rows(
     const repair::RepairOptions& ropts = {},
+    const ExperimentOptions& opts = {});
+
+// ------------------------------------------------------------ exploration
+
+/// One exploration-strategy row: the budgeted schedule-exploration loop
+/// (explore::explore_source) over every race-labeled DRB corpus entry.
+struct ExplorationRow {
+  std::string strategy;          // "uniform" | "pct"
+  int entries = 0;               // race-labeled corpus entries explored
+  int detected = 0;              // entries whose race was found in budget
+  int only_here = 0;             // detected by this strategy, missed by the other
+  int plateau_stops = 0;         // entries cut early by the coverage plateau
+  int witnesses = 0;             // minimized witnesses shipped (== detected)
+  int errors = 0;                // parse/analysis failures
+  std::uint64_t schedules = 0;   // schedules actually run across entries
+  std::uint64_t original_decisions = 0;  // decision count before minimization
+  std::uint64_t witness_decisions = 0;   // ... and after
+
+  /// Races found per schedule of budget actually spent.
+  [[nodiscard]] double races_per_schedule() const noexcept;
+  /// Mean schedules until the first racy one, over detected entries.
+  [[nodiscard]] double avg_schedules_to_first_race() const noexcept;
+
+ private:
+  friend std::vector<ExplorationRow> exploration_rows(
+      const explore::ExploreOptions&, const ExperimentOptions&);
+  std::uint64_t first_race_schedules_ = 0;  // sum over detected entries
+};
+
+/// Exploration comparison (uniform vs PCT at the same schedule budget,
+/// same per-entry seeds) over the race-labeled corpus. Per-entry results
+/// are memoized in the ArtifactCache; the fold runs in input order, so
+/// rows are bit-identical at any job count.
+[[nodiscard]] std::vector<ExplorationRow> exploration_rows(
+    const explore::ExploreOptions& base = {},
     const ExperimentOptions& opts = {});
 
 }  // namespace drbml::eval

@@ -21,6 +21,9 @@ const SpanDesc kSpanStageLint{
 const SpanDesc kSpanStageRepair{
     "stage.repair", "stage",
     "Verified race repair over the racy subset of the corpus."};
+const SpanDesc kSpanStageExplore{
+    "stage.explore", "stage",
+    "PCT schedule exploration over the racy subset of the corpus."};
 
 const SpanDesc kSpanArtifactTokens{
     "artifact.tokens", "artifact",
@@ -45,6 +48,9 @@ const SpanDesc kSpanArtifactRepair{
 const SpanDesc kSpanArtifactLintText{
     "artifact.lint_text", "artifact",
     "Cache-miss compute of a rendered lint-findings text (prompt modality)."};
+const SpanDesc kSpanArtifactExplore{
+    "artifact.explore", "artifact",
+    "Cache-miss compute of a schedule-exploration result."};
 
 const SpanDesc kSpanDetectBatch{
     "detect.batch", "core",
@@ -63,6 +69,17 @@ const SpanDesc kSpanRepairEntry{
 const SpanDesc kSpanRepairVerify{
     "repair.verify", "repair",
     "One candidate through the three verification gates."};
+
+const SpanDesc kSpanExploreEntry{
+    "explore.entry", "explore",
+    "explore_source: the full schedule-exploration loop for one source "
+    "(detail: strategy)."};
+const SpanDesc kSpanExploreSchedule{
+    "explore.schedule", "explore",
+    "One explored schedule (detail: schedule index)."};
+const SpanDesc kSpanExploreMinimize{
+    "explore.minimize", "explore",
+    "Delta-debugging a racy schedule trace to a minimal witness."};
 
 const SpanDesc kSpanExpRun{
     "exp.run", "eval",
@@ -123,6 +140,12 @@ const MetricDesc kCacheLintTextProbe{
 const MetricDesc kCacheLintTextCompute{
     "cache.lint_text.compute", MetricKind::Counter, "count", kStable,
     "Lint-findings texts computed on a cache miss."};
+const MetricDesc kCacheExploreProbe{
+    "cache.explore.probe", MetricKind::Counter, "count", kStable,
+    "Exploration-result cache lookups (keyed by source + options hash)."};
+const MetricDesc kCacheExploreCompute{
+    "cache.explore.compute", MetricKind::Counter, "count", kStable,
+    "Exploration results computed on a cache miss."};
 
 const MetricDesc kCacheCorrupt{
     "cache.corrupt", MetricKind::Counter, "count", kStable,
@@ -189,6 +212,10 @@ const MetricDesc kRepairRejectedOutput{
 const MetricDesc kRepairRejectedError{
     "repair.rejected.error", MetricKind::Counter, "count", kStable,
     "Candidates rejected because patch application or re-parsing failed."};
+const MetricDesc kRepairRejectedExplore{
+    "repair.rejected.explore", MetricKind::Counter, "count", kStable,
+    "Candidates rejected at gate 4: PCT schedule exploration found a race "
+    "the fixed-seed dynamic gate missed."};
 
 const MetricDesc kInterpReplays{
     "interp.replays", MetricKind::Counter, "count", kStable,
@@ -210,6 +237,31 @@ const MetricDesc kDetectEntries{
     "detect.entries", MetricKind::Counter, "count", kStable,
     "Sources analyzed through RaceDetector::analyze_batch."};
 
+const MetricDesc kExploreSchedules{
+    "explore.schedules", MetricKind::Counter, "count", kStable,
+    "Schedules executed by the exploration engine."};
+const MetricDesc kExploreRaces{
+    "explore.races", MetricKind::Counter, "count", kStable,
+    "Explored schedules on which a race was detected."};
+const MetricDesc kExploreCoverageNew{
+    "explore.coverage.new", MetricKind::Counter, "count", kStable,
+    "New interleaving-coverage points discovered (divide by "
+    "explore.schedules for new-coverage-per-schedule)."};
+const MetricDesc kExplorePlateauStops{
+    "explore.plateau_stops", MetricKind::Counter, "count", kStable,
+    "Exploration loops cut short by the coverage-plateau budget."};
+const MetricDesc kExploreMinimizeReplays{
+    "explore.minimize.replays", MetricKind::Counter, "count", kStable,
+    "Replays spent delta-debugging witnesses."};
+const MetricDesc kExploreWitnesses{
+    "explore.witnesses", MetricKind::Counter, "count", kStable,
+    "Minimized race witnesses produced."};
+const MetricDesc kExploreSchedulesToFirstRace{
+    "explore.schedules_to_first_race", MetricKind::Histogram, "schedules",
+    kStable,
+    "Distribution of schedules run before the first race (time-to-first-"
+    "race in schedule budget)."};
+
 const MetricDesc kStageDatasetTime{
     "stage.dataset.time", MetricKind::Timer, "ns", kUnstable,
     "Wall/cpu time in the dataset-construction stage."};
@@ -228,6 +280,9 @@ const MetricDesc kStageLintTime{
 const MetricDesc kStageRepairTime{
     "stage.repair.time", MetricKind::Timer, "ns", kUnstable,
     "Wall/cpu time in the repair stage."};
+const MetricDesc kStageExploreTime{
+    "stage.explore.time", MetricKind::Timer, "ns", kUnstable,
+    "Wall/cpu time in the schedule-exploration stage."};
 
 // ------------------------------------------------------------- catalogs
 
@@ -241,6 +296,7 @@ const std::vector<const MetricDesc*>& metric_catalog() {
       &kCacheLintProbe,      &kCacheLintCompute,
       &kCacheRepairProbe,    &kCacheRepairCompute,
       &kCacheLintTextProbe,  &kCacheLintTextCompute,
+      &kCacheExploreProbe,   &kCacheExploreCompute,
       &kCacheCorrupt,        &kCacheSnapshotLoaded,
       &kCacheSnapshotSaved,
       &kLintRuns,            &kLintSuppressed,
@@ -251,14 +307,19 @@ const std::vector<const MetricDesc*>& metric_catalog() {
       &kRepairNoCandidate,   &kRepairRejectedStatic,
       &kRepairRejectedFault, &kRepairRejectedDynamic,
       &kRepairRejectedNondet, &kRepairRejectedOutput,
-      &kRepairRejectedError,
+      &kRepairRejectedError,  &kRepairRejectedExplore,
       &kInterpReplays,       &kInterpFaults,
       &kInterpRaces,         &kSchedSteps,
       &kSchedStepsPerReplay,
       &kDetectEntries,
+      &kExploreSchedules,    &kExploreRaces,
+      &kExploreCoverageNew,  &kExplorePlateauStops,
+      &kExploreMinimizeReplays, &kExploreWitnesses,
+      &kExploreSchedulesToFirstRace,
       &kStageDatasetTime,    &kStageTokensTime,
       &kStageStaticTime,     &kStageDynamicTime,
       &kStageLintTime,       &kStageRepairTime,
+      &kStageExploreTime,
   };
   return all;
 }
@@ -267,12 +328,15 @@ const std::vector<const SpanDesc*>& span_catalog() {
   static const std::vector<const SpanDesc*> all = {
       &kSpanStageDataset,    &kSpanStageTokens,   &kSpanStageStatic,
       &kSpanStageDynamic,    &kSpanStageLint,     &kSpanStageRepair,
+      &kSpanStageExplore,
       &kSpanArtifactTokens,  &kSpanArtifactAst,   &kSpanArtifactDepgraph,
       &kSpanArtifactStatic,  &kSpanArtifactDynamic, &kSpanArtifactLint,
-      &kSpanArtifactRepair,  &kSpanArtifactLintText,
+      &kSpanArtifactRepair,  &kSpanArtifactLintText, &kSpanArtifactExplore,
       &kSpanDetectBatch,     &kSpanDetectEntry,
       &kSpanInterpReplay,    &kSpanLintRun,
       &kSpanRepairEntry,     &kSpanRepairVerify,
+      &kSpanExploreEntry,    &kSpanExploreSchedule,
+      &kSpanExploreMinimize,
       &kSpanExpRun,
   };
   return all;

@@ -25,6 +25,7 @@ extern const SpanDesc kSpanStageStatic;
 extern const SpanDesc kSpanStageDynamic;
 extern const SpanDesc kSpanStageLint;
 extern const SpanDesc kSpanStageRepair;
+extern const SpanDesc kSpanStageExplore;
 
 // Artifact-cache compute scopes (run inside OnceMap, exactly once per key).
 extern const SpanDesc kSpanArtifactTokens;
@@ -35,6 +36,7 @@ extern const SpanDesc kSpanArtifactDynamic;
 extern const SpanDesc kSpanArtifactLint;
 extern const SpanDesc kSpanArtifactRepair;
 extern const SpanDesc kSpanArtifactLintText;
+extern const SpanDesc kSpanArtifactExplore;
 
 // Detector / runtime / lint / repair scopes.
 extern const SpanDesc kSpanDetectBatch;
@@ -43,6 +45,11 @@ extern const SpanDesc kSpanInterpReplay;
 extern const SpanDesc kSpanLintRun;
 extern const SpanDesc kSpanRepairEntry;
 extern const SpanDesc kSpanRepairVerify;
+
+// Schedule-exploration engine.
+extern const SpanDesc kSpanExploreEntry;
+extern const SpanDesc kSpanExploreSchedule;
+extern const SpanDesc kSpanExploreMinimize;
 
 // Experiment runners (detail carries the table name).
 extern const SpanDesc kSpanExpRun;
@@ -65,6 +72,7 @@ extern const MetricDesc kCacheDynamicProbe, kCacheDynamicCompute;
 extern const MetricDesc kCacheLintProbe, kCacheLintCompute;
 extern const MetricDesc kCacheRepairProbe, kCacheRepairCompute;
 extern const MetricDesc kCacheLintTextProbe, kCacheLintTextCompute;
+extern const MetricDesc kCacheExploreProbe, kCacheExploreCompute;
 
 // Snapshot persistence (satellite fix: corrupt files are counted, not
 // silently swallowed).
@@ -92,6 +100,7 @@ extern const MetricDesc kRepairRejectedDynamic;
 extern const MetricDesc kRepairRejectedNondet;
 extern const MetricDesc kRepairRejectedOutput;
 extern const MetricDesc kRepairRejectedError;
+extern const MetricDesc kRepairRejectedExplore;
 
 // Runtime (interpreter + scheduler).
 extern const MetricDesc kInterpReplays;
@@ -103,6 +112,16 @@ extern const MetricDesc kSchedStepsPerReplay;  // histogram
 // Detector facade.
 extern const MetricDesc kDetectEntries;
 
+// Schedule-exploration engine (drbml stats: schedules run, coverage
+// gained per schedule, schedules to first race).
+extern const MetricDesc kExploreSchedules;
+extern const MetricDesc kExploreRaces;
+extern const MetricDesc kExploreCoverageNew;
+extern const MetricDesc kExplorePlateauStops;
+extern const MetricDesc kExploreMinimizeReplays;
+extern const MetricDesc kExploreWitnesses;
+extern const MetricDesc kExploreSchedulesToFirstRace;  // histogram
+
 // Per-stage wall/cpu timers (always unstable; fed by stage spans).
 extern const MetricDesc kStageDatasetTime;
 extern const MetricDesc kStageTokensTime;
@@ -110,6 +129,7 @@ extern const MetricDesc kStageStaticTime;
 extern const MetricDesc kStageDynamicTime;
 extern const MetricDesc kStageLintTime;
 extern const MetricDesc kStageRepairTime;
+extern const MetricDesc kStageExploreTime;
 
 // ------------------------------------------------------------- catalogs
 

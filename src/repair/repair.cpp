@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "dataset/drbml.hpp"
+#include "explore/explore.hpp"
 #include "lint/lint.hpp"
 #include "minic/parser.hpp"
 #include "obs/catalog.hpp"
@@ -135,6 +136,34 @@ VerifyOutcome verify_candidate_impl(const std::string& original,
     return out;
   }
 
+  // Gate 4: the fix must also survive randomized PCT schedule
+  // exploration. Gate 2 replays a fixed handful of uniform seeds; PCT's
+  // priority schedules reach order-dependent interleavings (e.g. races
+  // hidden behind a lock-acquisition window) those replays never hit.
+  if (opts.explore_schedules > 0) {
+    try {
+      explore::ExploreOptions eopts;
+      eopts.run = opts.dynamic_opts.run;
+      eopts.strategy = explore::Strategy::Pct;
+      eopts.pct_depth = opts.explore_pct_depth;
+      eopts.max_schedules = opts.explore_schedules;
+      eopts.minimize = false;
+      const explore::ExploreResult er =
+          explore::explore_source(patched, eopts);
+      if (er.race_detected) {
+        out.gate = RejectGate::Explore;
+        out.reason = "PCT exploration still finds a race (schedule " +
+                     std::to_string(er.first_race_schedule + 1) + " of " +
+                     std::to_string(opts.explore_schedules) + ")";
+        return out;
+      }
+    } catch (const Error& e) {
+      out.gate = RejectGate::Explore;
+      out.reason = std::string("schedule exploration failed: ") + e.what();
+      return out;
+    }
+  }
+
   out.accepted = true;
   out.equivalence_checked = have_ref;
   return out;
@@ -148,11 +177,14 @@ obs::Counter& reject_counter(RejectGate gate) {
       obs::metrics().counter(obs::kRepairRejectedNondet);
   static obs::Counter& output =
       obs::metrics().counter(obs::kRepairRejectedOutput);
+  static obs::Counter& explored =
+      obs::metrics().counter(obs::kRepairRejectedExplore);
   switch (gate) {
     case RejectGate::Fault: return fault;
     case RejectGate::Dynamic: return dyn;
     case RejectGate::Nondet: return nondet;
     case RejectGate::Output: return output;
+    case RejectGate::Explore: return explored;
     case RejectGate::Static:
     case RejectGate::None: break;
   }

@@ -31,6 +31,12 @@ struct RepairOptions {
   runtime::DynamicDetectorOptions dynamic_opts;
   /// Cap on candidates tried per program.
   int max_candidates = 16;
+  /// Gate 4 budget: an accepted fix must also survive this many PCT
+  /// exploration schedules (randomized priorities probe interleavings
+  /// the fixed-seed gate-2 replays never reach). 0 disables the gate.
+  int explore_schedules = 6;
+  /// PCT bug depth for gate 4.
+  int explore_pct_depth = 3;
 };
 
 enum class RepairStatus {
@@ -76,6 +82,7 @@ enum class RejectGate {
   Dynamic,   // gate 2: dynamic race persists, or dynamic verification failed
   Nondet,    // gate 2: output differs across parallel schedules
   Output,    // gate 3: serial output diverges from the original
+  Explore,   // gate 4: PCT schedule exploration still finds a race
 };
 
 /// Verdict of the verification gates for one already-applied candidate.

@@ -7,11 +7,13 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "minic/printer.hpp"
 #include "runtime/memory.hpp"
 #include "runtime/sched.hpp"
+#include "runtime/strategy.hpp"
 #include "runtime/vc.hpp"
 #include "support/hash.hpp"
 
@@ -333,6 +335,10 @@ class Interp {
     result.report.race_detected = !result.report.pairs.empty();
     result.output = std::move(output_);
     result.steps = steps_total_;
+    // Assembled on the fault path too: a step-budget abort must still
+    // surface the decision prefix and the coverage observed so far.
+    result.trace = std::move(trace_);
+    result.coverage.assign(coverage_.begin(), coverage_.end());
     return result;
   }
 
@@ -434,6 +440,27 @@ class Interp {
     ++steps_total_;
   }
 
+  /// Interleaving-coverage signature: for every shared access we hash its
+  /// source site; when consecutive shared accesses come from different
+  /// logical threads we record both the ordered site pair (which
+  /// cross-thread orderings ran) and the switched-to site (where a
+  /// context switch was observed to land). The exploration engine unions
+  /// these sets across schedules to measure how much new interleaving
+  /// behaviour each schedule bought.
+  void note_coverage(const ThreadCtx& ctx, SourceLoc loc, bool write) {
+    if (!opts_.collect_coverage || ctx.team == nullptr) return;
+    const std::uint64_t site = hash_combine(
+        mix64((static_cast<std::uint64_t>(loc.line) << 24) ^
+              static_cast<std::uint64_t>(loc.col)),
+        write ? 2u : 1u);
+    if (cov_last_tid_ >= 0 && cov_last_tid_ != ctx.tid) {
+      coverage_.insert(hash_combine(cov_last_site_, site));
+      coverage_.insert(mix64(site ^ 0x70726565'6d707440ULL));
+    }
+    cov_last_tid_ = ctx.tid;
+    cov_last_site_ = site;
+  }
+
   void report_race(const AccessStamp& prev, char prev_op,
                    const std::string& cur_text, SourceLoc cur_loc,
                    char cur_op, const MemObject& obj) {
@@ -495,6 +522,7 @@ class Interp {
     mem_.check_bounds(ref);
     MemObject& obj = mem_.object(ref.object);
     if (obj.thread_local_object) return;
+    note_coverage(ctx, loc, /*write=*/false);
     ShadowCell& cell = obj.shadow[static_cast<std::size_t>(ref.offset)];
     if (!cell.write.before(ctx.vc) && cell.last_write.tid != ctx.tid) {
       report_race(cell.last_write, 'w', text, loc, 'r', obj);
@@ -513,6 +541,7 @@ class Interp {
     mem_.check_bounds(ref);
     MemObject& obj = mem_.object(ref.object);
     if (obj.thread_local_object) return;
+    note_coverage(ctx, loc, /*write=*/true);
     ShadowCell& cell = obj.shadow[static_cast<std::size_t>(ref.offset)];
     if (!cell.write.before(ctx.vc) && cell.last_write.tid != ctx.tid) {
       report_race(cell.last_write, 'w', text, loc, 'w', obj);
@@ -1067,6 +1096,10 @@ class Interp {
   std::uint64_t steps_total_ = 0;
   std::uint64_t serial_steps_ = 0;
   int region_counter_ = 0;
+  ScheduleTrace trace_;
+  std::set<std::uint64_t> coverage_;
+  int cov_last_tid_ = -1;
+  std::uint64_t cov_last_site_ = 0;
   std::map<const void*, ObjRef> string_cache_;
   std::map<std::pair<const VarDecl*, int>, ObjRef> threadprivate_;
   std::map<std::pair<int, std::int64_t>, LockState> global_locks_;

@@ -21,24 +21,46 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "analysis/resolve.hpp"
 #include "minic/ast.hpp"
+#include "runtime/sched.hpp"
 
 namespace drbml::runtime {
+
+/// How parallel regions are scheduled. Uniform is the legacy seeded
+/// random walk (preempt every N shared accesses, uniform random target).
+/// Pct runs the PCT priority-based strategy (see runtime/strategy.hpp).
+/// Replay re-executes a recorded ScheduleTrace bit-identically.
+enum class ScheduleStrategy { Uniform, Pct, Replay };
 
 struct RunOptions {
   int num_threads = 4;
   std::uint64_t seed = 1;
-  /// Pass the token to a random runnable worker after this many shared
-  /// accesses.
+  /// Uniform strategy: pass the token to a random runnable worker after
+  /// this many shared accesses.
   int preempt_every = 7;
   /// Abort (as livelock) after this many scheduler steps.
   std::uint64_t step_limit = 2'000'000;
   std::size_t max_output = 64 * 1024;
   /// Cap on distinct reported race pairs.
   int max_pairs = 16;
+  ScheduleStrategy strategy = ScheduleStrategy::Uniform;
+  /// PCT bug depth d: d-1 priority change points per region.
+  int pct_depth = 3;
+  /// PCT estimate k of a region's step count (change points are sampled
+  /// uniformly from [1, k]).
+  std::uint64_t pct_expected_steps = 4096;
+  /// Replay strategy: the recorded trace. Not owned; must outlive the
+  /// run. Missing/short regions fall back to the deterministic
+  /// lowest-index schedule.
+  const ScheduleTrace* replay = nullptr;
+  /// Record every scheduling decision into RunResult::trace.
+  bool capture_trace = false;
+  /// Collect the interleaving-coverage signature into RunResult::coverage.
+  bool collect_coverage = false;
 };
 
 struct RunResult {
@@ -48,6 +70,14 @@ struct RunResult {
   bool faulted = false;        // RuntimeFault (OOB, deadlock, livelock, ...)
   std::string fault_message;
   std::uint64_t steps = 0;
+  /// Recorded scheduling decisions, one vector per parallel region in
+  /// dynamic region order (when opts.capture_trace). Populated even when
+  /// the run faulted: the decision prefix up to a step-budget or deadlock
+  /// abort is surfaced so aborted schedules stay replayable.
+  ScheduleTrace trace;
+  /// Sorted interleaving-coverage hashes -- observed preemption points and
+  /// ordered cross-thread access pairs (when opts.collect_coverage).
+  std::vector<std::uint64_t> coverage;
 };
 
 /// Executes `main()` of a resolved program. The unit must have been passed

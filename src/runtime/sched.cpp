@@ -38,6 +38,39 @@ int CoopScheduler::pick_runnable(int exclude) {
   return ready[rng_.below(ready.size())];
 }
 
+std::vector<int> CoopScheduler::ready_peers(int exclude) const {
+  std::vector<int> ready;
+  for (int i = 0; i < static_cast<int>(states_.size()); ++i) {
+    if (states_[static_cast<std::size_t>(i)] == State::Ready && i != exclude) {
+      ready.push_back(i);
+    }
+  }
+  if (decider_ != nullptr && decider_->filter_spinners()) {
+    std::vector<int> awake;
+    for (int i : ready) {
+      if (!spinning_[static_cast<std::size_t>(i)]) awake.push_back(i);
+    }
+    if (!awake.empty()) return awake;
+  }
+  return ready;
+}
+
+int CoopScheduler::decide_next(int exclude, bool forced) {
+  std::vector<int> ready = ready_peers(exclude);
+  if (ready.empty()) {
+    if (exclude >= 0 &&
+        states_[static_cast<std::size_t>(exclude)] == State::Ready) {
+      return exclude;
+    }
+    return -1;
+  }
+  return decider_->pick(ready, exclude, steps_, forced);
+}
+
+void CoopScheduler::record(bool forced, int target) {
+  if (recording_) trace_.push_back({forced, steps_, target});
+}
+
 void CoopScheduler::maybe_release_barrier() {
   int waiting = 0;
   for (State s : states_) {
@@ -51,8 +84,10 @@ void CoopScheduler::maybe_release_barrier() {
   }
 }
 
-void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me) {
-  const int next = pick_runnable(me);
+void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me,
+                                bool forced) {
+  const int next = decider_ != nullptr ? decide_next(me, forced)
+                                       : pick_runnable(me);
   if (next == -1) {
     // No other runnable worker. If everyone else is done or at a barrier
     // that cannot release, this is a deadlock.
@@ -68,6 +103,7 @@ void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me) {
     cv_.notify_all();
     throw TeamAborted{};
   }
+  if (next != me) record(forced, next);
   current_ = next;
   cv_.notify_all();
   if (me < 0) return;
@@ -97,14 +133,23 @@ void CoopScheduler::yield_point() {
     throw TeamAborted{};
   }
   ++yields_;
-  if (yields_ % static_cast<std::uint64_t>(preempt_every_) != 0) return;
-  switch_from(lock, t_worker_index);
+  if (decider_ != nullptr) {
+    // Policy-routed preemption: the decider sees the current step and the
+    // runnable peers and decides whether to take the token away.
+    if (!decider_->should_preempt(steps_, t_worker_index,
+                                  ready_peers(t_worker_index))) {
+      return;
+    }
+  } else if (yields_ % static_cast<std::uint64_t>(preempt_every_) != 0) {
+    return;
+  }
+  switch_from(lock, t_worker_index, /*forced=*/false);
 }
 
 void CoopScheduler::yield_now() {
   std::unique_lock<std::mutex> lock(mu_);
   if (aborting_) throw TeamAborted{};
-  switch_from(lock, t_worker_index);
+  switch_from(lock, t_worker_index, /*forced=*/true);
 }
 
 void CoopScheduler::barrier_wait() {
@@ -120,7 +165,7 @@ void CoopScheduler::barrier_wait() {
     cv_.notify_all();
     return;
   }
-  switch_from(lock, me);
+  switch_from(lock, me, /*forced=*/true);
   // Rescheduled: barrier must have released (or abort).
   if (aborting_) throw TeamAborted{};
 }
@@ -128,6 +173,10 @@ void CoopScheduler::barrier_wait() {
 void CoopScheduler::block_until(const std::function<bool()>& ready) {
   bool counted = false;
   auto leave_wait = [&](std::unique_lock<std::mutex>&) {
+    if (t_worker_index >= 0 &&
+        t_worker_index < static_cast<int>(spinning_.size())) {
+      spinning_[static_cast<std::size_t>(t_worker_index)] = 0;
+    }
     if (counted) {
       --waiting_;
       counted = false;
@@ -169,6 +218,7 @@ void CoopScheduler::block_until(const std::function<bool()>& ready) {
       ++waiting_;
       counted = true;
     }
+    spinning_[static_cast<std::size_t>(t_worker_index)] = 1;
     // If every live worker is blocked (waiting here or stuck at a barrier
     // that cannot release), no predicate can ever change: deadlock.
     int at_barrier = 0;
@@ -204,7 +254,7 @@ void CoopScheduler::block_until(const std::function<bool()>& ready) {
     } else {
       spin_rounds_ = 0;
     }
-    switch_from(lock, t_worker_index);
+    switch_from(lock, t_worker_index, /*forced=*/true);
   }
 }
 
@@ -217,6 +267,9 @@ void CoopScheduler::run_team(std::vector<std::function<void()>> workers) {
   barrier_generation_ = 0;
   waiting_ = 0;
   spin_rounds_ = 0;
+  spinning_.assign(static_cast<std::size_t>(n), 0);
+  trace_.clear();
+  if (decider_ != nullptr && n > 0) decider_->begin(n);
 
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
@@ -244,7 +297,9 @@ void CoopScheduler::run_team(std::vector<std::function<void()>> workers) {
         --live_;
         maybe_release_barrier();
         if (!aborting_) {
-          const int next = pick_runnable(i);
+          const int next = decider_ != nullptr ? decide_next(i, true)
+                                               : pick_runnable(i);
+          if (next >= 0) record(/*forced=*/true, next);
           current_ = next;  // -1 when everyone is done
         }
         cv_.notify_all();
@@ -256,7 +311,15 @@ void CoopScheduler::run_team(std::vector<std::function<void()>> workers) {
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    current_ = n > 0 ? 0 : -1;
+    int first = n > 0 ? 0 : -1;
+    if (decider_ != nullptr && n > 0) {
+      std::vector<int> all(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+      first = decider_->pick(all, /*current=*/-1, /*step=*/0,
+                             /*forced=*/true);
+    }
+    if (first >= 0) record(/*forced=*/true, first);
+    current_ = first;
     cv_.notify_all();
   }
   for (auto& t : threads) t.join();

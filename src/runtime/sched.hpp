@@ -5,6 +5,13 @@
 // scheduling decisions drawn from a seeded RNG. This gives genuinely
 // interleaved executions (including preemption inside critical sections
 // and busy-wait loops) while staying bit-for-bit reproducible.
+//
+// Scheduling policy is pluggable: with no SchedDecider installed the
+// scheduler runs the legacy uniform random walk (preempt every N yields,
+// pick a uniformly random runnable worker). A decider replaces both the
+// preemption predicate and the pick, which is how the exploration engine
+// (src/explore) implements PCT priority schedules and bit-exact replay of
+// recorded decision traces.
 #pragma once
 
 #include <condition_variable>
@@ -22,6 +29,71 @@ namespace drbml::runtime {
 /// worker faulted.
 struct TeamAborted {};
 
+/// One recorded scheduling decision: at global step `step` the token moved
+/// to worker `target`. `forced` distinguishes decisions the program forced
+/// (blocking waits, barriers, worker completion, the initial token grant)
+/// from voluntary preemptions at yield points. Replay needs the
+/// distinction: forced switch points recur at the same steps on their own,
+/// while voluntary preemptions only happen where the trace says so.
+struct ScheduleDecision {
+  bool forced = false;
+  std::uint64_t step = 0;
+  int target = 0;
+
+  friend bool operator==(const ScheduleDecision& a,
+                         const ScheduleDecision& b) {
+    return a.forced == b.forced && a.step == b.step && a.target == b.target;
+  }
+};
+
+/// Decisions of one parallel region, in the order they were taken.
+using RegionTrace = std::vector<ScheduleDecision>;
+
+/// Decisions of a whole run, one vector per parallel region in dynamic
+/// region order (nested regions serialize, so the order is deterministic).
+struct ScheduleTrace {
+  std::vector<RegionTrace> regions;
+
+  [[nodiscard]] std::size_t total_decisions() const {
+    std::size_t n = 0;
+    for (const auto& r : regions) n += r.size();
+    return n;
+  }
+
+  friend bool operator==(const ScheduleTrace& a, const ScheduleTrace& b) {
+    return a.regions == b.regions;
+  }
+};
+
+/// Pluggable scheduling policy. All hooks run with the scheduler mutex
+/// held and only ever from the single worker that owns the token, so
+/// implementations need no synchronization of their own.
+class SchedDecider {
+ public:
+  virtual ~SchedDecider() = default;
+
+  /// Called once per team before the first worker runs.
+  virtual void begin(int workers) = 0;
+
+  /// Voluntary-preemption query at a yield point. `ready_peers` lists the
+  /// other runnable workers (spin-filtered when filter_spinners() is on);
+  /// it may be empty, in which case returning true is pointless but legal.
+  virtual bool should_preempt(std::uint64_t step, int current,
+                              const std::vector<int>& ready_peers) = 0;
+
+  /// Picks the next worker from `ready` (never empty, ascending indices).
+  /// `current` is the worker giving up the token (-1 for the initial
+  /// grant); `forced` mirrors ScheduleDecision::forced.
+  virtual int pick(const std::vector<int>& ready, int current,
+                   std::uint64_t step, bool forced) = 0;
+
+  /// When true, workers spinning inside block_until are filtered from the
+  /// candidate set whenever a non-spinning worker is available. Priority
+  /// deciders need this: always favouring a high-priority spinner over the
+  /// lock holder it waits on would ping-pong forever.
+  [[nodiscard]] virtual bool filter_spinners() const { return false; }
+};
+
 class CoopScheduler {
  public:
   /// `preempt_every`: pass the token to a random runnable worker after
@@ -32,6 +104,18 @@ class CoopScheduler {
   /// worker exception (after unwinding the rest). Must be called from a
   /// thread that is not itself a worker of this scheduler.
   void run_team(std::vector<std::function<void()>> workers);
+
+  /// Installs a scheduling policy (not owned; must outlive run_team).
+  /// nullptr restores the legacy uniform random walk.
+  void set_decider(SchedDecider* decider) noexcept { decider_ = decider; }
+
+  /// Records every scheduling decision for later replay.
+  void set_recording(bool on) noexcept { recording_ = on; }
+
+  /// The decisions recorded so far. Valid after run_team returned *or*
+  /// threw: on a step-budget or deadlock abort the prefix up to the abort
+  /// is preserved, so aborted schedules stay replayable.
+  [[nodiscard]] RegionTrace take_trace() { return std::move(trace_); }
 
   // ---- called from worker threads ----
 
@@ -65,12 +149,21 @@ class CoopScheduler {
 
   /// Pre: lock held. Picks the next runnable worker and wakes it; current
   /// worker then waits until it owns the token again (or abort).
-  void switch_from(std::unique_lock<std::mutex>& lock, int me);
+  void switch_from(std::unique_lock<std::mutex>& lock, int me, bool forced);
 
   /// Pre: lock held. Releases a full barrier if everyone arrived.
   void maybe_release_barrier();
 
   [[nodiscard]] int pick_runnable(int exclude);
+
+  /// Pre: lock held. Ready workers other than `exclude`, ascending,
+  /// spin-filtered when the decider asks for it.
+  [[nodiscard]] std::vector<int> ready_peers(int exclude) const;
+
+  /// Pre: lock held. Decider-routed equivalent of pick_runnable.
+  [[nodiscard]] int decide_next(int exclude, bool forced);
+
+  void record(bool forced, int target);
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -87,6 +180,10 @@ class CoopScheduler {
   std::uint64_t step_limit_ = 50'000'000;
   int waiting_ = 0;           // workers inside block_until
   std::uint64_t spin_rounds_ = 0;  // consecutive all-blocked rounds
+  SchedDecider* decider_ = nullptr;
+  bool recording_ = false;
+  RegionTrace trace_;
+  std::vector<char> spinning_;  // workers currently inside block_until
 };
 
 /// The scheduler owning the calling thread, or nullptr on the driver

@@ -1,0 +1,103 @@
+#include "runtime/strategy.hpp"
+
+#include <algorithm>
+
+namespace drbml::runtime {
+
+PctDecider::PctDecider(std::uint64_t seed, int depth,
+                       std::uint64_t expected_steps)
+    : rng_(seed),
+      depth_(depth < 1 ? 1 : depth),
+      expected_steps_(expected_steps < 1 ? 1 : expected_steps) {}
+
+void PctDecider::begin(int workers) {
+  // Distinct base priorities d .. d+n-1, randomly permuted. Change-point
+  // demotions use values below d, so a demoted worker ranks under every
+  // base priority.
+  priorities_.resize(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    priorities_[static_cast<std::size_t>(i)] = depth_ + i;
+  }
+  rng_.shuffle(priorities_);
+  change_points_.clear();
+  for (int i = 0; i + 1 < depth_; ++i) {
+    change_points_.push_back(
+        static_cast<std::uint64_t>(rng_.below(expected_steps_)) + 1);
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+  fired_ = 0;
+}
+
+bool PctDecider::should_preempt(std::uint64_t step, int current,
+                                const std::vector<int>& ready_peers) {
+  bool demoted = false;
+  while (fired_ < change_points_.size() && change_points_[fired_] <= step) {
+    // Demote the running worker below every base priority; each firing
+    // uses a fresh, strictly smaller value so priorities stay distinct.
+    priorities_[static_cast<std::size_t>(current)] =
+        -1 - static_cast<int>(fired_);
+    ++fired_;
+    demoted = true;
+  }
+  if (ready_peers.empty()) return false;
+  int best = priorities_[static_cast<std::size_t>(ready_peers.front())];
+  for (int w : ready_peers) {
+    best = std::max(best, priorities_[static_cast<std::size_t>(w)]);
+  }
+  return demoted || best > priorities_[static_cast<std::size_t>(current)];
+}
+
+int PctDecider::pick(const std::vector<int>& ready, int current,
+                     std::uint64_t step, bool forced) {
+  (void)current;
+  (void)step;
+  (void)forced;
+  int chosen = ready.front();
+  for (int w : ready) {
+    if (priorities_[static_cast<std::size_t>(w)] >
+        priorities_[static_cast<std::size_t>(chosen)]) {
+      chosen = w;
+    }
+  }
+  return chosen;
+}
+
+void ReplayDecider::begin(int workers) {
+  (void)workers;
+  pos_ = 0;
+}
+
+void ReplayDecider::skip_stale(std::uint64_t step) {
+  while (pos_ < trace_.size() && trace_[pos_].step < step) ++pos_;
+}
+
+bool ReplayDecider::should_preempt(std::uint64_t step, int current,
+                                   const std::vector<int>& ready_peers) {
+  (void)current;
+  (void)ready_peers;
+  skip_stale(step);
+  return pos_ < trace_.size() && !trace_[pos_].forced &&
+         trace_[pos_].step == step;
+}
+
+int ReplayDecider::pick(const std::vector<int>& ready, int current,
+                        std::uint64_t step, bool forced) {
+  (void)current;
+  skip_stale(step);
+  // Deterministic fallback when the trace has no instruction here: the
+  // lowest-index runnable worker. Minimized traces rely on this being a
+  // total function of (program, remaining trace).
+  const int fallback = ready.front();
+  if (pos_ < trace_.size() && trace_[pos_].step == step &&
+      trace_[pos_].forced == forced) {
+    const int target = trace_[pos_].target;
+    ++pos_;
+    if (std::find(ready.begin(), ready.end(), target) != ready.end()) {
+      return target;
+    }
+    return fallback;
+  }
+  return fallback;
+}
+
+}  // namespace drbml::runtime

@@ -104,8 +104,8 @@ TEST(BuildEntry, JsonRoundTripsExactly) {
   }
 }
 
-TEST(BuildEntry, DatasetHas201Entries) {
-  EXPECT_EQ(dataset().size(), 201u);
+TEST(BuildEntry, DatasetHas202Entries) {
+  EXPECT_EQ(dataset().size(), 202u);
 }
 
 TEST(PromptPairs, DetectionPairFollowsListing8) {

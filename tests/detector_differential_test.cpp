@@ -8,16 +8,21 @@
 // observed, so it must never flag a race-free kernel -- a false positive
 // here means the happens-before tracking, the artifact cache, or the
 // parallel executor corrupted an analysis.
+#include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "dataset/drbml.hpp"
+#include "drb/corpus.hpp"
 #include "drb/synth.hpp"
 #include "eval/artifact_cache.hpp"
 #include "eval/experiments.hpp"
+#include "explore/explore.hpp"
 #include "runtime/dynamic.hpp"
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 
 namespace drbml {
@@ -81,6 +86,87 @@ TEST(DetectorDifferential, CachedVerdictsMatchFreshDetectors) {
                                   .race_detected;
     EXPECT_EQ(cached_static, fresh_static) << e.name;
   }
+}
+
+// Entries whose race the interpreter cannot exhibit on any schedule. A
+// static-hit/explore-miss on one of these produces a structured miss
+// report instead of a failure; a miss on any other entry fails the test.
+const std::map<std::string, std::string>& dynamically_invisible() {
+  static const std::map<std::string, std::string> table = {
+      {"DRB007-collapsedep-orig-yes.c",
+       "collapse(2) is not distributed over the inner loop by the "
+       "interpreter, so the j-carried dependence never crosses threads"},
+  };
+  return table;
+}
+
+TEST(DetectorDifferential, PctExplorationMatchesStaticOnRaceLabeledCorpus) {
+  // Whenever the static detector flags a race-labeled corpus entry, PCT
+  // exploration at the stats-gate budget must reproduce the race; known
+  // dynamically-invisible entries are reported, not asserted.
+  std::vector<const drb::CorpusEntry*> racy;
+  for (const auto& e : drb::corpus()) {
+    if (e.race) racy.push_back(&e);
+  }
+  ASSERT_GT(racy.size(), 100u);
+
+  analysis::StaticDetectorOptions static_opts;
+  explore::ExploreOptions eopts;
+  eopts.strategy = explore::Strategy::Pct;
+  eopts.max_schedules = 12;
+  eopts.minimize = false;
+  eval::ArtifactCache& cache = eval::artifact_cache();
+
+  struct Outcome {
+    bool static_hit = false;
+    bool explored_hit = false;
+    int schedules = 0;
+    bool plateau = false;
+    bool error = false;
+  };
+  const std::vector<Outcome> outcomes = support::parallel_map(
+      0, racy, [&](const drb::CorpusEntry* e) -> Outcome {
+        Outcome o;
+        const std::string code = drb::drb_code(*e);
+        try {
+          o.static_hit = cache.static_report(code, static_opts).race_detected;
+          const explore::ExploreResult& r = cache.explore_result(code, eopts);
+          o.explored_hit = r.race_detected;
+          o.schedules = r.schedules_run;
+          o.plateau = r.stopped_on_plateau;
+        } catch (const Error&) {
+          o.error = true;
+        }
+        return o;
+      });
+
+  int static_hits = 0;
+  int misses = 0;
+  for (std::size_t i = 0; i < racy.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    ASSERT_FALSE(o.error) << racy[i]->name;
+    if (!o.static_hit) continue;
+    ++static_hits;
+    if (o.explored_hit) continue;
+    ++misses;
+    const auto known = dynamically_invisible().find(racy[i]->name);
+    const bool documented = known != dynamically_invisible().end();
+    std::fprintf(stderr,
+                 "miss-report: %s [%s] static=yes explored=no "
+                 "schedules=%d plateau=%d reason=%s\n",
+                 racy[i]->name.c_str(), racy[i]->pattern.c_str(), o.schedules,
+                 o.plateau ? 1 : 0,
+                 documented ? known->second.c_str() : "UNDOCUMENTED");
+    EXPECT_TRUE(documented)
+        << racy[i]->name << ": static detector finds the race but PCT "
+        << "exploration missed it within " << eopts.max_schedules
+        << " schedules, and the entry is not on the documented "
+        << "dynamically-invisible list";
+  }
+  // The static detector covers nearly the whole race-labeled corpus, so
+  // the implication above is not vacuous; and every miss is documented.
+  EXPECT_GT(static_hits, 90);
+  EXPECT_LE(misses, static_cast<int>(dynamically_invisible().size()));
 }
 
 TEST(TraditionalTool, MalformedEntryCountsAsNegativeInsteadOfAborting) {

@@ -93,10 +93,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ------------------------------------------------------------- aggregates
 
-TEST(Corpus, HasExactly201Entries) {
+TEST(Corpus, HasExactly202Entries) {
   CorpusStats s = corpus_stats();
-  EXPECT_EQ(s.total, 201);
-  EXPECT_EQ(s.race_yes, 101);
+  EXPECT_EQ(s.total, 202);
+  EXPECT_EQ(s.race_yes, 102);
   EXPECT_EQ(s.race_no, 100);
 }
 

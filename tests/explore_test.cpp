@@ -1,0 +1,441 @@
+// Tests for the schedule-exploration engine: PCT priority schedules,
+// interleaving coverage, witness minimization, and bit-identical replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "explore/minimize.hpp"
+#include "explore/witness.hpp"
+#include "minic/parser.hpp"
+#include "runtime/interp.hpp"
+#include "runtime/strategy.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace drbml::explore {
+namespace {
+
+// DRB001-style loop-carried race: every interleaving with two threads in
+// the region exposes it, so uniform random walks find it immediately.
+constexpr const char* kRacySrc = R"(
+int a[64];
+int main(void) {
+  #pragma omp parallel for num_threads(4)
+  for (int i = 0; i < 63; i++) {
+    a[i] = a[i + 1] + 1;
+  }
+  return 0;
+}
+)";
+
+constexpr const char* kSafeSrc = R"(
+int a[64];
+int main(void) {
+  #pragma omp parallel for num_threads(4)
+  for (int i = 0; i < 64; i++) {
+    a[i] = i * 2;
+  }
+  int s = 0;
+  for (int i = 0; i < 64; i++) {
+    s = s + a[i];
+  }
+  printf("%d", s);
+  return 0;
+}
+)";
+
+// Lock-window race: t1 only observes the unsynchronized `data` write if
+// it wins the critical section first. Under the legacy uniform walk
+// worker 0 takes the token first and finishes its critical section
+// before the first preemption window, so the racy order needs a
+// priority inversion at the start of the region -- PCT's randomized
+// base priorities produce it with probability ~1/2 per schedule.
+constexpr const char* kLockWindowSrc = R"(
+int data = 0;
+int sync = 0;
+int main(void) {
+  #pragma omp parallel num_threads(2)
+  {
+    if (omp_get_thread_num() == 0) {
+      data = 1;
+      #pragma omp critical
+      { sync = sync + 1; }
+    } else {
+      #pragma omp critical
+      { sync = sync + 1; }
+      int r = data;
+      r = r + 0;
+    }
+  }
+  return 0;
+}
+)";
+
+constexpr const char* kSpinSrc = R"(
+int x = 0;
+int main(void) {
+  #pragma omp parallel num_threads(2)
+  {
+    while (1) {
+      x = x + 1;
+    }
+  }
+  return 0;
+}
+)";
+
+runtime::RunResult run_src(const char* src, runtime::RunOptions opts) {
+  minic::Program p = minic::parse_program(src);
+  analysis::Resolution res = analysis::resolve(*p.unit);
+  return runtime::run_program(*p.unit, res, opts);
+}
+
+bool same_result(const runtime::RunResult& a, const runtime::RunResult& b) {
+  return a.output == b.output && a.exit_code == b.exit_code &&
+         a.faulted == b.faulted && a.steps == b.steps &&
+         a.report.race_detected == b.report.race_detected &&
+         a.report.pairs == b.report.pairs;
+}
+
+bool is_subsequence(const runtime::ScheduleTrace& small,
+                    const runtime::ScheduleTrace& big) {
+  if (small.regions.size() > big.regions.size()) return false;
+  for (std::size_t r = 0; r < small.regions.size(); ++r) {
+    std::size_t j = 0;
+    for (const runtime::ScheduleDecision& d : small.regions[r]) {
+      while (j < big.regions[r].size() && !(big.regions[r][j] == d)) ++j;
+      if (j == big.regions[r].size()) return false;
+      ++j;
+    }
+  }
+  return true;
+}
+
+std::string fingerprint(const ExploreResult& r) {
+  std::string s;
+  s += r.race_detected ? "race;" : "clean;";
+  s += std::to_string(r.schedules_run) + ";";
+  s += std::to_string(r.first_race_schedule) + ";";
+  s += std::to_string(r.first_race_seed) + ";";
+  s += r.stopped_on_plateau ? "plateau;" : "-;";
+  for (std::uint64_t h : r.coverage) s += std::to_string(h) + ",";
+  s += ";";
+  for (const ScheduleStats& st : r.schedules) {
+    s += std::to_string(st.seed) + ":" + (st.raced ? "r" : "-") +
+         (st.faulted ? "f" : "-") + ":" + std::to_string(st.steps) + ":" +
+         std::to_string(st.new_coverage) + ",";
+  }
+  s += ";" + r.witness + ";";
+  s += std::to_string(r.original_decisions) + ";" +
+       std::to_string(r.witness_decisions) + ";";
+  for (const auto& p : r.report.pairs) {
+    s += std::to_string(p.first.loc.line) + ":" +
+         std::to_string(p.first.loc.col) + "/" +
+         std::to_string(p.second.loc.line) + ":" +
+         std::to_string(p.second.loc.col) + ",";
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ PCT decider
+
+TEST(PctDecider, DistinctPrioritiesAndDeterministicForSeed) {
+  runtime::PctDecider a(42, 3, 100);
+  runtime::PctDecider b(42, 3, 100);
+  a.begin(4);
+  b.begin(4);
+  std::vector<int> seen;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.priority(i), b.priority(i));
+    seen.push_back(a.priority(i));
+  }
+  std::sort(seen.begin(), seen.end());
+  // Base priorities are a permutation of d..d+n-1 (all above change-point
+  // demotion values, which are negative).
+  EXPECT_EQ(seen, (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(PctDecider, PicksHighestPriorityReady) {
+  runtime::PctDecider d(7, 3, 100);
+  d.begin(4);
+  int best = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (d.priority(i) > d.priority(best)) best = i;
+  }
+  std::vector<int> all{0, 1, 2, 3};
+  EXPECT_EQ(d.pick(all, -1, 0, true), best);
+}
+
+TEST(PctDecider, DifferentSeedsChangeSchedules) {
+  // Not guaranteed for any single pair, but across a handful of seeds at
+  // least two must disagree on the priority permutation.
+  std::vector<std::vector<int>> perms;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    runtime::PctDecider d(seed, 3, 100);
+    d.begin(4);
+    std::vector<int> p;
+    for (int i = 0; i < 4; ++i) p.push_back(d.priority(i));
+    perms.push_back(p);
+  }
+  bool differs = false;
+  for (const auto& p : perms) {
+    if (p != perms[0]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ------------------------------------------------------------- replay
+
+TEST(Replay, UniformTraceReplaysBitIdentically) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    runtime::RunOptions rec;
+    rec.seed = seed;
+    rec.capture_trace = true;
+    runtime::RunResult first = run_src(kRacySrc, rec);
+
+    runtime::RunOptions rep = rec;
+    rep.strategy = runtime::ScheduleStrategy::Replay;
+    rep.replay = nullptr;
+    runtime::ScheduleTrace trace = first.trace;
+    rep.replay = &trace;
+    runtime::RunResult second = run_src(kRacySrc, rep);
+    EXPECT_TRUE(same_result(first, second)) << "seed " << seed;
+    EXPECT_EQ(second.trace, trace);
+  }
+}
+
+TEST(Replay, PctTraceReplaysBitIdentically) {
+  for (std::uint64_t seed : {3ULL, 11ULL, 1234ULL}) {
+    runtime::RunOptions rec;
+    rec.seed = seed;
+    rec.strategy = runtime::ScheduleStrategy::Pct;
+    rec.capture_trace = true;
+    runtime::RunResult first = run_src(kLockWindowSrc, rec);
+
+    runtime::RunOptions rep = rec;
+    rep.strategy = runtime::ScheduleStrategy::Replay;
+    runtime::ScheduleTrace trace = first.trace;
+    rep.replay = &trace;
+    runtime::RunResult second = run_src(kLockWindowSrc, rep);
+    EXPECT_TRUE(same_result(first, second)) << "seed " << seed;
+  }
+}
+
+TEST(Replay, EmptyTraceIsDeterministicFallback) {
+  runtime::ScheduleTrace empty;
+  runtime::RunOptions rep;
+  rep.strategy = runtime::ScheduleStrategy::Replay;
+  rep.replay = &empty;
+  runtime::RunResult a = run_src(kSafeSrc, rep);
+  runtime::RunResult b = run_src(kSafeSrc, rep);
+  EXPECT_TRUE(same_result(a, b));
+  EXPECT_FALSE(a.faulted);
+  EXPECT_EQ(a.output, "4032");
+}
+
+// Satellite fix: a step-budget abort must still surface the decision
+// prefix recorded so far, so aborted schedules stay replayable.
+TEST(Replay, PartialTraceSurvivesStepBudgetAbort) {
+  runtime::RunOptions opts;
+  opts.seed = 5;
+  opts.num_threads = 2;
+  opts.step_limit = 400;
+  opts.capture_trace = true;
+  runtime::RunResult r = run_src(kSpinSrc, opts);
+  EXPECT_TRUE(r.faulted);
+  ASSERT_FALSE(r.trace.regions.empty());
+  EXPECT_GT(r.trace.total_decisions(), 0u);
+
+  // The surfaced prefix replays deterministically.
+  runtime::RunOptions rep = opts;
+  rep.strategy = runtime::ScheduleStrategy::Replay;
+  rep.replay = &r.trace;
+  runtime::RunResult again = run_src(kSpinSrc, rep);
+  EXPECT_TRUE(same_result(r, again));
+}
+
+// ------------------------------------------------------------- witness
+
+TEST(Witness, EncodeDecodeRoundTrip) {
+  Witness w;
+  w.num_threads = 3;
+  w.preempt_every = 5;
+  w.step_limit = 1000;
+  w.trace.regions.resize(2);
+  w.trace.regions[0].push_back({true, 0, 2});
+  w.trace.regions[0].push_back({false, 17, 1});
+  const std::string text = encode_witness(w);
+  Witness back = decode_witness(text);
+  EXPECT_TRUE(w == back);
+  EXPECT_EQ(encode_witness(back), text);
+}
+
+TEST(Witness, DecodeRejectsMalformedInput) {
+  EXPECT_THROW(decode_witness(""), Error);
+  EXPECT_THROW(decode_witness("bogus-v9;threads=2"), Error);
+  EXPECT_THROW(decode_witness("drbml-witness-v1;threads=0;preempt=7;limit=1"),
+               Error);
+  EXPECT_THROW(decode_witness("drbml-witness-v1;threads=99;preempt=7;limit=1"),
+               Error);
+  EXPECT_THROW(
+      decode_witness("drbml-witness-v1;threads=2;preempt=7;limit=1;region=z1:0"),
+      Error);
+  EXPECT_THROW(
+      decode_witness("drbml-witness-v1;threads=2;preempt=7;limit=1;bogus=3"),
+      Error);
+}
+
+// ------------------------------------------------------------- explorer
+
+TEST(Explore, DeterministicForFixedSeed) {
+  ExploreOptions opts;
+  opts.max_schedules = 8;
+  ExploreResult a = explore_source(kRacySrc, opts);
+  ExploreResult b = explore_source(kRacySrc, opts);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_TRUE(a.race_detected);
+}
+
+TEST(Explore, WitnessStillRacesAndIsSubsequenceOfOriginal) {
+  for (Strategy strat : {Strategy::Uniform, Strategy::Pct}) {
+    ExploreOptions opts;
+    opts.strategy = strat;
+    opts.max_schedules = 16;
+    ExploreResult r = explore_source(kRacySrc, opts);
+    ASSERT_TRUE(r.race_detected) << strategy_name(strat);
+    ASSERT_FALSE(r.witness.empty());
+    EXPECT_LE(r.witness_decisions, r.original_decisions);
+
+    Witness w = decode_witness(r.witness);
+    runtime::RunResult replayed = replay_witness(kRacySrc, w, opts.run);
+    EXPECT_TRUE(replayed.report.race_detected) << strategy_name(strat);
+
+    // Recover the original racy trace from the recorded seed and check
+    // the minimized witness is a subsequence of it.
+    runtime::RunOptions orig = opts.run;
+    orig.seed = r.first_race_seed;
+    orig.strategy = strat == Strategy::Pct ? runtime::ScheduleStrategy::Pct
+                                           : runtime::ScheduleStrategy::Uniform;
+    orig.pct_depth = opts.pct_depth;
+    orig.pct_expected_steps = opts.pct_expected_steps;
+    orig.capture_trace = true;
+    runtime::RunResult original = run_src(kRacySrc, orig);
+    ASSERT_TRUE(original.report.race_detected);
+    EXPECT_EQ(original.trace.total_decisions(), r.original_decisions);
+    EXPECT_TRUE(is_subsequence(w.trace, original.trace));
+  }
+}
+
+TEST(Explore, WitnessReplayIsBitIdenticalTwice) {
+  ExploreOptions opts;
+  opts.max_schedules = 8;
+  ExploreResult r = explore_source(kRacySrc, opts);
+  ASSERT_TRUE(r.race_detected);
+  Witness w = decode_witness(r.witness);
+  runtime::RunResult a = replay_witness(kRacySrc, w, opts.run);
+  runtime::RunResult b = replay_witness(kRacySrc, w, opts.run);
+  EXPECT_TRUE(same_result(a, b));
+  EXPECT_TRUE(a.report.race_detected);
+}
+
+TEST(Explore, SafeProgramStopsOnCoveragePlateau) {
+  ExploreOptions opts;
+  opts.max_schedules = 64;
+  opts.plateau_window = 4;
+  ExploreResult r = explore_source(kSafeSrc, opts);
+  EXPECT_FALSE(r.race_detected);
+  EXPECT_TRUE(r.witness.empty());
+  EXPECT_TRUE(r.stopped_on_plateau);
+  EXPECT_LT(r.schedules_run, opts.max_schedules);
+  EXPECT_FALSE(r.coverage.empty());
+  ASSERT_FALSE(r.report.diagnostics.empty());
+  EXPECT_NE(r.report.diagnostics.back().find("coverage plateau"),
+            std::string::npos);
+}
+
+TEST(Explore, PctFindsLockWindowRaceUniformMisses) {
+  ExploreOptions uniform;
+  uniform.strategy = Strategy::Uniform;
+  uniform.max_schedules = 16;
+  uniform.plateau_window = 0;
+  ExploreResult u = explore_source(kLockWindowSrc, uniform);
+  EXPECT_FALSE(u.race_detected);
+  EXPECT_EQ(u.schedules_run, 16);
+
+  ExploreOptions pct = uniform;
+  pct.strategy = Strategy::Pct;
+  ExploreResult p = explore_source(kLockWindowSrc, pct);
+  EXPECT_TRUE(p.race_detected);
+  ASSERT_FALSE(p.witness.empty());
+  Witness w = decode_witness(p.witness);
+  runtime::RunResult replayed = replay_witness(kLockWindowSrc, w, pct.run);
+  EXPECT_TRUE(replayed.report.race_detected);
+}
+
+TEST(Explore, ResultsStableAcrossJobs) {
+  const std::vector<const char*> sources{kRacySrc, kSafeSrc, kLockWindowSrc,
+                                         kRacySrc, kSafeSrc, kLockWindowSrc};
+  auto explore_one = [](const char* src) {
+    ExploreOptions opts;
+    opts.max_schedules = 6;
+    return fingerprint(explore_source(src, opts));
+  };
+  std::vector<std::string> serial =
+      support::parallel_map(1, sources, explore_one);
+  std::vector<std::string> parallel =
+      support::parallel_map(8, sources, explore_one);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Explore, ParseStrategyAcceptsKnownNamesOnly) {
+  EXPECT_EQ(parse_strategy("uniform"), Strategy::Uniform);
+  EXPECT_EQ(parse_strategy("pct"), Strategy::Pct);
+  EXPECT_THROW(static_cast<void>(parse_strategy("chaos")), Error);
+}
+
+// ------------------------------------------------------------ minimizer
+
+TEST(Minimize, ReducesToEmptyWhenPredicateIgnoresTrace) {
+  runtime::ScheduleTrace t;
+  t.regions.resize(1);
+  for (int i = 0; i < 10; ++i) t.regions[0].push_back({false, 10u + i, 1});
+  MinimizeResult r = minimize_trace(
+      t, [](const runtime::ScheduleTrace&) { return true; }, 64);
+  EXPECT_EQ(r.trace.total_decisions(), 0u);
+  EXPECT_GT(r.replays, 0);
+}
+
+TEST(Minimize, KeepsRequiredDecision) {
+  runtime::ScheduleTrace t;
+  t.regions.resize(1);
+  for (int i = 0; i < 8; ++i) t.regions[0].push_back({false, 10u + i, i % 3});
+  const runtime::ScheduleDecision needle = t.regions[0][5];
+  auto wants_needle = [&](const runtime::ScheduleTrace& cand) {
+    for (const auto& d : cand.regions[0]) {
+      if (d == needle) return true;
+    }
+    return false;
+  };
+  MinimizeResult r = minimize_trace(t, wants_needle, 256);
+  EXPECT_EQ(r.trace.total_decisions(), 1u);
+  ASSERT_EQ(r.trace.regions.size(), 1u);
+  ASSERT_EQ(r.trace.regions[0].size(), 1u);
+  EXPECT_TRUE(r.trace.regions[0][0] == needle);
+}
+
+TEST(Minimize, RespectsReplayBudget) {
+  runtime::ScheduleTrace t;
+  t.regions.resize(1);
+  for (int i = 0; i < 64; ++i) t.regions[0].push_back({false, 10u + i, 0});
+  int budget = 5;
+  MinimizeResult r = minimize_trace(
+      t, [](const runtime::ScheduleTrace&) { return false; }, budget);
+  EXPECT_LE(r.replays, budget);
+  EXPECT_EQ(r.trace.total_decisions(), 64u);
+}
+
+}  // namespace
+}  // namespace drbml::explore

@@ -16,7 +16,18 @@
 //                                               race repair; FILE args are
 //                                               rewritten in place unless
 //                                               --dry-run
-//   drbml stats    [--jobs N] [--no-repair] [--cache FILE]
+//   drbml explore  [--strategy uniform|pct] [--budget N] [--depth D]
+//                  [--plateau W] [--seed S] [--no-minimize] [--jobs N]
+//                  [--check]
+//                  [FILE.c... | --entry NAME | --corpus | --synth N]
+//                                               budgeted schedule exploration
+//                                               (PCT priority schedules or a
+//                                               uniform random walk); races
+//                                               ship a minimized replayable
+//                                               witness
+//   drbml explore  --replay WITNESS FILE.c      re-run a recorded witness
+//                                               bit-identically
+//   drbml stats    [--jobs N] [--no-repair] [--no-explore] [--cache FILE]
 //                                               run the full corpus pipeline
 //                                               and print per-stage timings
 //                                               plus the deterministic
@@ -48,6 +59,8 @@
 #include "drb/synth.hpp"
 #include "eval/artifact_cache.hpp"
 #include "eval/experiments.hpp"
+#include "explore/explore.hpp"
+#include "explore/witness.hpp"
 #include "lint/lint.hpp"
 #include "obs/catalog.hpp"
 #include "support/error.hpp"
@@ -74,7 +87,12 @@ int usage() {
       "            [--check] [--min-fix-rate PCT] [--jobs N]\n"
       "            [FILE.c... | --entry NAME | --corpus | --synth N "
       "[--seed S]]\n"
-      "  drbml stats [--jobs N] [--no-repair] [--cache FILE]\n"
+      "  drbml explore [--strategy uniform|pct] [--budget N] [--depth D]\n"
+      "                [--plateau W] [--seed S] [--no-minimize] [--jobs N]\n"
+      "                [--check]\n"
+      "                [FILE.c... | --entry NAME | --corpus | --synth N]\n"
+      "  drbml explore --replay WITNESS FILE.c\n"
+      "  drbml stats [--jobs N] [--no-repair] [--no-explore] [--cache FILE]\n"
       "  drbml corpus [--pattern P] [--limit N]\n"
       "  drbml entry NAME\n"
       "  drbml dataset [--out DIR]\n"
@@ -82,7 +100,8 @@ int usage() {
       "  drbml detectors\n"
       "\n"
       "detector specs: static | dynamic | hybrid | lint | "
-      "llm:<persona>[:<prompt>]\n"
+      "explore[:uniform|:pct] |\n"
+      "                llm:<persona>[:<prompt>]\n"
       "personas: gpt35, gpt4, starchat, llama2; prompts: p1, p2, p3, bp2\n"
       "--jobs N: worker threads for multi-file analyze (0 = auto from\n"
       "          DRBML_JOBS or hardware; results identical at any N)\n"
@@ -456,6 +475,242 @@ int cmd_fix(const std::vector<std::string>& args) {
   return unfixed > 0 ? 1 : 0;
 }
 
+void print_exploration_table(const std::vector<eval::ExplorationRow>& rows) {
+  TextTable table({"strategy", "entries", "detected", "only", "avg sched",
+                   "witness dec", "plateau", "errors"});
+  for (const eval::ExplorationRow& row : rows) {
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.2f", row.avg_schedules_to_first_race());
+    table.add_row({row.strategy, std::to_string(row.entries),
+                   std::to_string(row.detected), std::to_string(row.only_here),
+                   avg, std::to_string(row.witness_decisions),
+                   std::to_string(row.plateau_stops),
+                   std::to_string(row.errors)});
+  }
+  std::printf("%s", heading("Schedule exploration (race-labeled corpus; "
+                            "equal budget per strategy)")
+                        .c_str());
+  std::printf("%s\n", table.render().c_str());
+}
+
+int cmd_explore(const std::vector<std::string>& args) {
+  explore::ExploreOptions opts;
+  int jobs = 0;
+  bool check = false;
+  int synth_count = 0;
+  std::uint64_t synth_seed = 0;
+  bool whole_corpus = false;
+  std::string witness_path;
+  std::vector<std::string> entry_names;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--strategy" && i + 1 < args.size()) {
+      opts.strategy = explore::parse_strategy(args[++i]);
+    } else if (args[i] == "--budget" && i + 1 < args.size()) {
+      opts.max_schedules = static_cast<int>(int_flag("--budget", args[++i]));
+    } else if (args[i] == "--depth" && i + 1 < args.size()) {
+      opts.pct_depth = static_cast<int>(int_flag("--depth", args[++i]));
+    } else if (args[i] == "--plateau" && i + 1 < args.size()) {
+      opts.plateau_window = static_cast<int>(int_flag("--plateau", args[++i]));
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      opts.seed = static_cast<std::uint64_t>(int_flag("--seed", args[++i]));
+    } else if (args[i] == "--no-minimize") {
+      opts.minimize = false;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      jobs = static_cast<int>(int_flag("--jobs", args[++i]));
+    } else if (args[i] == "--check") {
+      check = true;
+    } else if (args[i] == "--replay" && i + 1 < args.size()) {
+      witness_path = args[++i];
+    } else if (args[i] == "--entry" && i + 1 < args.size()) {
+      entry_names.push_back(args[++i]);
+    } else if (args[i] == "--corpus") {
+      whole_corpus = true;
+    } else if (args[i] == "--synth" && i + 1 < args.size()) {
+      synth_count = static_cast<int>(int_flag("--synth", args[++i]));
+    } else if (args[i] == "--synth-seed" && i + 1 < args.size()) {
+      synth_seed =
+          static_cast<std::uint64_t>(int_flag("--synth-seed", args[++i]));
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+
+  // Replay mode: re-run a recorded witness against one source.
+  if (!witness_path.empty()) {
+    if (paths.size() != 1) {
+      std::fprintf(stderr, "error: --replay WITNESS expects exactly one "
+                           "source file\n");
+      return 2;
+    }
+    // The operand is either a literal witness string (as printed by a
+    // normal run) or a path to a file holding one.
+    const bool literal = witness_path.rfind("drbml-witness-", 0) == 0;
+    const explore::Witness w = explore::decode_witness(
+        literal ? witness_path : trim(read_file(witness_path)));
+    const runtime::RunResult r =
+        explore::replay_witness(read_file(paths[0]), w);
+    std::printf("replay: %s (%llu decision(s), %llu step(s))\n",
+                r.report.race_detected ? "DATA RACE" : "no race observed",
+                static_cast<unsigned long long>(w.trace.total_decisions()),
+                static_cast<unsigned long long>(r.steps));
+    for (const auto& pair : r.report.pairs) {
+      std::printf("  %s@%d:%d:%c vs. %s@%d:%d:%c\n",
+                  pair.first.expr_text.c_str(), pair.first.loc.line,
+                  pair.first.loc.col, pair.first.op,
+                  pair.second.expr_text.c_str(), pair.second.loc.line,
+                  pair.second.loc.col, pair.second.op);
+    }
+    if (r.faulted) {
+      std::printf("  fault: %s\n", r.fault_message.c_str());
+    }
+    return r.report.race_detected ? 1 : 0;
+  }
+
+  // Check mode: the exploration gate over the race-labeled corpus. PCT
+  // must match or beat uniform at the same budget, and every witness must
+  // replay its race bit-identically (two replays, identical results).
+  if (check) {
+    obs::Span span(obs::kSpanStageExplore);
+    eval::ExperimentOptions eopts;
+    eopts.jobs = jobs;
+    const std::vector<eval::ExplorationRow> rows =
+        eval::exploration_rows(opts, eopts);
+    print_exploration_table(rows);
+
+    const eval::ExplorationRow& uniform = rows[0];
+    const eval::ExplorationRow& pct = rows[1];
+
+    eval::ArtifactCache& cache = eval::artifact_cache();
+    std::vector<const drb::CorpusEntry*> racy;
+    for (const drb::CorpusEntry& e : drb::corpus()) {
+      if (e.race) racy.push_back(&e);
+    }
+    explore::ExploreOptions pct_opts = opts;
+    pct_opts.strategy = explore::Strategy::Pct;
+    const std::vector<int> witness_ok = support::parallel_map(
+        jobs, racy, [&](const drb::CorpusEntry* e) {
+          const std::string code = drb::drb_code(*e);
+          const explore::ExploreResult* r = nullptr;
+          try {
+            r = &cache.explore_result(code, pct_opts);
+          } catch (const Error&) {
+            return 1;  // exploration errored: no witness to check
+          }
+          if (!r->race_detected) return 1;
+          if (r->witness.empty()) return 0;
+          const explore::Witness w = explore::decode_witness(r->witness);
+          const runtime::RunResult a =
+              explore::replay_witness(code, w, pct_opts.run);
+          const runtime::RunResult b =
+              explore::replay_witness(code, w, pct_opts.run);
+          const bool identical =
+              a.output == b.output && a.exit_code == b.exit_code &&
+              a.steps == b.steps && a.faulted == b.faulted &&
+              a.report.race_detected == b.report.race_detected &&
+              a.report.pairs == b.report.pairs;
+          return (a.report.race_detected && identical) ? 1 : 0;
+        });
+    int bad_witnesses = 0;
+    for (std::size_t i = 0; i < witness_ok.size(); ++i) {
+      if (witness_ok[i] == 0) {
+        std::printf("%s: CHECK: witness does not replay its race "
+                    "bit-identically\n",
+                    racy[i]->name.c_str());
+        ++bad_witnesses;
+      }
+    }
+
+    const bool pct_ok = pct.detected >= uniform.detected;
+    const bool pct_only_ok = pct.only_here >= 1;
+    std::printf(
+        "explore check: pct %d/%d vs uniform %d/%d detected (budget %d): "
+        "%s; %d pct-only entr%s: %s; %d bad witness(es)\n",
+        pct.detected, pct.entries, uniform.detected, uniform.entries,
+        opts.max_schedules, pct_ok ? "OK" : "BEHIND", pct.only_here,
+        pct.only_here == 1 ? "y" : "ies", pct_only_ok ? "OK" : "MISSING",
+        bad_witnesses);
+    return (pct_ok && pct_only_ok && bad_witnesses == 0) ? 0 : 1;
+  }
+
+  std::vector<std::pair<std::string, std::string>> sources;  // (name, code)
+  for (const auto& path : paths) sources.emplace_back(path, read_file(path));
+  for (const auto& name : entry_names) {
+    const drb::CorpusEntry* e = drb::find_entry(name);
+    if (e == nullptr) throw Error("no such entry: " + name);
+    sources.emplace_back(e->name, drb::drb_code(*e));
+  }
+  if (whole_corpus) {
+    for (const auto& e : drb::corpus()) {
+      sources.emplace_back(e.name, drb::drb_code(e));
+    }
+  }
+  if (synth_count > 0) {
+    drb::SynthConfig config;
+    config.count = synth_count;
+    config.seed = synth_seed;
+    for (const drb::SynthEntry& e : drb::synthesize(config)) {
+      sources.emplace_back(e.name, e.code);
+    }
+  }
+  if (sources.empty()) return usage();
+
+  struct Outcome {
+    explore::ExploreResult result;
+    std::string error;
+  };
+  const std::vector<Outcome> outcomes = support::parallel_map(
+      jobs, sources, [&](const std::pair<std::string, std::string>& src) {
+        Outcome o;
+        try {
+          o.result = explore::explore_source(src.second, opts);
+        } catch (const Error& e) {
+          o.error = e.what();
+        }
+        return o;
+      });
+
+  bool any_race = false;
+  bool any_error = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.error.empty()) {
+      std::fprintf(stderr, "%s: error: %s\n", sources[i].first.c_str(),
+                   o.error.c_str());
+      any_error = true;
+      continue;
+    }
+    const explore::ExploreResult& r = o.result;
+    if (r.race_detected) {
+      any_race = true;
+      std::printf(
+          "%s: DATA RACE (%s schedule %d of %d, minimized %llu -> %llu "
+          "decision(s))\n",
+          sources[i].first.c_str(), explore::strategy_name(opts.strategy),
+          r.first_race_schedule + 1, r.schedules_run,
+          static_cast<unsigned long long>(r.original_decisions),
+          static_cast<unsigned long long>(r.witness_decisions));
+      for (const auto& pair : r.report.pairs) {
+        std::printf("  %s@%d:%d:%c vs. %s@%d:%d:%c\n",
+                    pair.first.expr_text.c_str(), pair.first.loc.line,
+                    pair.first.loc.col, pair.first.op,
+                    pair.second.expr_text.c_str(), pair.second.loc.line,
+                    pair.second.loc.col, pair.second.op);
+      }
+      std::printf("  witness: %s\n", r.witness.c_str());
+    } else {
+      std::printf("%s: no race in %d %s schedule(s)%s (%zu coverage "
+                  "point(s))\n",
+                  sources[i].first.c_str(), r.schedules_run,
+                  explore::strategy_name(opts.strategy),
+                  r.stopped_on_plateau ? ", stopped on coverage plateau" : "",
+                  r.coverage.size());
+    }
+  }
+  if (any_error) return 2;
+  return any_race ? 1 : 0;
+}
+
 // Runs the full corpus pipeline stage by stage -- dataset construction,
 // token filtering, static analysis, dynamic detection, lint, verified
 // repair -- timing each stage through the obs stage timers and printing a
@@ -466,6 +721,7 @@ int cmd_stats(const std::vector<std::string>& args) {
   eval::ExperimentOptions eopts;
   std::string cache_path;
   bool run_repair = true;
+  bool run_explore = true;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--jobs" && i + 1 < args.size()) {
       eopts.jobs = static_cast<int>(int_flag("--jobs", args[++i]));
@@ -473,6 +729,8 @@ int cmd_stats(const std::vector<std::string>& args) {
       cache_path = args[++i];
     } else if (args[i] == "--no-repair") {
       run_repair = false;
+    } else if (args[i] == "--no-explore") {
+      run_explore = false;
     } else {
       return usage();
     }
@@ -555,6 +813,15 @@ int cmd_stats(const std::vector<std::string>& args) {
     for (std::size_t c : counts) n += c;
     return n;
   });
+  if (run_explore) {
+    run_stage(obs::kSpanStageExplore, obs::kStageExploreTime, [&] {
+      const std::vector<eval::ExplorationRow> rows =
+          eval::exploration_rows({}, eopts);
+      // Rows are [uniform, pct]; items = entries the PCT loop detected.
+      return rows.empty() ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(rows.back().detected);
+    });
+  }
   if (run_repair) {
     run_stage(obs::kSpanStageRepair, obs::kStageRepairTime, [&] {
       const std::vector<eval::RepairRow> rows = eval::table7_rows({}, eopts);
@@ -671,6 +938,7 @@ int main(int argc, char** argv) {
     if (cmd == "graph") return cmd_graph(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "fix") return cmd_fix(args);
+    if (cmd == "explore") return cmd_explore(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "entry") return cmd_entry(args);
