@@ -1,7 +1,8 @@
 // Extension experiment (paper Section 5 future work): input modalities
 // beyond plain text. Compares detection quality when prompts carry the
-// code alone, the code plus a pretty-printed AST, and the code plus a
-// serialized data-dependence graph.
+// code alone, the code plus a pretty-printed AST, the code plus a
+// serialized data-dependence graph, and the code plus the static
+// detector's evidence chains.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -11,15 +12,17 @@ int main(int argc, char** argv) {
   using namespace drbml;
   std::printf("%s",
               heading("Extension -- input modalities (text / +AST / "
-                      "+dependence graph), detection with p1").c_str());
+                      "+dependence graph / +evidence), detection with p1")
+                  .c_str());
   const auto subset = eval::token_filtered_subset();
-  TextTable t({"Model", "text F1", "+AST F1", "+depgraph F1"});
+  TextTable t({"Model", "text F1", "+AST F1", "+depgraph F1",
+               "+evidence F1"});
   for (const llm::Persona& persona : llm::all_personas()) {
     llm::ChatModel model(persona);
     std::vector<std::string> row = {persona.name};
     for (prompts::Modality m :
          {prompts::Modality::Text, prompts::Modality::Ast,
-          prompts::Modality::DepGraph}) {
+          prompts::Modality::DepGraph, prompts::Modality::Evidence}) {
       const auto cm =
           eval::run_detection_modal(model, prompts::Style::P1, m, subset);
       row.push_back(format_double(cm.f1(), 3));
@@ -34,6 +37,9 @@ int main(int argc, char** argv) {
       "models encode that as reduced uncertainty plus confidence\n"
       "sharpening; the harness measures the end-to-end effect through the\n"
       "full prompt/parse pipeline (including the larger prompts' token\n"
-      "cost against each model's context window).\n");
+      "cost against each model's context window). The evidence modality\n"
+      "embeds the static detector's per-pair evidence chains (racy and\n"
+      "discharged) and sharpens slightly harder than the dependence\n"
+      "graph: the chains already state which discharge rule failed.\n");
   return 0;
 }

@@ -20,7 +20,11 @@
 # exploration gate: at equal schedule budget PCT must match or beat the
 # uniform walk on detected races over the race-labeled corpus with at
 # least one PCT-only entry, and every reported race must ship a
-# minimized witness that replays bit-identically. Stage 3 rebuilds
+# minimized witness that replays bit-identically. Stage 2e is the
+# static-analysis gate: the precision differential (ctest -L precision)
+# asserts strictly fewer false positives than the legacy detector
+# configuration with zero recall loss, and clang-tidy (when installed)
+# runs the curated .clang-tidy check set over src/. Stage 3 rebuilds
 # under ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
 # `parallel`-labelled suites -- the thread pool, the memoized artifact
 # caches, the parallel experiment executor, the lint and repair
@@ -51,6 +55,23 @@ build/tools/gen_obs_docs --check-links \
 
 echo "== stage 2d: exploration gate (PCT vs uniform + witness replay) =="
 build/tools/drbml explore --corpus --check --budget 12 | tail -n 1
+
+echo "== stage 2e: static analysis gate (clang-tidy + precision) =="
+# The precision gate re-runs the corpus differential: the default
+# detector must report strictly fewer false positives than the legacy
+# configuration with zero recall loss, and every verdict must carry a
+# round-trippable evidence chain (tests/static_precision_test.cpp).
+(cd build && ctest -L precision --output-on-failure)
+# clang-tidy runs the curated .clang-tidy check set over src/. The
+# toolchain image does not always ship clang-tidy, so absence is a
+# skip, not a failure.
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cpp' -print0 \
+    | xargs -0 -P "$(nproc)" -n 8 clang-tidy -p build --quiet
+else
+  echo "clang-tidy not found; skipping the tidy half of stage 2e"
+fi
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="

@@ -271,7 +271,7 @@ class RegionCollector {
             (dir.kind == OmpDirectiveKind::For ||
              dir.kind == OmpDirectiveKind::ForSimd) &&
             !dir.has_clause(OmpClauseKind::Nowait)) {
-          ++ctx_.phase;
+          advance_phase("for-join", s.loc);
         }
         break;
       }
@@ -293,7 +293,7 @@ class RegionCollector {
         break;
       }
       case OmpDirectiveKind::Barrier:
-        ++ctx_.phase;
+        advance_phase("barrier", s.loc);
         break;
       case OmpDirectiveKind::Single:
       case OmpDirectiveKind::Master: {
@@ -306,7 +306,7 @@ class RegionCollector {
         ctx_.exec_once_id = saved_once;
         if (dir.kind == OmpDirectiveKind::Single &&
             !dir.has_clause(OmpClauseKind::Nowait)) {
-          ++ctx_.phase;  // implicit barrier at end of single
+          advance_phase("single-join", s.loc);  // implicit barrier
         }
         break;
       }
@@ -330,7 +330,9 @@ class RegionCollector {
         } else if (s.body) {
           walk_stmt(*s.body);
         }
-        if (!dir.has_clause(OmpClauseKind::Nowait)) ++ctx_.phase;
+        if (!dir.has_clause(OmpClauseKind::Nowait)) {
+          advance_phase("sections-join", s.loc);
+        }
         break;
       }
       case OmpDirectiveKind::Section: {
@@ -462,6 +464,15 @@ class RegionCollector {
     walk_stmt(*cursor);
     in_loop_ = saved;
     for (std::size_t i = 0; i < pushed; ++i) dist_loops_.pop_back();
+  }
+
+  void advance_phase(const char* kind, const SourceLoc& loc) {
+    ++ctx_.phase;
+    PhaseBoundary b;
+    b.phase_after = ctx_.phase;
+    b.kind = kind;
+    b.loc = loc;
+    region_.boundaries.push_back(std::move(b));
   }
 
   [[nodiscard]] const VarDecl* find_atomic_target(const OmpStmt& s) const {
@@ -811,34 +822,55 @@ std::optional<LoopInfo> analyze_loop(const ForStmt& loop,
 
   // Bounds: `init` on the step-entry side, condition on the exit side.
   std::optional<std::int64_t> init_const;
-  if (init_value != nullptr) init_const = consts.eval(*init_value);
+  std::optional<TidForm> init_tid;
+  if (init_value != nullptr) {
+    init_const = consts.eval(*init_value);
+    if (!init_const) init_tid = consts.tid_eval(*init_value);
+  }
 
   std::optional<std::int64_t> limit;
+  std::optional<TidForm> limit_tid;
   bool limit_inclusive = false;
   if (const auto* cond = expr_cast<Binary>(loop.cond.get())) {
     const auto* id = expr_cast<Ident>(cond->lhs.get());
     if (id != nullptr && id->decl == info.induction) {
-      limit = consts.eval(*cond->rhs);
+      bool shape_ok = true;
       switch (cond->op) {
         case BinaryOp::Lt: limit_inclusive = false; break;
         case BinaryOp::Le: limit_inclusive = true; break;
         case BinaryOp::Gt: limit_inclusive = false; break;
         case BinaryOp::Ge: limit_inclusive = true; break;
         case BinaryOp::Ne: limit_inclusive = false; break;
-        default: limit = std::nullopt; break;
+        default: shape_ok = false; break;
+      }
+      if (shape_ok) {
+        limit = consts.eval(*cond->rhs);
+        if (!limit) limit_tid = consts.tid_eval(*cond->rhs);
       }
     }
   }
 
+  // The exclusive-bound adjustment (strict comparison) applied to either
+  // the constant or the thread-id form.
+  const auto adjust_tid = [](TidForm f, std::int64_t delta) {
+    f.constant += delta;
+    return f;
+  };
   if (step > 0) {
     info.lower = init_const;
+    if (!init_const && init_tid) info.lower_tid = init_tid;
     if (limit) {
       info.upper = limit_inclusive ? *limit : *limit - 1;
+    } else if (limit_tid) {
+      info.upper_tid = adjust_tid(*limit_tid, limit_inclusive ? 0 : -1);
     }
   } else {
     info.upper = init_const;
+    if (!init_const && init_tid) info.upper_tid = init_tid;
     if (limit) {
       info.lower = limit_inclusive ? *limit : *limit + 1;
+    } else if (limit_tid) {
+      info.lower_tid = adjust_tid(*limit_tid, limit_inclusive ? 0 : 1);
     }
   }
   return info;

@@ -47,6 +47,13 @@ struct LoopInfo {
   const minic::VarDecl* induction = nullptr;
   std::optional<std::int64_t> lower;
   std::optional<std::int64_t> upper;
+  /// Symbolic bounds as affine thread-id forms, recovered when the
+  /// constant bounds above are unknown (`for (k = tid*16; k < tid*16+16;)`
+  /// yields lower_tid {16,0}, upper_tid {16,15}). Inclusive, like
+  /// lower/upper. The dependence tester substitutes
+  /// k = lower_tid + u, u in [0, upper_tid - lower_tid].
+  std::optional<TidForm> lower_tid;
+  std::optional<TidForm> upper_tid;
   std::int64_t step = 1;
   bool distributed = false;  // iterations spread across threads
   bool simd = false;         // vector-lane loop
@@ -87,11 +94,23 @@ struct AccessInfo {
   std::vector<LoopInfo> seq_loops;
 };
 
+/// One phase boundary inside a parallel region: the synchronization point
+/// at which the collector advanced SyncContext::phase. Recorded so the
+/// MHP phase partition (mhp.hpp) can cite provenance in evidence chains.
+struct PhaseBoundary {
+  int phase_after = 0;  // phase index in effect after this boundary
+  /// "barrier" | "for-join" | "single-join" | "sections-join".
+  std::string kind;
+  minic::SourceLoc loc;
+};
+
 /// A parallel construct and everything collected from its extent.
 struct ParallelRegion {
   const minic::OmpStmt* stmt = nullptr;
   bool simd_only = false;  // `#pragma omp simd` without a thread team
   std::vector<AccessInfo> accesses;
+  /// Phase boundaries in source order (empty = single-phase region).
+  std::vector<PhaseBoundary> boundaries;
   /// Constant bindings of the enclosing function (used by dependence
   /// testing to fold loop bounds and offsets).
   ConstantMap consts;

@@ -4,6 +4,17 @@ namespace drbml::analysis {
 
 using namespace minic;
 
+const VarDecl* tid_symbol() noexcept {
+  // A never-declared sentinel: name chosen for readable rendering in
+  // dependence-graph and evidence output.
+  static const VarDecl sentinel = [] {
+    VarDecl v;
+    v.name = "__tid";
+    return v;
+  }();
+  return &sentinel;
+}
+
 LinearForm& LinearForm::operator+=(const LinearForm& o) {
   if (!o.is_affine) is_affine = false;
   if (!is_affine) return *this;
@@ -25,7 +36,8 @@ void LinearForm::scale(std::int64_t k) {
   for (auto& [v, c] : coeffs) c *= k;
 }
 
-LinearForm linearize(const Expr& e, const ConstantMap& consts) {
+LinearForm linearize(const Expr& e, const ConstantMap& consts,
+                     bool model_tid) {
   switch (e.kind) {
     case ExprKind::IntLit: {
       LinearForm f;
@@ -43,6 +55,10 @@ LinearForm linearize(const Expr& e, const ConstantMap& consts) {
       if (id.decl == nullptr) return LinearForm::non_affine();
       if (auto v = consts.value_of(id.decl)) {
         f.constant = *v;
+      } else if (auto tid = model_tid ? consts.tid_form_of(id.decl)
+                                      : std::nullopt) {
+        if (tid->coeff != 0) f.coeffs[tid_symbol()] = tid->coeff;
+        f.constant = tid->constant;
       } else {
         f.coeffs[id.decl] = 1;
       }
@@ -50,7 +66,7 @@ LinearForm linearize(const Expr& e, const ConstantMap& consts) {
     }
     case ExprKind::Unary: {
       const auto& u = static_cast<const Unary&>(e);
-      LinearForm f = linearize(*u.operand, consts);
+      LinearForm f = linearize(*u.operand, consts, model_tid);
       switch (u.op) {
         case UnaryOp::Plus: return f;
         case UnaryOp::Neg: f.scale(-1); return f;
@@ -59,8 +75,8 @@ LinearForm linearize(const Expr& e, const ConstantMap& consts) {
     }
     case ExprKind::Binary: {
       const auto& b = static_cast<const Binary&>(e);
-      LinearForm l = linearize(*b.lhs, consts);
-      LinearForm r = linearize(*b.rhs, consts);
+      LinearForm l = linearize(*b.lhs, consts, model_tid);
+      LinearForm r = linearize(*b.rhs, consts, model_tid);
       switch (b.op) {
         case BinaryOp::Add: l += r; return l;
         case BinaryOp::Sub: l -= r; return l;
@@ -103,9 +119,19 @@ LinearForm linearize(const Expr& e, const ConstantMap& consts) {
       }
     }
     case ExprKind::Cast:
-      return linearize(*static_cast<const Cast&>(e).operand, consts);
+      return linearize(*static_cast<const Cast&>(e).operand, consts,
+                       model_tid);
+    case ExprKind::Call: {
+      const auto& c = static_cast<const Call&>(e);
+      if (model_tid && c.callee == "omp_get_thread_num" && c.args.empty()) {
+        LinearForm f;
+        f.coeffs[tid_symbol()] = 1;
+        return f;
+      }
+      return LinearForm::non_affine();
+    }
     default:
-      // Subscript (indirect indexing), calls, assignments: non-affine.
+      // Subscript (indirect indexing), assignments: non-affine.
       return LinearForm::non_affine();
   }
 }

@@ -47,10 +47,22 @@ struct LinearForm {
   }
 };
 
+/// The distinguished pseudo-variable standing for omp_get_thread_num().
+/// With thread-id modeling enabled, `a[omp_get_thread_num()]` linearizes
+/// to {tid_symbol(): 1}; the dependence tester treats its coefficient as a
+/// per-thread term (distinct threads, distinct values). The sentinel never
+/// aliases a real declaration.
+[[nodiscard]] const minic::VarDecl* tid_symbol() noexcept;
+
 /// Builds the linear form of `e`. Variables with known constant values (per
 /// `consts`) fold into the constant term; other variables appear with their
 /// coefficients. Non-linear constructs yield `is_affine == false`.
+///
+/// With `model_tid`, calls to omp_get_thread_num() and variables carrying a
+/// TidForm binding contribute tid_symbol() terms instead of going
+/// non-affine; without it (the legacy behaviour) they stay non-affine.
 [[nodiscard]] LinearForm linearize(const minic::Expr& e,
-                                   const ConstantMap& consts);
+                                   const ConstantMap& consts,
+                                   bool model_tid = false);
 
 }  // namespace drbml::analysis

@@ -7,14 +7,18 @@ using namespace minic;
 namespace {
 
 /// Collects constant bindings. `conditional` is true inside branches and
-/// loops, where assignments poison rather than bind.
+/// loops, where assignments poison rather than bind. `tid_conditional`
+/// tracks a looser discipline for thread-id forms: an OpenMP construct
+/// body runs straight-line once per thread, so declaration initializers
+/// there may still bind a TidForm, while loops and branches poison both.
 class Scanner {
  public:
   Scanner(std::map<const VarDecl*, std::int64_t>& values,
+          std::map<const VarDecl*, TidForm>& tid_values,
           std::map<const VarDecl*, bool>& poisoned)
-      : values_(values), poisoned_(poisoned) {}
+      : values_(values), tid_values_(tid_values), poisoned_(poisoned) {}
 
-  void scan_stmt(const Stmt& s, bool conditional) {
+  void scan_stmt(const Stmt& s, bool conditional, bool tid_conditional) {
     switch (s.kind) {
       case StmtKind::Decl: {
         const auto& d = static_cast<const DeclStmt&>(s);
@@ -24,7 +28,7 @@ class Scanner {
             continue;
           }
           if (v->init) {
-            bind(v.get(), v->init.get(), conditional);
+            bind(v.get(), v->init.get(), conditional, tid_conditional);
           }
         }
         break;
@@ -34,33 +38,35 @@ class Scanner {
         break;
       case StmtKind::Compound:
         for (const auto& st : static_cast<const CompoundStmt&>(s).body) {
-          scan_stmt(*st, conditional);
+          scan_stmt(*st, conditional, tid_conditional);
         }
         break;
       case StmtKind::If: {
         const auto& i = static_cast<const IfStmt&>(s);
-        scan_stmt(*i.then_branch, true);
-        if (i.else_branch) scan_stmt(*i.else_branch, true);
+        scan_stmt(*i.then_branch, true, true);
+        if (i.else_branch) scan_stmt(*i.else_branch, true, true);
         break;
       }
       case StmtKind::For: {
         const auto& f = static_cast<const ForStmt&>(s);
-        if (f.init) scan_stmt(*f.init, true);
+        if (f.init) scan_stmt(*f.init, true, true);
         if (f.inc) scan_expr(*f.inc, true);
-        scan_stmt(*f.body, true);
+        scan_stmt(*f.body, true, true);
         break;
       }
       case StmtKind::While:
-        scan_stmt(*static_cast<const WhileStmt&>(s).body, true);
+        scan_stmt(*static_cast<const WhileStmt&>(s).body, true, true);
         break;
       case StmtKind::Do:
-        scan_stmt(*static_cast<const DoStmt&>(s).body, true);
+        scan_stmt(*static_cast<const DoStmt&>(s).body, true, true);
         break;
       case StmtKind::Omp: {
         const auto& o = static_cast<const OmpStmt&>(s);
         // Everything under an OpenMP directive executes concurrently;
-        // treat as conditional.
-        if (o.body) scan_stmt(*o.body, true);
+        // treat as conditional for plain constants. Thread-id forms stay
+        // bindable: each thread runs the body's straight-line declarations
+        // exactly once with its own omp_get_thread_num().
+        if (o.body) scan_stmt(*o.body, true, tid_conditional);
         break;
       }
       default:
@@ -76,7 +82,11 @@ class Scanner {
         if (const auto* id = expr_cast<Ident>(a.target.get())) {
           if (id->decl != nullptr) {
             if (a.op == AssignOp::Assign && !conditional) {
-              bind(id->decl, a.value.get(), conditional);
+              // Assignments never bind thread-id forms: the flow-
+              // insensitive scan cannot prove the assignment precedes
+              // every use, while a declaration trivially does.
+              bind(id->decl, a.value.get(), conditional,
+                   /*tid_conditional=*/true);
             } else {
               poison(id->decl);
             }
@@ -131,33 +141,47 @@ class Scanner {
   }
 
  private:
-  void bind(const VarDecl* v, const Expr* init, bool conditional) {
-    if (conditional || poisoned_[v]) {
+  void bind(const VarDecl* v, const Expr* init, bool conditional,
+            bool tid_conditional) {
+    if (poisoned_[v]) {
       poison(v);
       return;
     }
-    if (values_.count(v) != 0) {
-      // Second unconditional binding: keep the latest only if constant;
-      // simplest sound choice is to poison.
+    if (values_.count(v) != 0 || tid_values_.count(v) != 0) {
+      // Second binding: keep the latest only if constant; simplest sound
+      // choice is to poison.
       poison(v);
       return;
     }
     // Literal or foldable initializer, evaluated against current bindings.
     ConstantMap snapshot;
-    snapshot.set_for_scan(values_, poisoned_);
-    if (auto val = snapshot.eval(*init)) {
-      values_[v] = *val;
-    } else {
-      poison(v);
+    snapshot.set_for_scan(values_, tid_values_, poisoned_);
+    if (!conditional) {
+      if (auto val = snapshot.eval(*init)) {
+        values_[v] = *val;
+        return;
+      }
     }
+    if (!tid_conditional) {
+      // Straight-line declaration in an OpenMP body (or plain code whose
+      // initializer mentions omp_get_thread_num()): bind the affine
+      // thread-id form. A coefficient of zero is a per-thread constant.
+      if (auto form = snapshot.tid_eval(*init)) {
+        tid_values_[v] = *form;
+        return;
+      }
+    }
+    poison(v);
   }
 
   void poison(const VarDecl* v) {
     poisoned_[v] = true;
     values_.erase(v);
+    tid_values_.erase(v);
   }
 
   std::map<const VarDecl*, std::int64_t>& values_;
+  std::map<const VarDecl*, TidForm>& tid_values_;
   std::map<const VarDecl*, bool>& poisoned_;
 
   friend class drbml::analysis::ConstantMap;
@@ -167,22 +191,24 @@ class Scanner {
 
 void ConstantMap::set_for_scan(
     const std::map<const minic::VarDecl*, std::int64_t>& values,
+    const std::map<const minic::VarDecl*, TidForm>& tid_values,
     const std::map<const minic::VarDecl*, bool>& poisoned) {
   values_ = values;
+  tid_values_ = tid_values;
   poisoned_ = poisoned;
 }
 
 ConstantMap ConstantMap::build(const TranslationUnit& unit,
                                const FunctionDecl& fn) {
   ConstantMap cm;
-  Scanner scanner(cm.values_, cm.poisoned_);
+  Scanner scanner(cm.values_, cm.tid_values_, cm.poisoned_);
   for (const auto& g : unit.globals) {
     if (g->init && !g->is_array() && !g->type.is_pointer() &&
         !g->type.is_floating()) {
       if (auto val = cm.eval(*g->init)) cm.values_[g.get()] = *val;
     }
   }
-  if (fn.body) scanner.scan_stmt(*fn.body, false);
+  if (fn.body) scanner.scan_stmt(*fn.body, false, false);
   return cm;
 }
 
@@ -192,6 +218,73 @@ std::optional<std::int64_t> ConstantMap::value_of(const VarDecl* v) const {
   auto it = values_.find(v);
   if (it == values_.end()) return std::nullopt;
   return it->second;
+}
+
+std::optional<TidForm> ConstantMap::tid_form_of(const VarDecl* v) const {
+  auto p = poisoned_.find(v);
+  if (p != poisoned_.end() && p->second) return std::nullopt;
+  auto it = tid_values_.find(v);
+  if (it == tid_values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TidForm> ConstantMap::tid_eval(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return TidForm{0, static_cast<const IntLit&>(e).value};
+    case ExprKind::CharLit:
+      return TidForm{
+          0, static_cast<std::int64_t>(static_cast<const CharLit&>(e).value)};
+    case ExprKind::Ident: {
+      const auto& id = static_cast<const Ident&>(e);
+      if (id.decl == nullptr) return std::nullopt;
+      if (auto c = value_of(id.decl)) return TidForm{0, *c};
+      return tid_form_of(id.decl);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const Call&>(e);
+      if (c.callee == "omp_get_thread_num" && c.args.empty()) {
+        return TidForm{1, 0};
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const Unary&>(e);
+      auto f = tid_eval(*u.operand);
+      if (!f) return std::nullopt;
+      switch (u.op) {
+        case UnaryOp::Plus: return f;
+        case UnaryOp::Neg: return TidForm{-f->coeff, -f->constant};
+        default: return std::nullopt;
+      }
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const Binary&>(e);
+      auto l = tid_eval(*b.lhs);
+      auto r = tid_eval(*b.rhs);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case BinaryOp::Add:
+          return TidForm{l->coeff + r->coeff, l->constant + r->constant};
+        case BinaryOp::Sub:
+          return TidForm{l->coeff - r->coeff, l->constant - r->constant};
+        case BinaryOp::Mul:
+          if (l->coeff == 0) {
+            return TidForm{l->constant * r->coeff, l->constant * r->constant};
+          }
+          if (r->coeff == 0) {
+            return TidForm{l->coeff * r->constant, l->constant * r->constant};
+          }
+          return std::nullopt;
+        default:
+          return std::nullopt;
+      }
+    }
+    case ExprKind::Cast:
+      return tid_eval(*static_cast<const Cast&>(e).operand);
+    default:
+      return std::nullopt;
+  }
 }
 
 std::optional<std::int64_t> ConstantMap::eval(const Expr& e) const {

@@ -15,6 +15,17 @@
 
 namespace drbml::analysis {
 
+/// An affine form over the symbolic thread id: coeff * omp_get_thread_num()
+/// + constant. Used to model per-thread index arithmetic
+/// (`int lo = omp_get_thread_num() * 16;`) so the dependence tester can
+/// prove thread-disjoint array partitions.
+struct TidForm {
+  std::int64_t coeff = 0;
+  std::int64_t constant = 0;
+
+  friend bool operator==(const TidForm&, const TidForm&) = default;
+};
+
 class ConstantMap {
  public:
   /// Scans `fn`'s body (and `unit` globals) and records scalar integer
@@ -29,13 +40,28 @@ class ConstantMap {
   /// variables, literals, and arithmetic.
   [[nodiscard]] std::optional<std::int64_t> eval(const minic::Expr& e) const;
 
+  /// The thread-id affine form bound to `v`, if any. Bindings come from
+  /// straight-line declaration initializers inside a parallel construct
+  /// (`int tid = omp_get_thread_num(); int lo = tid * 16;`); declarations
+  /// under loops or branches, reassignments, and address-taken variables
+  /// never bind.
+  [[nodiscard]] std::optional<TidForm> tid_form_of(
+      const minic::VarDecl* v) const;
+
+  /// Evaluates `e` as an affine form over the symbolic thread id, folding
+  /// constants and tid-bound variables. `omp_get_thread_num()` evaluates
+  /// to {coeff 1, constant 0}.
+  [[nodiscard]] std::optional<TidForm> tid_eval(const minic::Expr& e) const;
+
   /// Internal: seeds a map from in-progress scan state so initializers can
   /// fold previously bound constants. Not part of the public API.
   void set_for_scan(const std::map<const minic::VarDecl*, std::int64_t>& values,
+                    const std::map<const minic::VarDecl*, TidForm>& tid_values,
                     const std::map<const minic::VarDecl*, bool>& poisoned);
 
  private:
   std::map<const minic::VarDecl*, std::int64_t> values_;
+  std::map<const minic::VarDecl*, TidForm> tid_values_;
   std::map<const minic::VarDecl*, bool> poisoned_;
 };
 

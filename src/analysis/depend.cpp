@@ -25,17 +25,28 @@ struct FreeTerm {
   std::int64_t coeff = 0;
   std::optional<std::int64_t> lo;
   std::optional<std::int64_t> hi;
-  bool is_dist = false;  // variable is a distributed induction variable
+  bool is_dist = false;  // variable varies across threads
+};
+
+/// Which test decided a dimension (for evidence details).
+enum class Feas {
+  Feasible,
+  GcdFail,       // gcd of coefficients does not divide the constant
+  IntervalFail,  // Banerjee bounds exclude zero
+  DistanceFail,  // forced iteration distance unrealizable (step/range)
+  TidFail,       // no thread-id difference solves the equation
 };
 
 /// Per-dimension analysis result.
 struct DimResult {
   bool possible = true;  // difference can be zero
   bool slack = false;    // zero achievable without constraining distances
-  bool free_dist = false;  // a distributed var participates unconstrained
+  bool free_dist = false;  // a cross-thread var participates unconstrained
   /// When !slack: equation sum(dcoeff[v] * d_v) + cst == 0 must hold.
   std::map<const VarDecl*, std::int64_t> dcoeff;
   std::int64_t cst = 0;
+  bool tid_same_only = false;  // overlap forces tid_a == tid_b
+  Feas fail = Feas::Feasible;  // why !possible
 };
 
 std::int64_t gcd64(std::int64_t a, std::int64_t b) {
@@ -51,12 +62,12 @@ std::int64_t gcd64(std::int64_t a, std::int64_t b) {
 
 /// Interval + GCD feasibility of `cst + sum(coeff_k * x_k) == 0` where each
 /// x_k ranges over its (possibly unknown) bounds.
-bool interval_feasible(std::int64_t cst, const std::vector<FreeTerm>& terms) {
+Feas interval_feasible(std::int64_t cst, const std::vector<FreeTerm>& terms) {
   // GCD test.
   std::int64_t g = 0;
   for (const auto& t : terms) g = gcd64(g, t.coeff);
-  if (g != 0 && cst % g != 0) return false;
-  if (terms.empty()) return cst == 0;
+  if (g != 0 && cst % g != 0) return Feas::GcdFail;
+  if (terms.empty()) return cst == 0 ? Feas::Feasible : Feas::IntervalFail;
 
   // Interval test (Banerjee bounds); unknown bounds widen to infinity.
   bool lo_inf = false;
@@ -78,24 +89,96 @@ bool interval_feasible(std::int64_t cst, const std::vector<FreeTerm>& terms) {
   }
   const bool lo_ok = lo_inf || lo_sum <= 0;
   const bool hi_ok = hi_inf || hi_sum >= 0;
-  return lo_ok && hi_ok;
+  return (lo_ok && hi_ok) ? Feas::Feasible : Feas::IntervalFail;
+}
+
+/// The value interval of `cst + sum(coeff_k * x_k)`.
+struct Interval {
+  bool unbounded = false;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+Interval sum_interval(std::int64_t cst, const std::vector<FreeTerm>& terms) {
+  Interval r;
+  r.lo = cst;
+  r.hi = cst;
+  for (const auto& t : terms) {
+    if (t.coeff == 0) continue;
+    if (!t.lo || !t.hi) {
+      r.unbounded = true;
+      return r;
+    }
+    const std::int64_t a = t.coeff * *t.lo;
+    const std::int64_t b = t.coeff * *t.hi;
+    r.lo += std::min(a, b);
+    r.hi += std::max(a, b);
+  }
+  return r;
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return -floor_div(-a, b);
+}
+
+const char* test_name(Feas f) {
+  switch (f) {
+    case Feas::GcdFail:
+      return "gcd";
+    case Feas::IntervalFail:
+      return "banerjee";
+    case Feas::DistanceFail:
+      return "distance";
+    case Feas::TidFail:
+      return "tid-disjoint";
+    case Feas::Feasible:
+      break;
+  }
+  return "conflict";
+}
+
+DependVerdict verdict(ConflictKind kind, std::string test,
+                      std::string detail) {
+  DependVerdict v;
+  v.kind = kind;
+  v.test = std::move(test);
+  v.detail = std::move(detail);
+  return v;
 }
 
 }  // namespace
 
-ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
-                               const ConstantMap& consts,
-                               const DependOptions& opts) {
+DependVerdict classify_conflict_ex(const AccessInfo& A, const AccessInfo& B,
+                                   const ConstantMap& consts,
+                                   const DependOptions& opts) {
   // Dimensionality mismatch (e.g. `*p` vs `p[i][j]`): unknown overlap.
   if (A.subscripts.size() != B.subscripts.size()) {
-    return opts.conservative_nonaffine ? ConflictKind::CrossThread
-                                       : ConflictKind::None;
+    if (opts.conservative_nonaffine) {
+      return verdict(ConflictKind::CrossThread, "nonaffine",
+                     "subscript dimensionality differs; assumed overlapping");
+    }
+    return verdict(ConflictKind::None, "nonaffine",
+                   "subscript dimensionality differs; assumed disjoint");
   }
+
+  // Thread-id modeling is unsound for tasks: the executing thread of a
+  // task is arbitrary, not the spawning thread.
+  const bool model_tid =
+      opts.model_thread_id && A.ctx.task_id == -1 && B.ctx.task_id == -1;
 
   const bool same_nest = !A.dist_loops.empty() && !B.dist_loops.empty() &&
                          A.dist_loops[0].loop == B.dist_loops[0].loop;
 
   bool any_free_dist = false;
+  bool any_nonaffine = false;
+  bool tid_same_only = false;
   std::map<const VarDecl*, std::int64_t> forced;  // distance per dist var
   std::set<const VarDecl*> constrained;
 
@@ -109,17 +192,24 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
       dim.slack = true;
       // Unknown indexing may vary across threads.
       dim.free_dist = !A.dist_loops.empty() || !B.dist_loops.empty();
+      any_nonaffine = true;
       dims.push_back(dim);
     };
     if (ea == nullptr || eb == nullptr) {
-      if (!opts.conservative_nonaffine) return ConflictKind::None;
+      if (!opts.conservative_nonaffine) {
+        return verdict(ConflictKind::None, "nonaffine",
+                       "unknown subscript; assumed disjoint");
+      }
       conservative_dim();
       continue;
     }
-    LinearForm la = linearize(*ea, consts);
-    LinearForm lb = linearize(*eb, consts);
+    LinearForm la = linearize(*ea, consts, model_tid);
+    LinearForm lb = linearize(*eb, consts, model_tid);
     if (!la.is_affine || !lb.is_affine) {
-      if (!opts.conservative_nonaffine) return ConflictKind::None;
+      if (!opts.conservative_nonaffine) {
+        return verdict(ConflictKind::None, "nonaffine",
+                       "non-affine subscript; assumed disjoint");
+      }
       conservative_dim();
       continue;
     }
@@ -128,11 +218,39 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
     for (const auto& [v, c] : la.coeffs) vars.insert(v);
     for (const auto& [v, c] : lb.coeffs) vars.insert(v);
 
+    // Per-side thread-id coefficients. Symbolic loop-bound substitution
+    // below can add to these.
+    std::int64_t tid_a = la.coeff(tid_symbol());
+    std::int64_t tid_b = lb.coeff(tid_symbol());
+
     std::vector<FreeTerm> free_terms;
     bool symbolic_mismatch = false;
     dim.cst = la.constant - lb.constant;
 
+    // Substitute a thread-id-affine bound for an otherwise unbounded
+    // sequential loop variable: k = c_t*tid + c0 + u, u in [0, range].
+    // Folds into the side's tid coefficient, the constant, and a bounded
+    // free term. Returns false when no substitution applies.
+    auto substitute_tid_bounds = [&](const LoopInfo* li, std::int64_t coeff,
+                                     std::int64_t& tid_side) {
+      if (!model_tid || !opts.symbolic_bounds || li == nullptr) return false;
+      if (!li->lower_tid || !li->upper_tid) return false;
+      if (li->lower_tid->coeff != li->upper_tid->coeff) return false;
+      const std::int64_t range =
+          li->upper_tid->constant - li->lower_tid->constant;
+      if (range < 0) return false;
+      tid_side += coeff * li->lower_tid->coeff;
+      dim.cst += coeff * li->lower_tid->constant;
+      FreeTerm t;
+      t.coeff = coeff;
+      t.lo = 0;
+      t.hi = range;
+      free_terms.push_back(t);
+      return true;
+    };
+
     for (const VarDecl* v : vars) {
+      if (v == tid_symbol()) continue;  // handled symbolically below
       const std::int64_t ca = la.coeff(v);
       const std::int64_t cb = lb.coeff(v);
       const LoopInfo* da = find_loop(A.dist_loops, v);
@@ -154,8 +272,10 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
         if (ca != cb) symbolic_mismatch = true;
         continue;
       }
-      // Independent instances per side.
-      if (ca != 0) {
+      // Independent instances per side. A successful substitution must
+      // not skip the other side's handling of the same variable.
+      if (ca != 0 && !(da == nullptr && sa != nullptr && !sa->lower &&
+                       substitute_tid_bounds(sa, ca, tid_a))) {
         const LoopInfo* li = da != nullptr ? da : sa;
         FreeTerm t;
         t.coeff = ca;
@@ -168,6 +288,14 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
       }
       if (cb != 0) {
         const LoopInfo* li = db != nullptr ? db : sb;
+        if (db == nullptr && sb != nullptr && !sb->lower) {
+          // The difference form carries -tid_b, so accumulate negated.
+          std::int64_t neg_tid_b = -tid_b;
+          if (substitute_tid_bounds(sb, -cb, neg_tid_b)) {
+            tid_b = -neg_tid_b;
+            continue;
+          }
+        }
         FreeTerm t;
         t.coeff = -cb;
         if (li != nullptr) {
@@ -181,8 +309,74 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
 
     if (symbolic_mismatch) {
       // e.g. a[x] vs a[2*x] with x unknown: overlap cannot be excluded.
-      if (!opts.conservative_nonaffine) return ConflictKind::None;
+      if (!opts.conservative_nonaffine) {
+        return verdict(ConflictKind::None, "nonaffine",
+                       "symbolic subscripts differ; assumed disjoint");
+      }
       conservative_dim();
+      continue;
+    }
+
+    if (model_tid && tid_a != tid_b) {
+      // Differing thread-id coefficients: the per-thread offsets have
+      // different shapes; treat each side's tid as unbounded.
+      if (tid_a != 0) {
+        FreeTerm t;
+        t.coeff = tid_a;
+        t.is_dist = true;
+        free_terms.push_back(t);
+      }
+      if (tid_b != 0) {
+        FreeTerm t;
+        t.coeff = -tid_b;
+        t.is_dist = true;
+        free_terms.push_back(t);
+      }
+    } else if (model_tid && tid_a != 0) {
+      // Equal nonzero tid coefficients c on both sides: the difference is
+      // c*(tid_a - tid_b) + rest. A cross-thread conflict needs a nonzero
+      // integer dt = tid_a - tid_b with c*dt in [-hi(rest), -lo(rest)].
+      const std::int64_t c = tid_a;
+      std::vector<FreeTerm> rest = free_terms;
+      for (const auto& [v, cv] : dim.dcoeff) {
+        const LoopInfo* li = find_loop(A.dist_loops, v);
+        FreeTerm t;
+        t.coeff = cv;
+        if (li != nullptr && li->lower && li->upper) {
+          const std::int64_t range = *li->upper - *li->lower;
+          t.lo = -range;
+          t.hi = range;
+        }
+        rest.push_back(t);
+      }
+      const Interval r = sum_interval(dim.cst, rest);
+      if (r.unbounded) {
+        dim.slack = true;
+        dim.free_dist = true;
+      } else {
+        std::int64_t qlo;
+        std::int64_t qhi;
+        if (c > 0) {
+          qlo = ceil_div(-r.hi, c);
+          qhi = floor_div(-r.lo, c);
+        } else {
+          qlo = ceil_div(-r.lo, c);
+          qhi = floor_div(-r.hi, c);
+        }
+        const bool any = qlo <= qhi;
+        const bool nonzero = any && !(qlo == 0 && qhi == 0);
+        if (!any) {
+          dim.possible = false;
+          dim.fail = Feas::TidFail;
+        } else if (nonzero) {
+          dim.slack = true;
+          dim.free_dist = true;
+        } else {
+          dim.tid_same_only = true;
+          dim.slack = true;
+        }
+      }
+      dims.push_back(dim);
       continue;
     }
 
@@ -201,7 +395,9 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
         }
         all.push_back(t);
       }
-      dim.possible = interval_feasible(dim.cst, all);
+      const Feas f = interval_feasible(dim.cst, all);
+      dim.possible = f == Feas::Feasible;
+      dim.fail = f;
       dim.slack = true;
       for (const auto& t : free_terms) {
         if (t.is_dist && t.coeff != 0) dim.free_dist = true;
@@ -214,6 +410,7 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
     // Pure distance equation: sum(dcoeff * d_v) + cst == 0.
     if (dim.dcoeff.empty()) {
       dim.possible = dim.cst == 0;
+      if (!dim.possible) dim.fail = Feas::IntervalFail;
       dims.push_back(dim);
       continue;
     }
@@ -221,6 +418,7 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
       const auto& [v, c] = *dim.dcoeff.begin();
       if (dim.cst % c != 0) {
         dim.possible = false;
+        dim.fail = Feas::GcdFail;
         dims.push_back(dim);
         continue;
       }
@@ -231,6 +429,7 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
         const std::int64_t step = li->step == 0 ? 1 : std::abs(li->step);
         if (dist % step != 0) {
           dim.possible = false;
+          dim.fail = Feas::DistanceFail;
           dims.push_back(dim);
           continue;
         }
@@ -238,6 +437,7 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
           const std::int64_t range = *li->upper - *li->lower;
           if (std::abs(dist) > range) {
             dim.possible = false;
+            dim.fail = Feas::DistanceFail;
             dims.push_back(dim);
             continue;
           }
@@ -245,7 +445,8 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
       }
       auto it = forced.find(v);
       if (it != forced.end() && it->second != dist) {
-        return ConflictKind::None;  // inconsistent across dimensions
+        return verdict(ConflictKind::None, "distance",
+                       "inconsistent forced distances across dimensions");
       }
       forced[v] = dist;
       constrained.insert(v);
@@ -258,6 +459,7 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
     for (const auto& [v, c] : dim.dcoeff) g = gcd64(g, c);
     if (g != 0 && dim.cst % g != 0) {
       dim.possible = false;
+      dim.fail = Feas::GcdFail;
     } else {
       dim.free_dist = true;
       dim.slack = true;
@@ -266,15 +468,48 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
     dims.push_back(dim);
   }
 
-  for (const auto& dim : dims) {
-    if (!dim.possible) return ConflictKind::None;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const DimResult& dim = dims[d];
+    if (!dim.possible) {
+      std::string detail = "dim " + std::to_string(d) + ": ";
+      switch (dim.fail) {
+        case Feas::GcdFail:
+          detail += "gcd of coefficients does not divide the offset";
+          break;
+        case Feas::IntervalFail:
+          detail += "subscript ranges cannot meet (Banerjee bounds)";
+          break;
+        case Feas::DistanceFail:
+          detail += "required iteration distance is unrealizable";
+          break;
+        case Feas::TidFail:
+          detail += "no thread-id difference solves the subscript equation";
+          break;
+        case Feas::Feasible:
+          break;
+      }
+      return verdict(ConflictKind::None, test_name(dim.fail),
+                     std::move(detail));
+    }
     if (dim.free_dist) any_free_dist = true;
+    if (dim.tid_same_only) tid_same_only = true;
+  }
+
+  if (tid_same_only) {
+    // Some dimension pins tid_a == tid_b: every overlap is same-thread.
+    return verdict(ConflictKind::SameThread, "tid-disjoint",
+                   "thread-id-indexed subscripts only overlap on the "
+                   "same thread");
   }
 
   if (!same_nest) {
     // Different worksharing nests, plain region code, or one side of each:
     // overlap implies different threads can touch the same element.
-    return ConflictKind::CrossThread;
+    return verdict(ConflictKind::CrossThread,
+                   any_nonaffine ? "nonaffine" : "conflict",
+                   any_nonaffine
+                       ? "non-affine subscript assumed to overlap"
+                       : "affine overlap across threads is feasible");
   }
 
   // Same nest: a race needs a nonzero distance on some distributed var.
@@ -299,7 +534,8 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
   }
 
   if (!nonzero_forced && !any_free_dist && !unconstrained_dist) {
-    return ConflictKind::SameThread;
+    return verdict(ConflictKind::SameThread, "distance",
+                   "all inter-thread iteration distances forced to zero");
   }
 
   // SIMD safelen: a forced distance >= safelen on a simd loop is safe.
@@ -308,10 +544,28 @@ ConflictKind classify_conflict(const AccessInfo& A, const AccessInfo& B,
     if (li != nullptr && li->simd && li->safelen > 0 &&
         std::abs(nonzero_dist) >= li->safelen && forced.size() == 1 &&
         !any_free_dist && !unconstrained_dist) {
-      return ConflictKind::SameThread;
+      return verdict(ConflictKind::SameThread, "distance",
+                     "forced distance " + std::to_string(nonzero_dist) +
+                         " within simd safelen " +
+                         std::to_string(li->safelen));
     }
   }
-  return ConflictKind::CrossThread;
+  if (nonzero_forced && nonzero_var != nullptr) {
+    return verdict(ConflictKind::CrossThread,
+                   any_nonaffine ? "nonaffine" : "conflict",
+                   "iteration distance " + std::to_string(nonzero_dist) +
+                       " on '" + nonzero_var->name + "' crosses threads");
+  }
+  return verdict(ConflictKind::CrossThread,
+                 any_nonaffine ? "nonaffine" : "conflict",
+                 any_nonaffine ? "non-affine subscript assumed to overlap"
+                               : "cross-thread iteration overlap is feasible");
+}
+
+ConflictKind classify_conflict(const AccessInfo& a, const AccessInfo& b,
+                               const ConstantMap& consts,
+                               const DependOptions& opts) {
+  return classify_conflict_ex(a, b, consts, opts).kind;
 }
 
 }  // namespace drbml::analysis

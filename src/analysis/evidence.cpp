@@ -1,0 +1,104 @@
+#include "analysis/evidence.hpp"
+
+namespace drbml::analysis {
+
+namespace {
+
+json::Array strings_to_json(const std::vector<std::string>& items) {
+  json::Array a;
+  for (const auto& s : items) a.emplace_back(s);
+  return a;
+}
+
+std::vector<std::string> strings_from_json(const json::Value& v) {
+  std::vector<std::string> out;
+  for (const auto& item : v.as_array()) out.push_back(item.as_string());
+  return out;
+}
+
+std::string guard_set_text(const std::vector<std::string>& guards) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < guards.size(); ++i) {
+    if (i != 0) out += ",";
+    out += guards[i];
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+json::Value evidence_to_json(const Evidence& ev) {
+  json::Object o;
+  o.set("phase_first", ev.phase_first);
+  o.set("phase_second", ev.phase_second);
+  o.set("locks_first", json::Value(strings_to_json(ev.locks_first)));
+  o.set("locks_second", json::Value(strings_to_json(ev.locks_second)));
+  o.set("common_guards", json::Value(strings_to_json(ev.common_guards)));
+  o.set("dep_test", ev.dep_test);
+  o.set("dep_detail", ev.dep_detail);
+  json::Array steps;
+  for (const auto& s : ev.steps) {
+    json::Object step;
+    step.set("rule", s.rule);
+    step.set("discharged", s.discharged);
+    step.set("detail", s.detail);
+    steps.push_back(json::Value(std::move(step)));
+  }
+  o.set("steps", std::move(steps));
+  o.set("discharge_rule", ev.discharge_rule);
+  return json::Value(std::move(o));
+}
+
+Evidence evidence_from_json(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  Evidence ev;
+  ev.phase_first = static_cast<int>(o.at("phase_first").as_int());
+  ev.phase_second = static_cast<int>(o.at("phase_second").as_int());
+  ev.locks_first = strings_from_json(o.at("locks_first"));
+  ev.locks_second = strings_from_json(o.at("locks_second"));
+  ev.common_guards = strings_from_json(o.at("common_guards"));
+  ev.dep_test = o.at("dep_test").as_string();
+  ev.dep_detail = o.at("dep_detail").as_string();
+  for (const auto& step_value : o.at("steps").as_array()) {
+    const json::Object& so = step_value.as_object();
+    EvidenceStep step;
+    step.rule = so.at("rule").as_string();
+    step.discharged = so.at("discharged").as_bool();
+    step.detail = so.at("detail").as_string();
+    ev.steps.push_back(std::move(step));
+  }
+  ev.discharge_rule = o.at("discharge_rule").as_string();
+  return ev;
+}
+
+std::string evidence_to_text(const Evidence& ev) {
+  std::string out = "phase " + std::to_string(ev.phase_first) + "/" +
+                    std::to_string(ev.phase_second);
+  out += "; guards " + guard_set_text(ev.locks_first) + " & " +
+         guard_set_text(ev.locks_second) + " = " +
+         guard_set_text(ev.common_guards);
+  if (!ev.dep_test.empty()) {
+    out += "; dep " + ev.dep_test;
+    if (!ev.dep_detail.empty()) out += ": " + ev.dep_detail;
+  }
+  if (ev.discharged()) {
+    out += "; discharged by " + ev.discharge_rule;
+  } else {
+    out += "; reported";
+  }
+  return out;
+}
+
+std::string evidence_chain_text(const Evidence& ev) {
+  std::string out = evidence_to_text(ev) + "\n";
+  for (const auto& s : ev.steps) {
+    out += "    " + s.rule + ": " +
+           (s.discharged ? "discharged" : "not discharged");
+    if (!s.detail.empty()) out += " (" + s.detail + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace drbml::analysis

@@ -1,0 +1,84 @@
+// Machine-checkable evidence chains attached to race verdicts.
+//
+// Every candidate pair the static detector examines -- reported or
+// discharged -- carries an Evidence record: the barrier phases of both
+// accesses, the locksets held at each side, the decisive dependence test
+// with the bounds it used, and the ordered list of rules consulted. A
+// discharged pair names the rule that removed it; a reported pair shows
+// that every discharge rule failed. Downstream consumers (lint, repair
+// ranking, the evidence prompt modality, `drbml analyze --explain`)
+// interrogate the chain instead of a bare boolean.
+//
+// Rule ids are stable strings:
+//   region.serial        if(0)/num_threads(1) makes the region serial
+//   mhp.phase            barrier phases differ (cannot overlap in time)
+//   mhp.single-instance  same single/master/section instance (one thread)
+//   mhp.task-order       taskwait phase or same-task-instance ordering
+//   mhp.task-depend      depend(in/out/inout) clauses order the tasks
+//   lockset.common       both sides hold a common guard
+//   dep.gcd              GCD test proves the subscripts disjoint
+//   dep.banerjee         interval bounds exclude a zero difference
+//   dep.distance         forced dependence distance infeasible / all zero
+//   dep.tid-disjoint     thread-id indexing keeps threads on disjoint slots
+//   dep.nonaffine        non-affine subscripts, conservative conflict
+//   dep.conflict         the dependence system admits a cross-thread pair
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace drbml::analysis {
+
+/// One rule application in an evidence chain.
+struct EvidenceStep {
+  std::string rule;    // stable rule id (see file comment)
+  bool discharged = false;  // true when this rule removed the pair
+  std::string detail;  // human-readable specifics (bounds, names, phases)
+
+  friend bool operator==(const EvidenceStep&, const EvidenceStep&) = default;
+};
+
+/// The full evidence chain for one candidate pair.
+struct Evidence {
+  // Barrier-phase ids of the two accesses (mhp.hpp).
+  int phase_first = 0;
+  int phase_second = 0;
+  // Rendered guard names held at each side and their intersection
+  // (lockset.hpp): "critical(name)", "lock:l", "atomic", "ordered".
+  std::vector<std::string> locks_first;
+  std::vector<std::string> locks_second;
+  std::vector<std::string> common_guards;
+  // Decisive dependence test and its detail, when the pair reached the
+  // dependence stage ("" otherwise).
+  std::string dep_test;
+  std::string dep_detail;
+  // Ordered rule applications, in the order the detector consulted them.
+  std::vector<EvidenceStep> steps;
+  // Rule id that discharged the pair; "" = the pair was reported racy.
+  std::string discharge_rule;
+
+  [[nodiscard]] bool discharged() const noexcept {
+    return !discharge_rule.empty();
+  }
+
+  friend bool operator==(const Evidence&, const Evidence&) = default;
+};
+
+/// Serializes an evidence chain to JSON (stable key order).
+[[nodiscard]] json::Value evidence_to_json(const Evidence& ev);
+
+/// Parses evidence produced by evidence_to_json. Throws json::JsonError
+/// (via accessors) on malformed input. Round-trip identity is tested.
+[[nodiscard]] Evidence evidence_from_json(const json::Value& v);
+
+/// One-line rendering for text reports:
+/// "phase 0/1; guards {critical} & {critical} = {critical}; dep ...".
+[[nodiscard]] std::string evidence_to_text(const Evidence& ev);
+
+/// Multi-line rendering of the full chain (one indented line per step),
+/// used by `drbml analyze --explain`.
+[[nodiscard]] std::string evidence_chain_text(const Evidence& ev);
+
+}  // namespace drbml::analysis

@@ -1,0 +1,38 @@
+#include "analysis/lockset.hpp"
+
+#include <algorithm>
+
+namespace drbml::analysis {
+
+std::vector<std::string> lockset_of(const AccessInfo& a,
+                                    const LocksetOptions& opts) {
+  std::vector<std::string> guards;
+  if (a.ctx.in_critical) {
+    guards.push_back(a.ctx.critical_name.empty()
+                         ? "critical"
+                         : "critical(" + a.ctx.critical_name + ")");
+  }
+  if (a.ctx.atomic) guards.push_back("atomic");
+  if (opts.model_ordered && a.ctx.ordered) guards.push_back("ordered");
+  if (opts.model_locks) {
+    for (const auto* lock : a.ctx.locks) {
+      if (lock != nullptr) guards.push_back("lock:" + lock->name);
+    }
+  }
+  std::sort(guards.begin(), guards.end());
+  guards.erase(std::unique(guards.begin(), guards.end()), guards.end());
+  return guards;
+}
+
+std::vector<std::string> common_guards(const AccessInfo& a,
+                                       const AccessInfo& b,
+                                       const LocksetOptions& opts) {
+  const std::vector<std::string> ga = lockset_of(a, opts);
+  const std::vector<std::string> gb = lockset_of(b, opts);
+  std::vector<std::string> out;
+  std::set_intersection(ga.begin(), ga.end(), gb.begin(), gb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace drbml::analysis

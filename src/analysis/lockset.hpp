@@ -1,0 +1,39 @@
+// Static lockset analysis over collected accesses.
+//
+// The collector (access.hpp) already tracks the synchronization context of
+// every access: enclosing critical sections, `omp_set_lock` regions,
+// atomics, and ordered blocks. This module turns that context into an
+// explicit lockset -- the set of guards held at the access -- and decides
+// whether two accesses share a common guard, which serializes them and
+// discharges the pair. Guard names are rendered stably for evidence
+// chains: "critical" / "critical(name)", "lock:var", "atomic", "ordered".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+
+namespace drbml::analysis {
+
+struct LocksetOptions {
+  /// Honour omp_set_lock/omp_unset_lock pairs as mutual exclusion.
+  bool model_locks = true;
+  /// Treat `#pragma omp ordered` bodies as serialized.
+  bool model_ordered = true;
+};
+
+/// The rendered guard set held at `a`, sorted and deduplicated. Includes
+/// critical sections and runtime locks unconditionally; atomic/ordered
+/// guards are included (they only discharge when both sides carry them,
+/// which set intersection already expresses).
+[[nodiscard]] std::vector<std::string> lockset_of(const AccessInfo& a,
+                                                  const LocksetOptions& opts);
+
+/// The guards held at both `a` and `b`. A non-empty result means the two
+/// accesses are mutually excluded. Respects the options: disabled guard
+/// kinds are invisible to both sides.
+[[nodiscard]] std::vector<std::string> common_guards(
+    const AccessInfo& a, const AccessInfo& b, const LocksetOptions& opts);
+
+}  // namespace drbml::analysis

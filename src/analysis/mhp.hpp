@@ -1,0 +1,54 @@
+// Barrier-aware may-happen-in-parallel analysis.
+//
+// The collector splits every parallel region into phases at barriers and
+// implicit worksharing joins (end of `for`/`single`/`sections` without
+// `nowait`); this module exposes the resulting partition with provenance,
+// decides whether a region is statically serial (`if(0)` /
+// `num_threads(1)` clauses), and applies the ordering filters between two
+// accesses -- phase separation, single/master/section instance identity,
+// task phases and depend-clause ordering -- recording each consulted rule
+// as an evidence step.
+#pragma once
+
+#include <string>
+
+#include "analysis/access.hpp"
+#include "analysis/evidence.hpp"
+
+namespace drbml::analysis {
+
+/// The phase partition of one region: how many barrier-separated phases
+/// its accesses fall into, and the boundary that starts each new phase.
+struct PhasePartition {
+  int phases = 1;  // max phase index + 1
+  std::vector<PhaseBoundary> boundaries;
+
+  [[nodiscard]] static PhasePartition of(const ParallelRegion& region);
+};
+
+/// A region the clauses force serial: `if(expr)` folding to 0 or
+/// `num_threads(expr)` folding to 1, with no nested team-forking construct
+/// that could reintroduce parallelism.
+struct SerialRegionInfo {
+  bool serial = false;
+  std::string reason;  // e.g. "if(cond) folds to 0"
+};
+
+[[nodiscard]] SerialRegionInfo classify_serial(const ParallelRegion& region);
+
+struct MhpOptions {
+  /// Honour task depend(in/out/inout) clauses as ordering.
+  bool model_depend_clauses = true;
+};
+
+/// Whether accesses `a` and `b` (already filtered to a candidate pair on
+/// `var_name`) may execute concurrently. Appends the consulted ordering
+/// rules to `ev.steps`; when the answer is no, sets `ev.discharge_rule` to
+/// the rule that ordered them.
+[[nodiscard]] bool may_happen_in_parallel(const AccessInfo& a,
+                                          const AccessInfo& b,
+                                          const std::string& var_name,
+                                          const MhpOptions& opts,
+                                          Evidence& ev);
+
+}  // namespace drbml::analysis

@@ -14,6 +14,7 @@
 
 #include "analysis/access.hpp"
 #include "analysis/depend.hpp"
+#include "analysis/mhp.hpp"
 #include "analysis/report.hpp"
 #include "minic/ast.hpp"
 
@@ -28,8 +29,14 @@ struct StaticDetectorOptions {
   bool model_depend_clauses = true;
   /// Treat `#pragma omp ordered` bodies as serialized.
   bool model_ordered = true;
+  /// Discharge regions whose clauses force serial execution (`if(0)`,
+  /// `num_threads(1)`) with no nested team fork.
+  bool model_serial_regions = true;
   /// Cap on reported pairs per program (diagnostic noise control).
   int max_pairs = 16;
+  /// Cap on recorded discharged pairs (the overflow is counted in
+  /// RaceReport::suppressed_discharged).
+  int max_discharged = 32;
 };
 
 class StaticRaceDetector {
@@ -48,8 +55,14 @@ class StaticRaceDetector {
   }
 
  private:
-  [[nodiscard]] bool may_race(const AccessInfo& a, const AccessInfo& b,
-                              const ParallelRegion& region) const;
+  /// Runs the discharge pipeline (serial region -> MHP ordering ->
+  /// lockset -> dependence test) over one candidate pair, recording every
+  /// consulted rule in `ev`. Returns true when the pair survives as a
+  /// race; otherwise `ev.discharge_rule` names the discharging rule.
+  [[nodiscard]] bool judge_pair(const AccessInfo& a, const AccessInfo& b,
+                                const ParallelRegion& region,
+                                const SerialRegionInfo& serial,
+                                Evidence& ev) const;
 
   StaticDetectorOptions opts_;
 };

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/evidence.hpp"
 #include "minic/source.hpp"
 
 namespace drbml::analysis {
@@ -26,8 +27,24 @@ struct RacePair {
   RaceAccess first;
   RaceAccess second;
   std::string note;  // detector-specific diagnostic
+  /// The checks the static analyzer ran before reporting the pair (empty
+  /// for detectors that do not produce evidence). Deliberately excluded
+  /// from equality: a pair is identified by its accesses.
+  Evidence evidence;
 
   friend bool operator==(const RacePair& a, const RacePair& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+};
+
+/// A candidate pair the static analyzer proved race-free, with the chain
+/// that discharged it.
+struct DischargedPair {
+  RaceAccess first;
+  RaceAccess second;
+  Evidence evidence;
+
+  friend bool operator==(const DischargedPair& a, const DischargedPair& b) {
     return a.first == b.first && a.second == b.second;
   }
 };
@@ -41,6 +58,10 @@ struct RaceReport {
   /// cap (a matching "N additional pairs suppressed" diagnostic is
   /// appended so truncation is never silent).
   int suppressed_pairs = 0;
+  /// Candidate pairs proven race-free, each with its discharge evidence
+  /// (capped like `pairs`; the overflow is counted, never silent).
+  std::vector<DischargedPair> discharged;
+  int suppressed_discharged = 0;
 
   /// True if `p` (or its symmetric twin) is already reported.
   [[nodiscard]] bool contains(const RacePair& p) const {

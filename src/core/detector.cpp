@@ -24,6 +24,7 @@ class StaticTool final : public RaceDetector {
     RaceVerdict v;
     v.race = report.race_detected;
     v.pairs = std::move(report.pairs);
+    v.discharged = std::move(report.discharged);
     v.diagnostics = std::move(report.diagnostics);
     return v;
   }
@@ -101,6 +102,7 @@ class LintTool final : public RaceDetector {
     RaceVerdict v;
     v.race = report.race.race_detected;
     v.pairs = report.race.pairs;
+    v.discharged = report.race.discharged;
     for (const auto& d : report.diagnostics) {
       v.diagnostics.push_back(lint::to_text_line(d));
     }

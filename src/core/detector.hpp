@@ -32,6 +32,10 @@ namespace drbml::core {
 struct RaceVerdict {
   bool race = false;
   std::vector<analysis::RacePair> pairs;
+  /// Candidate pairs the static pipeline examined and proved race-free,
+  /// each with the evidence chain that discharged it (static-backed
+  /// detectors only; empty for dynamic/LLM detectors).
+  std::vector<analysis::DischargedPair> discharged;
   /// The raw model reply (LLM detectors only).
   std::string model_response;
   std::vector<std::string> diagnostics;

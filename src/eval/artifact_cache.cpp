@@ -22,10 +22,15 @@ std::uint64_t hash_static_options(const analysis::StaticDetectorOptions& o) {
   std::uint64_t bits = 0;
   bits = bits << 1 | static_cast<std::uint64_t>(o.collect.track_call_effects);
   bits = bits << 1 | static_cast<std::uint64_t>(o.depend.conservative_nonaffine);
+  bits = bits << 1 | static_cast<std::uint64_t>(o.depend.model_thread_id);
+  bits = bits << 1 | static_cast<std::uint64_t>(o.depend.symbolic_bounds);
   bits = bits << 1 | static_cast<std::uint64_t>(o.model_locks);
   bits = bits << 1 | static_cast<std::uint64_t>(o.model_depend_clauses);
   bits = bits << 1 | static_cast<std::uint64_t>(o.model_ordered);
-  return hash_combine(bits, static_cast<std::uint64_t>(o.max_pairs));
+  bits = bits << 1 | static_cast<std::uint64_t>(o.model_serial_regions);
+  return hash_combine(
+      hash_combine(bits, static_cast<std::uint64_t>(o.max_pairs)),
+      static_cast<std::uint64_t>(o.max_discharged));
 }
 
 std::uint64_t hash_run_options(const runtime::RunOptions& o) {
@@ -221,11 +226,50 @@ const std::string& ArtifactCache::lint_text(const std::string& code) {
   });
 }
 
+const std::string& ArtifactCache::evidence_text(const std::string& code) {
+  static obs::Counter& probes =
+      obs::metrics().counter(obs::kCacheEvidenceTextProbe);
+  static obs::Counter& computes =
+      obs::metrics().counter(obs::kCacheEvidenceTextCompute);
+  probes.add();
+  return evidence_texts_.get_or_compute(fnv1a64(code), [&] {
+    computes.add();
+    obs::Span span(obs::kSpanArtifactEvidenceText);
+    std::string out;
+    try {
+      // Default options: the full precision layer, same configuration the
+      // static/hybrid detector columns run with.
+      const analysis::RaceReport& report = static_report(code, {});
+      for (const auto& p : report.pairs) {
+        out += "racy " + p.first.expr_text + " (line " +
+               std::to_string(p.first.loc.line) + ") vs " +
+               p.second.expr_text + " (line " +
+               std::to_string(p.second.loc.line) + "): " +
+               analysis::evidence_to_text(p.evidence) + "\n";
+      }
+      for (const auto& d : report.discharged) {
+        out += "safe " + d.first.expr_text + " (line " +
+               std::to_string(d.first.loc.line) + ") vs " +
+               d.second.expr_text + " (line " +
+               std::to_string(d.second.loc.line) + "): discharged by " +
+               d.evidence.discharge_rule + "; " +
+               analysis::evidence_to_text(d.evidence) + "\n";
+      }
+    } catch (const Error& e) {
+      return std::string("note: static analysis unavailable: ") + e.what() +
+             "\n";
+    }
+    if (out.empty()) out = "(no candidate pairs)\n";
+    return out;
+  });
+}
+
 std::size_t ArtifactCache::size() const {
   return tokens_.size() + asts_.size() + depgraphs_.size() +
          static_reports_.size() + dynamic_reports_.size() +
          explore_results_.size() + lint_reports_.size() +
-         repair_results_.size() + lint_texts_.size();
+         repair_results_.size() + lint_texts_.size() +
+         evidence_texts_.size();
 }
 
 void ArtifactCache::clear() {
@@ -238,6 +282,7 @@ void ArtifactCache::clear() {
   lint_reports_.clear();
   repair_results_.clear();
   lint_texts_.clear();
+  evidence_texts_.clear();
 }
 
 // ----------------------------------------------------- snapshot persistence

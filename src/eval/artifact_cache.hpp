@@ -84,6 +84,12 @@ class ArtifactCache {
   /// one-line note instead of throwing, so prompt assembly never aborts.
   const std::string& lint_text(const std::string& code);
 
+  /// Static race evidence chains rendered one per line for prompt
+  /// embedding: every reported pair ("racy ...") and every discharged
+  /// pair ("safe ... discharged by <rule>") under the default detector
+  /// options. Parse failures yield a one-line note instead of throwing.
+  const std::string& evidence_text(const std::string& code);
+
   /// Entries currently resident across all artifact kinds.
   [[nodiscard]] std::size_t size() const;
 
@@ -115,6 +121,7 @@ class ArtifactCache {
   support::OnceMap<lint::LintReport> lint_reports_;
   support::OnceMap<repair::RepairResult> repair_results_;
   support::OnceMap<std::string> lint_texts_;
+  support::OnceMap<std::string> evidence_texts_;
 };
 
 /// The process-wide cache used by the experiment runners.

@@ -119,6 +119,8 @@ ConfusionMatrix run_detection_modal(
           aux = cache.depgraph_text(e->trimmed_code);
         } else if (modality == prompts::Modality::Lint) {
           aux = cache.lint_text(e->trimmed_code);
+        } else if (modality == prompts::Modality::Evidence) {
+          aux = cache.evidence_text(e->trimmed_code);
         }
         const prompts::Chat chat =
             prompts::modal_detection_chat(style, modality, e->trimmed_code, aux);

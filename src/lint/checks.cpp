@@ -311,6 +311,11 @@ class RacePairsPass final : public LintPass {
       d.related.push_back({pair.second.loc,
                            "conflicting " + std::string(op_word(pair.second.op)) +
                                " of '" + pair.second.expr_text + "'"});
+      if (!pair.evidence.steps.empty()) {
+        d.related.push_back(
+            {pair.first.loc,
+             "evidence: " + analysis::evidence_to_text(pair.evidence)});
+      }
       out.push_back(std::move(d));
     }
 

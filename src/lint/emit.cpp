@@ -100,6 +100,11 @@ json::Value to_json(const FileLint& file) {
   root.set("diagnostics", std::move(diags));
   root.set("suppressed", file.report.suppressed);
   root.set("race_detected", file.report.race.race_detected);
+  // Cap truncation is part of the verdict: a consumer that only reads the
+  // machine output must still learn that pairs were dropped.
+  root.set("race_suppressed_pairs", file.report.race.suppressed_pairs);
+  root.set("race_discharged_pairs",
+           static_cast<int>(file.report.race.discharged.size()));
   return json::Value(std::move(root));
 }
 
@@ -120,8 +125,10 @@ json::Value to_sarif(const std::vector<FileLint>& files) {
 
   json::Array results;
   int suppressed = 0;
+  int suppressed_pairs = 0;
   for (const auto& file : files) {
     suppressed += file.report.suppressed;
+    suppressed_pairs += file.report.race.suppressed_pairs;
     for (const auto& d : file.report.diagnostics) {
       json::Object message;
       message.set("text", d.message);
@@ -166,9 +173,14 @@ json::Value to_sarif(const std::vector<FileLint>& files) {
   json::Object run;
   run.set("tool", std::move(tool));
   run.set("results", std::move(results));
-  if (suppressed > 0) {
+  if (suppressed > 0 || suppressed_pairs > 0) {
     json::Object props;
-    props.set("suppressedFindings", suppressed);
+    if (suppressed > 0) props.set("suppressedFindings", suppressed);
+    if (suppressed_pairs > 0) {
+      // Race pairs dropped at the detector's max_pairs cap; without this
+      // a SARIF consumer reads a truncated run as a complete one.
+      props.set("suppressedRacePairs", suppressed_pairs);
+    }
     run.set("properties", std::move(props));
   }
   json::Array runs;

@@ -125,8 +125,16 @@ ProgramFeatures extract_features(const std::string& code) {
       if (fn->body) scan_stmt(*fn->body, f);
     }
 
+    // The persona decision model is calibrated against the legacy
+    // detector configuration; keep the newer precision rules (thread-id
+    // modeling, symbolic bounds, serial-region folding) pinned off here
+    // so simulated per-persona accuracies stay put.
+    analysis::StaticDetectorOptions legacy;
+    legacy.depend.model_thread_id = false;
+    legacy.depend.symbolic_bounds = false;
+    legacy.model_serial_regions = false;
     {
-      analysis::StaticDetectorOptions conservative;
+      analysis::StaticDetectorOptions conservative = legacy;
       conservative.depend.conservative_nonaffine = true;
       analysis::StaticRaceDetector det(conservative);
       // analyze_source reparses; reuse for simplicity and isolation.
@@ -136,7 +144,7 @@ ProgramFeatures extract_features(const std::string& code) {
       f.static_pair_count = static_cast<int>(report.pairs.size());
     }
     {
-      analysis::StaticDetectorOptions optimistic;
+      analysis::StaticDetectorOptions optimistic = legacy;
       optimistic.depend.conservative_nonaffine = false;
       analysis::StaticRaceDetector det(optimistic);
       f.static_race_optimistic = det.analyze_source(code).race_detected;

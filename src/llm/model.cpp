@@ -40,6 +40,9 @@ prompts::Style infer_style(const prompts::Chat& chat) {
 
 prompts::Modality infer_modality(const prompts::Chat& chat) {
   const std::string& content = chat.front().content;
+  if (content.find(prompts::kEvidenceMarker) != std::string::npos) {
+    return prompts::Modality::Evidence;
+  }
   if (content.find(prompts::kLintMarker) != std::string::npos) {
     return prompts::Modality::Lint;
   }
@@ -108,7 +111,7 @@ std::string extract_code_from_prompt(const std::string& prompt) {
   // Auxiliary-modality sections follow the code; cut them off first.
   std::size_t end = prompt.size();
   for (const char* stop : {prompts::kAstMarker, prompts::kDepGraphMarker,
-                           prompts::kLintMarker}) {
+                           prompts::kLintMarker, prompts::kEvidenceMarker}) {
     const std::size_t pos = prompt.find(stop);
     if (pos != std::string::npos) end = std::min(end, pos);
   }
@@ -134,7 +137,8 @@ Verdict ChatModel::decide(prompts::Style style, const std::string& code,
     p_yes = 0.5;
   } else if (!f.evidence_consistent() &&
              modality != prompts::Modality::DepGraph &&
-             modality != prompts::Modality::Lint) {
+             modality != prompts::Modality::Lint &&
+             modality != prompts::Modality::Evidence) {
     p_yes = rates.yes_given_uncertain;
   } else if (f.evidence_race()) {
     // With an explicit dependence graph the model reads the conflict
@@ -153,6 +157,9 @@ Verdict ChatModel::decide(prompts::Style style, const std::string& code,
     // Linter findings name the construct and the fix, the strongest of
     // the structured hints.
     case prompts::Modality::Lint: z *= 1.30; break;
+    // Evidence chains additionally spell out why discharged pairs are
+    // safe, cutting the false-positive tail a notch below lint.
+    case prompts::Modality::Evidence: z *= 1.32; break;
   }
   if (adapter_ != nullptr) {
     z += adapter_->predict(featurize(code));

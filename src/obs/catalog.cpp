@@ -48,6 +48,10 @@ const SpanDesc kSpanArtifactRepair{
 const SpanDesc kSpanArtifactLintText{
     "artifact.lint_text", "artifact",
     "Cache-miss compute of a rendered lint-findings text (prompt modality)."};
+const SpanDesc kSpanArtifactEvidenceText{
+    "artifact.evidence_text", "artifact",
+    "Cache-miss compute of a rendered evidence-chain text (prompt "
+    "modality)."};
 const SpanDesc kSpanArtifactExplore{
     "artifact.explore", "artifact",
     "Cache-miss compute of a schedule-exploration result."};
@@ -140,6 +144,12 @@ const MetricDesc kCacheLintTextProbe{
 const MetricDesc kCacheLintTextCompute{
     "cache.lint_text.compute", MetricKind::Counter, "count", kStable,
     "Lint-findings texts computed on a cache miss."};
+const MetricDesc kCacheEvidenceTextProbe{
+    "cache.evidence_text.probe", MetricKind::Counter, "count", kStable,
+    "Evidence-chain-text cache lookups (evidence prompt modality)."};
+const MetricDesc kCacheEvidenceTextCompute{
+    "cache.evidence_text.compute", MetricKind::Counter, "count", kStable,
+    "Evidence-chain texts computed on a cache miss."};
 const MetricDesc kCacheExploreProbe{
     "cache.explore.probe", MetricKind::Counter, "count", kStable,
     "Exploration-result cache lookups (keyed by source + options hash)."};
@@ -237,6 +247,29 @@ const MetricDesc kDetectEntries{
     "detect.entries", MetricKind::Counter, "count", kStable,
     "Sources analyzed through RaceDetector::analyze_batch."};
 
+const MetricDesc kAnalysisCandidatePairs{
+    "analysis.candidate_pairs", MetricKind::Counter, "count", kStable,
+    "Conflicting-access candidate pairs examined by the static analyzer "
+    "(before any discharge rule runs)."};
+const MetricDesc kAnalysisDischargedSerial{
+    "analysis.discharged.serial", MetricKind::Counter, "count", kStable,
+    "Candidate pairs discharged because the enclosing region is "
+    "statically serial (region.serial)."};
+const MetricDesc kAnalysisDischargedPhase{
+    "analysis.discharged.phase", MetricKind::Counter, "count", kStable,
+    "Candidate pairs discharged by barrier-phase separation (mhp.phase)."};
+const MetricDesc kAnalysisDischargedMhp{
+    "analysis.discharged.mhp", MetricKind::Counter, "count", kStable,
+    "Candidate pairs discharged by non-phase MHP ordering rules "
+    "(mhp.single-instance, mhp.task-order, mhp.task-depend)."};
+const MetricDesc kAnalysisDischargedLockset{
+    "analysis.discharged.lockset", MetricKind::Counter, "count", kStable,
+    "Candidate pairs discharged by a common guard (lockset.common)."};
+const MetricDesc kAnalysisDischargedDepend{
+    "analysis.discharged.depend", MetricKind::Counter, "count", kStable,
+    "Candidate pairs discharged by the dependence tests (dep.gcd, "
+    "dep.banerjee, dep.distance, dep.tid-disjoint)."};
+
 const MetricDesc kExploreSchedules{
     "explore.schedules", MetricKind::Counter, "count", kStable,
     "Schedules executed by the exploration engine."};
@@ -296,6 +329,7 @@ const std::vector<const MetricDesc*>& metric_catalog() {
       &kCacheLintProbe,      &kCacheLintCompute,
       &kCacheRepairProbe,    &kCacheRepairCompute,
       &kCacheLintTextProbe,  &kCacheLintTextCompute,
+      &kCacheEvidenceTextProbe, &kCacheEvidenceTextCompute,
       &kCacheExploreProbe,   &kCacheExploreCompute,
       &kCacheCorrupt,        &kCacheSnapshotLoaded,
       &kCacheSnapshotSaved,
@@ -312,6 +346,9 @@ const std::vector<const MetricDesc*>& metric_catalog() {
       &kInterpRaces,         &kSchedSteps,
       &kSchedStepsPerReplay,
       &kDetectEntries,
+      &kAnalysisCandidatePairs, &kAnalysisDischargedSerial,
+      &kAnalysisDischargedPhase, &kAnalysisDischargedMhp,
+      &kAnalysisDischargedLockset, &kAnalysisDischargedDepend,
       &kExploreSchedules,    &kExploreRaces,
       &kExploreCoverageNew,  &kExplorePlateauStops,
       &kExploreMinimizeReplays, &kExploreWitnesses,
@@ -331,7 +368,8 @@ const std::vector<const SpanDesc*>& span_catalog() {
       &kSpanStageExplore,
       &kSpanArtifactTokens,  &kSpanArtifactAst,   &kSpanArtifactDepgraph,
       &kSpanArtifactStatic,  &kSpanArtifactDynamic, &kSpanArtifactLint,
-      &kSpanArtifactRepair,  &kSpanArtifactLintText, &kSpanArtifactExplore,
+      &kSpanArtifactRepair,  &kSpanArtifactLintText,
+      &kSpanArtifactEvidenceText, &kSpanArtifactExplore,
       &kSpanDetectBatch,     &kSpanDetectEntry,
       &kSpanInterpReplay,    &kSpanLintRun,
       &kSpanRepairEntry,     &kSpanRepairVerify,

@@ -36,6 +36,7 @@ extern const SpanDesc kSpanArtifactDynamic;
 extern const SpanDesc kSpanArtifactLint;
 extern const SpanDesc kSpanArtifactRepair;
 extern const SpanDesc kSpanArtifactLintText;
+extern const SpanDesc kSpanArtifactEvidenceText;
 extern const SpanDesc kSpanArtifactExplore;
 
 // Detector / runtime / lint / repair scopes.
@@ -72,6 +73,7 @@ extern const MetricDesc kCacheDynamicProbe, kCacheDynamicCompute;
 extern const MetricDesc kCacheLintProbe, kCacheLintCompute;
 extern const MetricDesc kCacheRepairProbe, kCacheRepairCompute;
 extern const MetricDesc kCacheLintTextProbe, kCacheLintTextCompute;
+extern const MetricDesc kCacheEvidenceTextProbe, kCacheEvidenceTextCompute;
 extern const MetricDesc kCacheExploreProbe, kCacheExploreCompute;
 
 // Snapshot persistence (satellite fix: corrupt files are counted, not
@@ -111,6 +113,15 @@ extern const MetricDesc kSchedStepsPerReplay;  // histogram
 
 // Detector facade.
 extern const MetricDesc kDetectEntries;
+
+// Static analyzer precision layer: candidate pairs examined and pairs
+// proven race-free, keyed by the discharging rule family.
+extern const MetricDesc kAnalysisCandidatePairs;
+extern const MetricDesc kAnalysisDischargedSerial;
+extern const MetricDesc kAnalysisDischargedPhase;
+extern const MetricDesc kAnalysisDischargedMhp;
+extern const MetricDesc kAnalysisDischargedLockset;
+extern const MetricDesc kAnalysisDischargedDepend;
 
 // Schedule-exploration engine (drbml stats: schedules run, coverage
 // gained per schedule, schedules to first race).

@@ -113,6 +113,7 @@ const char* modality_name(Modality m) noexcept {
     case Modality::Ast: return "text+ast";
     case Modality::DepGraph: return "text+depgraph";
     case Modality::Lint: return "text+lint";
+    case Modality::Evidence: return "text+evidence";
   }
   return "?";
 }
@@ -121,9 +122,10 @@ Chat modal_detection_chat(Style style, Modality modality,
                           const std::string& code, const std::string& aux) {
   Chat chat = detection_chat(style, code);
   if (modality == Modality::Text || chat.empty()) return chat;
-  const char* marker = modality == Modality::Ast ? kAstMarker
-                       : modality == Modality::Lint ? kLintMarker
-                                                    : kDepGraphMarker;
+  const char* marker = modality == Modality::Ast        ? kAstMarker
+                       : modality == Modality::Lint     ? kLintMarker
+                       : modality == Modality::Evidence ? kEvidenceMarker
+                                                        : kDepGraphMarker;
   chat.front().content += "\n";
   chat.front().content += marker;
   chat.front().content += "\n";

@@ -39,6 +39,7 @@ enum class Modality {
   Ast,       // + pretty-printed abstract syntax tree
   DepGraph,  // + serialized data-dependence graph
   Lint,      // + OpenMP correctness linter findings (src/lint)
+  Evidence,  // + the static detector's evidence chains (src/analysis)
 };
 
 [[nodiscard]] const char* modality_name(Modality m) noexcept;
@@ -59,6 +60,8 @@ inline constexpr const char* kDepGraphMarker =
     "=== Data dependence graph ===";
 inline constexpr const char* kLintMarker =
     "=== Static analysis findings ===";
+inline constexpr const char* kEvidenceMarker =
+    "=== Static race evidence ===";
 
 /// Listing 5 / BP2: detection plus structured variable identification.
 [[nodiscard]] Chat varid_chat(const std::string& code);

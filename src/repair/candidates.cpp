@@ -171,6 +171,77 @@ const analysis::AccessInfo* find_access(
   return nullptr;
 }
 
+/// True when the evidence chain contains a non-discharged step whose rule
+/// id starts with `prefix` -- i.e. the rule was consulted and failed.
+bool failed_step(const analysis::Evidence& ev, const std::string& prefix) {
+  for (const auto& s : ev.steps) {
+    if (!s.discharged && s.rule.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// True when the patch directly attacks a rule the evidence shows
+/// failing: mutual exclusion against a failed lockset, a barrier against
+/// a shared phase, a taskwait against unordered tasks, serialization or
+/// data-sharing clauses against a feasible dependence.
+bool attacks_evidence(const Patch& patch, const analysis::Evidence& ev) {
+  for (const auto& e : patch.edits) {
+    switch (e.kind) {
+      case EditKind::WrapLock:
+      case EditKind::SetCriticalName:
+        if (failed_step(ev, "lockset.")) return true;
+        break;
+      case EditKind::WrapStmt:
+        if ((e.directive_kind == OmpDirectiveKind::Critical ||
+             e.directive_kind == OmpDirectiveKind::Atomic) &&
+            failed_step(ev, "lockset.")) {
+          return true;
+        }
+        if (e.directive_kind == OmpDirectiveKind::Ordered &&
+            failed_step(ev, "dep.")) {
+          return true;
+        }
+        break;
+      case EditKind::InsertPragmaBefore:
+        if (e.directive_kind == OmpDirectiveKind::Barrier &&
+            failed_step(ev, "mhp.phase")) {
+          return true;
+        }
+        if (e.directive_kind == OmpDirectiveKind::Taskwait &&
+            failed_step(ev, "mhp.task")) {
+          return true;
+        }
+        break;
+      case EditKind::RemoveClause:
+        // Dropping nowait restores the implicit barrier phases.
+        if (e.clause_kind == OmpClauseKind::Nowait &&
+            failed_step(ev, "mhp.phase")) {
+          return true;
+        }
+        break;
+      case EditKind::AddClause:
+        // Privatization/reduction removes the conflicting shared access
+        // the dependence test found feasible.
+        if ((e.clause_kind == OmpClauseKind::Reduction ||
+             e.clause_kind == OmpClauseKind::Private ||
+             e.clause_kind == OmpClauseKind::FirstPrivate ||
+             e.clause_kind == OmpClauseKind::LastPrivate) &&
+            failed_step(ev, "dep.")) {
+          return true;
+        }
+        if (e.clause_kind == OmpClauseKind::Ordered &&
+            failed_step(ev, "dep.")) {
+          return true;
+        }
+        break;
+      case EditKind::DemoteSimd:
+        if (failed_step(ev, "dep.")) return true;
+        break;
+    }
+  }
+  return false;
+}
+
 class Generator {
  public:
   Generator(minic::Program& prog, const analysis::RaceReport& races,
@@ -192,6 +263,9 @@ class Generator {
 
  private:
   void add(Bucket bucket, Patch patch) {
+    if (ev_ != nullptr && attacks_evidence(patch, *ev_)) {
+      patch.evidence_bias = 0;
+    }
     std::string sig;
     for (const auto& e : patch.edits) {
       sig += edit_kind_name(e.kind);
@@ -307,6 +381,7 @@ class Generator {
   }
 
   void from_pair(const analysis::RacePair& pair) {
+    ev_ = &pair.evidence;
     auto chain_a = stmt_chain_at(*prog_.unit, pair.first.loc);
     auto chain_b = stmt_chain_at(*prog_.unit, pair.second.loc);
     if (chain_a.empty() && chain_b.empty()) return;
@@ -587,6 +662,9 @@ class Generator {
   minic::Program& prog_;
   const analysis::RaceReport& races_;
   const lint::LintReport* lint_;
+  /// Evidence of the pair currently being expanded (nullptr during
+  /// lint-driven generation, which carries no chain).
+  const analysis::Evidence* ev_ = nullptr;
   analysis::Resolution res_;
   std::vector<analysis::ParallelRegion> regions_;
   std::set<std::string> seen_;
@@ -630,6 +708,11 @@ std::vector<Patch> generate_candidates(minic::Program& prog,
   }
   std::stable_sort(out.begin(), out.end(), [](const Patch& a, const Patch& b) {
     if (a.cost != b.cost) return a.cost < b.cost;
+    // Among equal-cost candidates, prefer the one that attacks a rule
+    // the evidence chain shows failing for the pair it repairs.
+    if (a.evidence_bias != b.evidence_bias) {
+      return a.evidence_bias < b.evidence_bias;
+    }
     return a.id < b.id;
   });
   return out;

@@ -6,9 +6,11 @@
 // tried first, then synchronization (atomic, critical, locks, barrier,
 // taskwait, nowait removal, critical-name unification), and finally
 // serialization (ordered, simd demotion) as the semantics-preserving last
-// resort. Candidates are ranked by cost with the patch id as the
-// deterministic tie-breaker; the verified fix loop (repair.hpp) walks the
-// ranking and keeps the first candidate that survives every gate.
+// resort. Candidates are ranked by cost; equal-cost candidates that attack
+// a rule the pair's evidence chain shows failing (Patch::evidence_bias)
+// come first, with the patch id as the final deterministic tie-breaker.
+// The verified fix loop (repair.hpp) walks the ranking and keeps the
+// first candidate that survives every gate.
 #pragma once
 
 #include <optional>

@@ -61,6 +61,10 @@ struct Patch {
   std::string description;  // human summary
   std::string family;       // DRB pattern family this patch targets
   int cost = 0;             // ranking key: smaller = preferred
+  /// Secondary ranking key: 0 when the patch attacks a rule the race
+  /// evidence chain shows failing (e.g. a lock wrap against a failed
+  /// lockset.common step), 1 otherwise. Breaks cost ties only.
+  int evidence_bias = 1;
   std::vector<Edit> edits;
 };
 

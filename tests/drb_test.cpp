@@ -178,7 +178,10 @@ TEST(CorpusDetectors, StaticDetectorHasRealisticErrors) {
     if (flagged && e.race) ++tp;
   }
   EXPECT_GE(tp, 80);
-  EXPECT_GE(fp, 5) << "conservative static analysis should over-report";
+  // The evidence-carrying precision layer (thread-id modeling, serial
+  // regions, symbolic bounds) discharged most of the classic static FPs;
+  // indirect-indexing entries still over-report.
+  EXPECT_GE(fp, 1) << "conservative static analysis should over-report";
   EXPECT_GE(fn, 1) << "static analysis should miss interprocedural races";
 }
 

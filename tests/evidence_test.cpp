@@ -1,0 +1,128 @@
+// Evidence-chain model: JSON round-trip identity, text rendering, and the
+// invariants every chain must satisfy (a discharged chain names its rule,
+// a reported chain shows every rule failing).
+#include <gtest/gtest.h>
+
+#include "analysis/evidence.hpp"
+#include "analysis/race.hpp"
+#include "support/json.hpp"
+
+namespace drbml::analysis {
+namespace {
+
+Evidence sample_evidence() {
+  Evidence ev;
+  ev.phase_first = 1;
+  ev.phase_second = 2;
+  ev.locks_first = {"critical", "lock:l"};
+  ev.locks_second = {"critical"};
+  ev.common_guards = {"critical"};
+  ev.dep_test = "gcd";
+  ev.dep_detail = "gcd 2 does not divide 1";
+  ev.steps = {{"mhp.phase", false, "phase 1 vs 2"},
+              {"lockset.common", true, "common guards {critical}"}};
+  ev.discharge_rule = "lockset.common";
+  return ev;
+}
+
+TEST(Evidence, JsonRoundTripIdentity) {
+  const Evidence ev = sample_evidence();
+  const Evidence back = evidence_from_json(evidence_to_json(ev));
+  EXPECT_EQ(back, ev);
+}
+
+TEST(Evidence, JsonRoundTripSurvivesTextSerialization) {
+  const Evidence ev = sample_evidence();
+  const std::string text = evidence_to_json(ev).dump();
+  const Evidence back = evidence_from_json(json::parse(text));
+  EXPECT_EQ(back, ev);
+}
+
+TEST(Evidence, DefaultChainRoundTrips) {
+  const Evidence ev;
+  EXPECT_EQ(evidence_from_json(evidence_to_json(ev)), ev);
+  EXPECT_FALSE(ev.discharged());
+}
+
+TEST(Evidence, TextRenderingNamesTheDecision) {
+  const Evidence ev = sample_evidence();
+  const std::string text = evidence_to_text(ev);
+  EXPECT_NE(text.find("phase 1/2"), std::string::npos);
+  EXPECT_NE(text.find("discharged by lockset.common"), std::string::npos);
+
+  Evidence racy = ev;
+  racy.discharge_rule.clear();
+  EXPECT_NE(evidence_to_text(racy).find("reported"), std::string::npos);
+}
+
+TEST(Evidence, ChainTextListsEveryStep) {
+  const std::string chain = evidence_chain_text(sample_evidence());
+  EXPECT_NE(chain.find("mhp.phase: not discharged"), std::string::npos);
+  EXPECT_NE(chain.find("lockset.common: discharged"), std::string::npos);
+}
+
+// Detector-produced chains obey the model invariants.
+TEST(Evidence, DetectorChainsAreWellFormed) {
+  const char* src = R"(
+int a[100];
+int x;
+int main() {
+  int i;
+#pragma omp parallel for
+  for (i = 0; i < 99; i++) {
+    a[i] = a[i + 1];
+#pragma omp critical
+    x = x + 1;
+  }
+  return 0;
+}
+)";
+  StaticRaceDetector detector;
+  const RaceReport report = detector.analyze_source(src);
+  ASSERT_FALSE(report.pairs.empty());
+  ASSERT_FALSE(report.discharged.empty());
+  for (const auto& pair : report.pairs) {
+    EXPECT_FALSE(pair.evidence.steps.empty());
+    EXPECT_FALSE(pair.evidence.discharged());
+    for (const auto& step : pair.evidence.steps) {
+      EXPECT_FALSE(step.discharged) << step.rule;
+    }
+    EXPECT_EQ(evidence_from_json(evidence_to_json(pair.evidence)),
+              pair.evidence);
+  }
+  for (const auto& d : report.discharged) {
+    EXPECT_TRUE(d.evidence.discharged());
+    ASSERT_FALSE(d.evidence.steps.empty());
+    // The final step is the one that discharged the pair.
+    EXPECT_TRUE(d.evidence.steps.back().discharged);
+    EXPECT_EQ(d.evidence.steps.back().rule, d.evidence.discharge_rule);
+    EXPECT_EQ(evidence_from_json(evidence_to_json(d.evidence)), d.evidence);
+  }
+}
+
+// The critical-guarded accumulation above must discharge via the lockset.
+TEST(Evidence, LocksetDischargeCitesTheGuard) {
+  const char* src = R"(
+int x;
+int main() {
+  int i;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++) {
+#pragma omp critical
+    x = x + 1;
+  }
+  return 0;
+}
+)";
+  StaticRaceDetector detector;
+  const RaceReport report = detector.analyze_source(src);
+  EXPECT_FALSE(report.race_detected);
+  ASSERT_FALSE(report.discharged.empty());
+  const Evidence& ev = report.discharged.front().evidence;
+  EXPECT_EQ(ev.discharge_rule, "lockset.common");
+  ASSERT_FALSE(ev.common_guards.empty());
+  EXPECT_EQ(ev.common_guards.front(), "critical");
+}
+
+}  // namespace
+}  // namespace drbml::analysis

@@ -1,9 +1,13 @@
 // drbml -- command line interface to the library.
 //
-//   drbml analyze  [--detector SPEC] [--jobs N] FILE.c...
+//   drbml analyze  [--detector SPEC] [--jobs N] [--explain]
+//                  [--format text|json] FILE.c...
 //                                               analyze programs (many
 //                                               files fan out over N
-//                                               worker threads)
+//                                               worker threads); --explain
+//                                               prints the evidence chain
+//                                               behind every reported and
+//                                               discharged pair
 //   drbml graph    [--dot] FILE.c               print its dependence graph
 //   drbml lint     [--format text|json|sarif] [--check] [--jobs N]
 //                  [FILE.c... | --entry NAME | --corpus | --synth N]
@@ -77,7 +81,8 @@ int usage() {
       "drbml -- data race detection substrate (LLM study reproduction)\n"
       "\n"
       "usage:\n"
-      "  drbml analyze [--detector SPEC] [--jobs N] FILE.c...\n"
+      "  drbml analyze [--detector SPEC] [--jobs N] [--explain]\n"
+      "                [--format text|json] FILE.c...\n"
       "  drbml graph [--dot] FILE.c\n"
       "  drbml lint [--format text|json|sarif] [--check] [--jobs N]\n"
       "             [FILE.c... | --entry NAME | --corpus | --synth N "
@@ -147,41 +152,123 @@ void print_verdict(const core::RaceVerdict& v) {
   }
 }
 
+/// --explain, text format: the full evidence chain behind every reported
+/// and discharged pair (one indented line per rule consulted).
+void print_explanation(const core::RaceVerdict& v) {
+  for (const auto& pair : v.pairs) {
+    std::printf("  racy %s@%d vs. %s@%d\n    %s",
+                pair.first.expr_text.c_str(), pair.first.loc.line,
+                pair.second.expr_text.c_str(), pair.second.loc.line,
+                analysis::evidence_chain_text(pair.evidence).c_str());
+  }
+  for (const auto& d : v.discharged) {
+    std::printf("  safe %s@%d vs. %s@%d\n    %s", d.first.expr_text.c_str(),
+                d.first.loc.line, d.second.expr_text.c_str(),
+                d.second.loc.line,
+                analysis::evidence_chain_text(d.evidence).c_str());
+  }
+  if (v.pairs.empty() && v.discharged.empty()) {
+    std::printf("  (no candidate pairs)\n");
+  }
+}
+
+json::Object access_to_json(const analysis::RaceAccess& a) {
+  json::Object o;
+  o.set("expr", a.expr_text);
+  o.set("var", a.var_name);
+  o.set("line", a.loc.line);
+  o.set("col", a.loc.col);
+  o.set("op", std::string(1, a.op));
+  return o;
+}
+
+/// --explain, json format: one machine-readable object per file with the
+/// verdict and evidence_to_json chains for every candidate pair.
+json::Value explain_to_json(const std::string& path, const std::string& name,
+                            const core::RaceVerdict& v) {
+  json::Array pairs;
+  for (const auto& pair : v.pairs) {
+    json::Object o;
+    o.set("first", access_to_json(pair.first));
+    o.set("second", access_to_json(pair.second));
+    o.set("evidence", analysis::evidence_to_json(pair.evidence));
+    pairs.push_back(json::Value(std::move(o)));
+  }
+  json::Array discharged;
+  for (const auto& d : v.discharged) {
+    json::Object o;
+    o.set("first", access_to_json(d.first));
+    o.set("second", access_to_json(d.second));
+    o.set("evidence", analysis::evidence_to_json(d.evidence));
+    discharged.push_back(json::Value(std::move(o)));
+  }
+  json::Array diags;
+  for (const auto& diag : v.diagnostics) diags.emplace_back(diag);
+  json::Object root;
+  root.set("file", path);
+  root.set("detector", name);
+  root.set("race_detected", v.race);
+  root.set("pairs", std::move(pairs));
+  root.set("discharged", std::move(discharged));
+  root.set("diagnostics", std::move(diags));
+  return json::Value(std::move(root));
+}
+
 int cmd_analyze(const std::vector<std::string>& args) {
   core::DetectorSpec spec;
   std::vector<std::string> paths;
+  bool explain = false;
+  std::string format = "text";
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--detector" && i + 1 < args.size()) {
       spec.spec = args[++i];
     } else if (args[i] == "--jobs" && i + 1 < args.size()) {
       spec.jobs = static_cast<int>(int_flag("--jobs", args[++i]));
+    } else if (args[i] == "--explain") {
+      explain = true;
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+      if (format != "text" && format != "json") {
+        throw Error("--format expects text or json, got '" + format + "'");
+      }
     } else {
       paths.push_back(args[i]);
     }
   }
   if (paths.empty()) return usage();
+  if (format == "json" && !explain) {
+    throw Error("--format json requires --explain");
+  }
   auto detector = core::make_detector(spec);
 
-  if (paths.size() == 1) {
-    const core::RaceVerdict v = detector->analyze(read_file(paths[0]));
-    std::printf("%s: %s\n", detector->name().c_str(),
-                v.race ? "DATA RACE" : "no race detected");
-    print_verdict(v);
-    return v.race ? 1 : 0;
-  }
-
-  // Many files: fan out over the pool; verdicts print in input order.
+  // Fan out over the pool (trivially serial for one file); verdicts print
+  // in input order.
   std::vector<std::string> sources;
   sources.reserve(paths.size());
   for (const auto& path : paths) sources.push_back(read_file(path));
   const std::vector<core::RaceVerdict> verdicts =
       detector->analyze_batch(sources);
   bool any_race = false;
+  json::Array out;
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
-    std::printf("%s: %s: %s\n", paths[i].c_str(), detector->name().c_str(),
-                verdicts[i].race ? "DATA RACE" : "no race detected");
-    print_verdict(verdicts[i]);
-    any_race = any_race || verdicts[i].race;
+    const core::RaceVerdict& v = verdicts[i];
+    any_race = any_race || v.race;
+    if (explain && format == "json") {
+      out.push_back(explain_to_json(paths[i], detector->name(), v));
+      continue;
+    }
+    if (paths.size() == 1) {
+      std::printf("%s: %s\n", detector->name().c_str(),
+                  v.race ? "DATA RACE" : "no race detected");
+    } else {
+      std::printf("%s: %s: %s\n", paths[i].c_str(), detector->name().c_str(),
+                  v.race ? "DATA RACE" : "no race detected");
+    }
+    print_verdict(v);
+    if (explain) print_explanation(v);
+  }
+  if (explain && format == "json") {
+    std::printf("%s\n", json::Value(std::move(out)).dump_pretty().c_str());
   }
   return any_race ? 1 : 0;
 }
