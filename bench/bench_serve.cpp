@@ -1,0 +1,396 @@
+// Load bench for the serve daemon: drives a Server with a mixed
+// analyze/lint workload, in-process and over a socketpair wire, and
+// reports per-phase latency percentiles (p50/p95/p99) and sustained QPS.
+//
+// Phases:
+//   cold   in-process, empty artifact cache -- every request computes
+//   warm   the identical workload again -- every request should hit
+//   wire   the warm workload once more, but through serve_fd over an
+//          AF_UNIX socketpair (client writes NDJSON, reads responses)
+//
+// The bench asserts the serve contract the check.sh gate relies on:
+//   * every request gets exactly one response (no drops under load);
+//   * the warm-phase cache hit rate is strictly above the cold phase;
+//   * responses are byte-identical at --jobs 1 and --jobs 8 (compared
+//     sorted by id -- arrival order is scheduling, bytes are not).
+//
+// Writes BENCH_serve.json (override with --out FILE). Latency numbers
+// are wall-clock and machine-dependent; the hit-rate and identity
+// fields are the stable part of the artifact.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "drb/corpus.hpp"
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace drbml;
+
+/// The mixed workload: analyze (static and hybrid) + lint over the
+/// first `entries` parseable corpus programs, each request id unique.
+std::vector<std::pair<std::string, std::string>> build_workload(
+    int entries) {
+  std::vector<std::pair<std::string, std::string>> requests;  // (id, line)
+  int taken = 0;
+  for (const drb::CorpusEntry& e : drb::corpus()) {
+    if (taken >= entries) break;
+    ++taken;
+    const std::string code = json::escape(drb::drb_code(e));
+    const std::string tag = "e" + std::to_string(taken);
+    requests.emplace_back(
+        tag + "-static", "{\"id\":\"" + tag + "-static\",\"verb\":\"analyze\","
+                         "\"detector\":\"static\",\"code\":\"" + code + "\"}");
+    requests.emplace_back(
+        tag + "-hybrid", "{\"id\":\"" + tag + "-hybrid\",\"verb\":\"analyze\","
+                         "\"detector\":\"hybrid\",\"code\":\"" + code + "\"}");
+    requests.emplace_back(
+        tag + "-lint", "{\"id\":\"" + tag + "-lint\",\"verb\":\"lint\","
+                       "\"code\":\"" + code + "\"}");
+  }
+  return requests;
+}
+
+struct PhaseResult {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  std::uint64_t p50_us = 0, p95_us = 0, p99_us = 0;
+  double hit_rate = 0;  // cache hits / probes during the phase
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i =
+      std::min(v.size() - 1, static_cast<std::size_t>(p * v.size()));
+  return v[i];
+}
+
+std::uint64_t cache_probes() {
+  static const obs::MetricDesc* kProbes[] = {
+      &obs::kCacheTokensProbe,   &obs::kCacheAstProbe,
+      &obs::kCacheDepgraphProbe, &obs::kCacheStaticProbe,
+      &obs::kCacheDynamicProbe,  &obs::kCacheLintProbe,
+      &obs::kCacheRepairProbe,   &obs::kCacheLintTextProbe,
+      &obs::kCacheEvidenceTextProbe, &obs::kCacheExploreProbe,
+  };
+  std::uint64_t n = 0;
+  for (const obs::MetricDesc* d : kProbes) n += obs::metrics().counter(*d).value();
+  return n;
+}
+
+std::uint64_t cache_computes() {
+  static const obs::MetricDesc* kComputes[] = {
+      &obs::kCacheTokensCompute,   &obs::kCacheAstCompute,
+      &obs::kCacheDepgraphCompute, &obs::kCacheStaticCompute,
+      &obs::kCacheDynamicCompute,  &obs::kCacheLintCompute,
+      &obs::kCacheRepairCompute,   &obs::kCacheLintTextCompute,
+      &obs::kCacheEvidenceTextCompute, &obs::kCacheExploreCompute,
+  };
+  std::uint64_t n = 0;
+  for (const obs::MetricDesc* d : kComputes) n += obs::metrics().counter(*d).value();
+  return n;
+}
+
+/// Runs the workload through Server::submit_line, waiting for every
+/// response; latency is submit -> response-callback per request.
+PhaseResult run_inprocess(
+    serve::Server& server,
+    const std::vector<std::pair<std::string, std::string>>& workload) {
+  PhaseResult r;
+  r.requests = workload.size();
+  const std::uint64_t probes0 = cache_probes();
+  const std::uint64_t computes0 = cache_computes();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t errors = 0, done = 0;
+
+  const std::uint64_t t0 = obs::now_wall_ns();
+  for (const auto& [id, line] : workload) {
+    const std::uint64_t sent = obs::now_wall_ns();
+    server.submit_line(line, [&, sent](std::string response) {
+      const std::uint64_t us = (obs::now_wall_ns() - sent) / 1'000ULL;
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.push_back(us);
+      if (response.find("\"ok\":false") != std::string::npos) ++errors;
+      ++done;
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == workload.size(); });
+  }
+  r.wall_ms = static_cast<double>(obs::now_wall_ns() - t0) / 1e6;
+
+  r.responses = done;
+  r.errors = errors;
+  r.qps = r.wall_ms > 0 ? 1000.0 * static_cast<double>(done) / r.wall_ms : 0;
+  r.p50_us = percentile(latencies, 0.50);
+  r.p95_us = percentile(latencies, 0.95);
+  r.p99_us = percentile(latencies, 0.99);
+  const std::uint64_t probes = cache_probes() - probes0;
+  const std::uint64_t computes = cache_computes() - computes0;
+  r.hit_rate = probes > 0
+                   ? static_cast<double>(probes - computes) /
+                         static_cast<double>(probes)
+                   : 0;
+  return r;
+}
+
+/// Runs the workload over an AF_UNIX socketpair: serve_fd on a server
+/// thread, NDJSON client on this one. Latency is write -> response-line
+/// arrival, demultiplexed by id.
+PhaseResult run_wire(
+    serve::Server& server,
+    const std::vector<std::pair<std::string, std::string>>& workload) {
+  PhaseResult r;
+  r.requests = workload.size();
+  const std::uint64_t probes0 = cache_probes();
+  const std::uint64_t computes0 = cache_computes();
+
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw Error("socketpair failed");
+  }
+  std::thread server_thread([&] { server.serve_fd(fds[0], fds[0]); });
+
+  std::map<std::string, std::uint64_t> sent_ns;
+  const std::uint64_t t0 = obs::now_wall_ns();
+  {
+    std::string out;
+    for (const auto& [id, line] : workload) {
+      sent_ns[id] = obs::now_wall_ns();
+      out = line + "\n";
+      std::size_t off = 0;
+      while (off < out.size()) {
+        const ssize_t n = ::write(fds[1], out.data() + off, out.size() - off);
+        if (n < 0) throw Error("wire write failed");
+        off += static_cast<std::size_t>(n);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> latencies;
+  std::string buffer;
+  char chunk[4096];
+  while (r.responses < workload.size()) {
+    const ssize_t n = ::read(fds[1], chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      const std::uint64_t arrived = obs::now_wall_ns();
+      const json::Value doc = json::parse(line);
+      const std::string& id = doc.as_object().at("id").as_string();
+      if (!doc.as_object().at("ok").as_bool()) ++r.errors;
+      latencies.push_back((arrived - sent_ns.at(id)) / 1'000ULL);
+      ++r.responses;
+    }
+    buffer.erase(0, start);
+  }
+  r.wall_ms = static_cast<double>(obs::now_wall_ns() - t0) / 1e6;
+  ::shutdown(fds[1], SHUT_WR);  // EOF -> server drains and returns
+  server_thread.join();
+  ::close(fds[1]);
+  ::close(fds[0]);
+
+  r.qps = r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.responses) / r.wall_ms
+                        : 0;
+  r.p50_us = percentile(latencies, 0.50);
+  r.p95_us = percentile(latencies, 0.95);
+  r.p99_us = percentile(latencies, 0.99);
+  const std::uint64_t probes = cache_probes() - probes0;
+  const std::uint64_t computes = cache_computes() - computes0;
+  r.hit_rate = probes > 0
+                   ? static_cast<double>(probes - computes) /
+                         static_cast<double>(probes)
+                   : 0;
+  return r;
+}
+
+/// Collects (id -> response) via a dedicated server at the given job
+/// count; used for the cross-jobs byte-identity check.
+std::map<std::string, std::string> collect_responses(
+    int jobs, const std::vector<std::pair<std::string, std::string>>& workload) {
+  serve::ServerOptions opts;
+  opts.jobs = jobs;
+  opts.queue_limit = 0;  // unbounded: no backpressure in the bench
+  serve::Server server(opts);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, std::string> by_id;
+  std::size_t done = 0;
+  for (const auto& [id, line] : workload) {
+    server.submit_line(line, [&, id = id](std::string response) {
+      std::lock_guard<std::mutex> lock(mu);
+      by_id[id] = std::move(response);
+      ++done;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == workload.size(); });
+  return by_id;
+}
+
+json::Value phase_json(const PhaseResult& r) {
+  json::Object o;
+  o.set("requests", json::Value(static_cast<std::int64_t>(r.requests)));
+  o.set("responses", json::Value(static_cast<std::int64_t>(r.responses)));
+  o.set("errors", json::Value(static_cast<std::int64_t>(r.errors)));
+  o.set("wall_ms", json::Value(r.wall_ms));
+  o.set("qps", json::Value(r.qps));
+  o.set("p50_us", json::Value(static_cast<std::int64_t>(r.p50_us)));
+  o.set("p95_us", json::Value(static_cast<std::int64_t>(r.p95_us)));
+  o.set("p99_us", json::Value(static_cast<std::int64_t>(r.p99_us)));
+  o.set("cache_hit_rate", json::Value(r.hit_rate));
+  return json::Value(std::move(o));
+}
+
+void print_phase(const char* name, const PhaseResult& r) {
+  std::printf(
+      "%-5s  %4llu req  %7.1f ms  %8.1f qps  p50 %6llu us  p95 %6llu us  "
+      "p99 %6llu us  hit %.3f\n",
+      name, static_cast<unsigned long long>(r.responses), r.wall_ms, r.qps,
+      static_cast<unsigned long long>(r.p50_us),
+      static_cast<unsigned long long>(r.p95_us),
+      static_cast<unsigned long long>(r.p99_us), r.hit_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  obs::consume_obs_flags(args);
+  std::string out_path = "BENCH_serve.json";
+  int entries = 12;
+  int jobs = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--entries" && i + 1 < args.size()) {
+      const auto v = parse_int(args[++i]);
+      if (!v.has_value() || *v <= 0) {
+        std::fprintf(stderr, "--entries expects a positive integer\n");
+        return 2;
+      }
+      entries = static_cast<int>(*v);
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      const auto v = parse_int(args[++i]);
+      if (!v.has_value() || *v < 0) {
+        std::fprintf(stderr, "--jobs expects a non-negative integer\n");
+        return 2;
+      }
+      jobs = static_cast<int>(*v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--entries N] [--jobs N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const auto workload = build_workload(entries);
+  std::printf("bench_serve: %zu requests (%d entries x analyze-static/"
+              "analyze-hybrid/lint)\n",
+              workload.size(), entries);
+
+  serve::ServerOptions opts;
+  opts.jobs = jobs;
+  opts.queue_limit = 0;  // latency bench: no backpressure drops
+  serve::Server server(opts);
+
+  const PhaseResult cold = run_inprocess(server, workload);
+  print_phase("cold", cold);
+  const PhaseResult warm = run_inprocess(server, workload);
+  print_phase("warm", warm);
+
+  serve::ServerOptions wire_opts;
+  wire_opts.jobs = jobs;
+  wire_opts.queue_limit = 0;
+  serve::Server wire_server(wire_opts);
+  const PhaseResult wire = run_wire(wire_server, workload);
+  print_phase("wire", wire);
+
+  // Byte-identity across job counts (responses compared by id; arrival
+  // order is scheduling and deliberately not part of the contract).
+  const auto jobs1 = collect_responses(1, workload);
+  const auto jobs8 = collect_responses(8, workload);
+  const bool identical = jobs1 == jobs8;
+  std::printf("determinism: jobs=1 vs jobs=8 responses %s\n",
+              identical ? "byte-identical" : "DIVERGED");
+
+  bool ok = true;
+  if (cold.responses != cold.requests || warm.responses != warm.requests ||
+      wire.responses != wire.requests) {
+    std::fprintf(stderr, "FAIL: dropped responses\n");
+    ok = false;
+  }
+  if (cold.errors + warm.errors + wire.errors > 0) {
+    std::fprintf(stderr, "FAIL: error responses in a well-formed workload\n");
+    ok = false;
+  }
+  if (warm.hit_rate <= cold.hit_rate) {
+    std::fprintf(stderr, "FAIL: warm hit rate %.3f not above cold %.3f\n",
+                 warm.hit_rate, cold.hit_rate);
+    ok = false;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: responses differ across --jobs\n");
+    ok = false;
+  }
+  if (warm.qps < 50.0) {
+    std::fprintf(stderr, "FAIL: warm QPS %.1f below the 50 QPS floor\n",
+                 warm.qps);
+    ok = false;
+  }
+
+  json::Object root;
+  root.set("schema", json::Value("drbml-bench-serve-v1"));
+  root.set("workload", json::Value(static_cast<std::int64_t>(workload.size())));
+  root.set("entries", json::Value(entries));
+  json::Object phases;
+  phases.set("cold", phase_json(cold));
+  phases.set("warm", phase_json(warm));
+  phases.set("wire", phase_json(wire));
+  root.set("phases", json::Value(std::move(phases)));
+  json::Object checks;
+  checks.set("no_dropped_responses", json::Value(ok || cold.responses == cold.requests));
+  checks.set("warm_hits_above_cold", json::Value(warm.hit_rate > cold.hit_rate));
+  checks.set("jobs_byte_identical", json::Value(identical));
+  checks.set("warm_qps_floor", json::Value(50));
+  checks.set("warm_qps_met", json::Value(warm.qps >= 50.0));
+  root.set("checks", json::Value(std::move(checks)));
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json::Value(std::move(root)).dump_pretty() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

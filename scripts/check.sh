@@ -24,7 +24,12 @@
 # static-analysis gate: the precision differential (ctest -L precision)
 # asserts strictly fewer false positives than the legacy detector
 # configuration with zero recall loss, and clang-tidy (when installed)
-# runs the curated .clang-tidy check set over src/. Stage 3 rebuilds
+# runs the curated .clang-tidy check set over src/. Stage 2f is the
+# serve gate: the detection-as-a-service daemon must answer 50 mixed
+# analyze/lint requests over the stdio transport with zero drops and
+# zero errors, the repeats must hit the warm shared cache, and the
+# bench_serve load generator must sustain its latency/QPS contract
+# (refreshing BENCH_serve.json). Stage 3 rebuilds
 # under ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
 # `parallel`-labelled suites -- the thread pool, the memoized artifact
 # caches, the parallel experiment executor, the lint and repair
@@ -72,6 +77,53 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "clang-tidy not found; skipping the tidy half of stage 2e"
 fi
+
+echo "== stage 2f: serve gate (daemon round-trip + load bench) =="
+# 50 mixed analyze/lint requests (two programs, repeated) plus a final
+# stats probe, over the stdio transport; EOF triggers the graceful
+# drain. Every id must come back exactly once with ok:true, and the
+# repeats must have hit the warm shared cache (hits > 0 in the final
+# stats snapshot -- the daemon starts cold, so every hit is a repeat).
+serve_tmp=$(mktemp -d)
+racy='int main() {\n  int sum = 0;\n  int a[100];\n#pragma omp parallel for\n  for (int i = 0; i < 100; i++) sum = sum + a[i];\n  return sum;\n}\n'
+safe='int main() {\n  int a[100];\n#pragma omp parallel for\n  for (int i = 0; i < 100; i++) a[i] = i;\n  return 0;\n}\n'
+{
+  for i in $(seq 1 50); do
+    if (( i % 2 )); then
+      printf '{"id":"r%d","verb":"analyze","detector":"static","code":"%s"}\n' \
+        "$i" "$racy"
+    else
+      printf '{"id":"r%d","verb":"lint","code":"%s"}\n' "$i" "$safe"
+    fi
+  done
+  printf '{"id":"final-stats","verb":"stats"}\n'
+} > "$serve_tmp/requests.ndjson"
+build/tools/drbml serve --jobs 4 \
+  < "$serve_tmp/requests.ndjson" > "$serve_tmp/responses.ndjson"
+resp_count=$(wc -l < "$serve_tmp/responses.ndjson")
+if [[ "$resp_count" -ne 51 ]]; then
+  echo "serve gate: expected 51 responses, got $resp_count" >&2; exit 1
+fi
+if grep -q '"ok":false' "$serve_tmp/responses.ndjson"; then
+  echo "serve gate: error responses in a well-formed workload" >&2; exit 1
+fi
+for i in $(seq 1 50); do
+  grep -q "\"id\":\"r$i\"" "$serve_tmp/responses.ndjson" \
+    || { echo "serve gate: response for id r$i missing" >&2; exit 1; }
+done
+hits=$(grep '"id":"final-stats"' "$serve_tmp/responses.ndjson" \
+  | sed 's/.*"hits"://; s/[^0-9].*//')
+if [[ -z "$hits" || "$hits" -eq 0 ]]; then
+  echo "serve gate: warm cache hits not above cold (hits=${hits:-?})" >&2
+  exit 1
+fi
+echo "serve gate: 51/51 responses, warm hits=$hits"
+rm -rf "$serve_tmp"
+# The load bench enforces the latency/QPS contract -- >=50 QPS sustained
+# on the mixed workload, warm hit rate strictly above cold, responses
+# byte-identical at --jobs 1 vs --jobs 8 -- and refreshes the committed
+# BENCH_serve.json artifact.
+build/bench/bench_serve --out BENCH_serve.json | tail -n 2
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="

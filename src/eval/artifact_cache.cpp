@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "minic/printer.hpp"
 #include "obs/catalog.hpp"
 #include "support/hash.hpp"
+#include "support/strings.hpp"
 
 namespace drbml::eval {
 
@@ -86,6 +88,59 @@ std::uint64_t hash_repair_options(const repair::RepairOptions& o) {
   return hash_combine(h, static_cast<std::uint64_t>(o.explore_pct_depth));
 }
 
+// Approximate resident byte costs for the LRU budget. Estimates only
+// need to scale with the real footprint -- eviction order and the budget
+// comparison tolerate slack -- so each is a flat struct overhead plus
+// the variable-size payloads.
+
+std::uint64_t cost_string(const std::string& s) { return 64 + s.size(); }
+
+std::uint64_t cost_evidence(const analysis::Evidence& e) {
+  std::uint64_t b = 96 + e.dep_test.size() + e.dep_detail.size() +
+                    e.discharge_rule.size();
+  for (const auto& s : e.locks_first) b += 32 + s.size();
+  for (const auto& s : e.locks_second) b += 32 + s.size();
+  for (const auto& s : e.common_guards) b += 32 + s.size();
+  for (const auto& step : e.steps) {
+    b += 64 + step.rule.size() + step.detail.size();
+  }
+  return b;
+}
+
+std::uint64_t cost_report(const analysis::RaceReport& r) {
+  std::uint64_t b = 128;
+  for (const auto& p : r.pairs) {
+    b += 128 + p.first.expr_text.size() + p.second.expr_text.size() +
+         p.note.size() + cost_evidence(p.evidence);
+  }
+  for (const auto& d : r.discharged) {
+    b += 128 + d.first.expr_text.size() + d.second.expr_text.size() +
+         cost_evidence(d.evidence);
+  }
+  for (const auto& diag : r.diagnostics) b += 32 + diag.size();
+  return b;
+}
+
+std::uint64_t cost_explore(const explore::ExploreResult& r) {
+  return 256 + cost_report(r.report) + 8 * r.coverage.size() +
+         48 * r.schedules.size() + r.witness.size();
+}
+
+std::uint64_t cost_lint(const lint::LintReport& r) {
+  std::uint64_t b = 96 + cost_report(r.race);
+  for (const auto& d : r.diagnostics) {
+    b += 160 + d.message.size() + d.fixit.size() + d.pattern.size() +
+         d.check_id.size();
+    for (const auto& rel : d.related) b += 48 + rel.message.size();
+  }
+  return b;
+}
+
+std::uint64_t cost_repair(const repair::RepairResult& r) {
+  return 192 + r.patched.size() + r.patch_id.size() + r.description.size() +
+         r.family.size() + r.message.size();
+}
+
 }  // namespace
 
 int ArtifactCache::token_count(const std::string& code) {
@@ -93,24 +148,30 @@ int ArtifactCache::token_count(const std::string& code) {
   static obs::Counter& computes =
       obs::metrics().counter(obs::kCacheTokensCompute);
   probes.add();
-  return tokens_.get_or_compute(fnv1a64(code), [&] {
+  const std::uint64_t key = fnv1a64(code);
+  const int v = tokens_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactTokens);
     llm::SimpleTokenizer tok;
     return tok.count_tokens(code);
   });
+  touch(Kind::Tokens, key, 16);
+  return v;
 }
 
 const std::string& ArtifactCache::ast_text(const std::string& code) {
   static obs::Counter& probes = obs::metrics().counter(obs::kCacheAstProbe);
   static obs::Counter& computes = obs::metrics().counter(obs::kCacheAstCompute);
   probes.add();
-  return asts_.get_or_compute(fnv1a64(code), [&] {
+  const std::uint64_t key = fnv1a64(code);
+  const std::string& v = asts_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactAst);
     minic::Program prog = minic::parse_program(code);
     return minic::unit_to_string(*prog.unit);
   });
+  touch(Kind::Ast, key, cost_string(v));
+  return v;
 }
 
 const std::string& ArtifactCache::depgraph_text(const std::string& code) {
@@ -118,11 +179,14 @@ const std::string& ArtifactCache::depgraph_text(const std::string& code) {
   static obs::Counter& computes =
       obs::metrics().counter(obs::kCacheDepgraphCompute);
   probes.add();
-  return depgraphs_.get_or_compute(fnv1a64(code), [&] {
+  const std::uint64_t key = fnv1a64(code);
+  const std::string& v = depgraphs_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactDepgraph);
     return analysis::build_dependence_graph(code).to_text();
   });
+  touch(Kind::Depgraph, key, cost_string(v));
+  return v;
 }
 
 const llm::ProgramFeatures& ArtifactCache::features(const std::string& code) {
@@ -137,12 +201,14 @@ const analysis::RaceReport& ArtifactCache::static_report(
   probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_static_options(opts));
-  return static_reports_.get_or_compute(key, [&] {
+  const analysis::RaceReport& v = static_reports_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactStatic);
     analysis::StaticRaceDetector detector(opts);
     return detector.analyze_source(code);
   });
+  touch(Kind::Static, key, cost_report(v));
+  return v;
 }
 
 const analysis::RaceReport& ArtifactCache::dynamic_report(
@@ -153,12 +219,14 @@ const analysis::RaceReport& ArtifactCache::dynamic_report(
   probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_dynamic_options(opts));
-  return dynamic_reports_.get_or_compute(key, [&] {
+  const analysis::RaceReport& v = dynamic_reports_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactDynamic);
     runtime::DynamicRaceDetector detector(opts);
     return detector.analyze_source(code);
   });
+  touch(Kind::Dynamic, key, cost_report(v));
+  return v;
 }
 
 const explore::ExploreResult& ArtifactCache::explore_result(
@@ -170,11 +238,13 @@ const explore::ExploreResult& ArtifactCache::explore_result(
   probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_explore_options(opts));
-  return explore_results_.get_or_compute(key, [&] {
+  const explore::ExploreResult& v = explore_results_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactExplore);
     return explore::explore_source(code, opts);
   });
+  touch(Kind::Explore, key, cost_explore(v));
+  return v;
 }
 
 const repair::RepairResult& ArtifactCache::repair_result(
@@ -185,11 +255,13 @@ const repair::RepairResult& ArtifactCache::repair_result(
   probes.add();
   const std::uint64_t key =
       hash_combine(fnv1a64(code), hash_repair_options(opts));
-  return repair_results_.get_or_compute(key, [&] {
+  const repair::RepairResult& v = repair_results_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactRepair);
     return repair::repair_source(code, opts);
   });
+  touch(Kind::Repair, key, cost_repair(v));
+  return v;
 }
 
 const lint::LintReport& ArtifactCache::lint_report(const std::string& code) {
@@ -197,12 +269,15 @@ const lint::LintReport& ArtifactCache::lint_report(const std::string& code) {
   static obs::Counter& computes = obs::metrics().counter(obs::kCacheLintCompute);
   probes.add();
   // Default LintOptions only, so the code hash alone is a sound key.
-  return lint_reports_.get_or_compute(fnv1a64(code), [&] {
+  const std::uint64_t key = fnv1a64(code);
+  const lint::LintReport& v = lint_reports_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactLint);
     const lint::Linter linter;
     return linter.lint_source(code);
   });
+  touch(Kind::Lint, key, cost_lint(v));
+  return v;
 }
 
 const std::string& ArtifactCache::lint_text(const std::string& code) {
@@ -210,7 +285,8 @@ const std::string& ArtifactCache::lint_text(const std::string& code) {
   static obs::Counter& computes =
       obs::metrics().counter(obs::kCacheLintTextCompute);
   probes.add();
-  return lint_texts_.get_or_compute(fnv1a64(code), [&] {
+  const std::uint64_t key = fnv1a64(code);
+  const std::string& v = lint_texts_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactLintText);
     std::string out;
@@ -224,6 +300,8 @@ const std::string& ArtifactCache::lint_text(const std::string& code) {
     if (out.empty()) out = "(no findings)\n";
     return out;
   });
+  touch(Kind::LintText, key, cost_string(v));
+  return v;
 }
 
 const std::string& ArtifactCache::evidence_text(const std::string& code) {
@@ -232,7 +310,8 @@ const std::string& ArtifactCache::evidence_text(const std::string& code) {
   static obs::Counter& computes =
       obs::metrics().counter(obs::kCacheEvidenceTextCompute);
   probes.add();
-  return evidence_texts_.get_or_compute(fnv1a64(code), [&] {
+  const std::uint64_t key = fnv1a64(code);
+  const std::string& v = evidence_texts_.get_or_compute(key, [&] {
     computes.add();
     obs::Span span(obs::kSpanArtifactEvidenceText);
     std::string out;
@@ -262,6 +341,8 @@ const std::string& ArtifactCache::evidence_text(const std::string& code) {
     if (out.empty()) out = "(no candidate pairs)\n";
     return out;
   });
+  touch(Kind::EvidenceText, key, cost_string(v));
+  return v;
 }
 
 std::size_t ArtifactCache::size() const {
@@ -283,6 +364,132 @@ void ArtifactCache::clear() {
   repair_results_.clear();
   lint_texts_.clear();
   evidence_texts_.clear();
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  lru_.clear();
+  lru_index_.clear();
+  condemned_.clear();
+  resident_bytes_ = 0;
+}
+
+// ------------------------------------------------------- LRU byte budget
+
+namespace {
+
+/// One LRU-index key per (kind, OnceMap key): token_count and ast_text
+/// share the raw code hash, so the kind must participate.
+std::uint64_t lru_id(int kind, std::uint64_t key) {
+  return hash_combine(static_cast<std::uint64_t>(kind) + 1, key);
+}
+
+}  // namespace
+
+void ArtifactCache::touch(Kind kind, std::uint64_t key, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  const std::uint64_t id = lru_id(static_cast<int>(kind), key);
+  auto it = lru_index_.find(id);
+  if (it != lru_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(LruEntry{kind, key, bytes});
+  lru_index_.emplace(id, lru_.begin());
+  resident_bytes_ += bytes;
+  evict_to_budget_locked();
+}
+
+void ArtifactCache::evict_to_budget_locked() {
+  if (budget_ == 0) return;
+  static obs::Counter& evictions = obs::metrics().counter(obs::kCacheEvictCount);
+  static obs::Counter& evicted_bytes =
+      obs::metrics().counter(obs::kCacheEvictBytes);
+  // Never evict the most-recently-used entry: a single artifact larger
+  // than the whole budget stays resident instead of thrashing.
+  while (resident_bytes_ > budget_ && lru_.size() > 1) {
+    const LruEntry victim = lru_.back();
+    lru_index_.erase(lru_id(static_cast<int>(victim.kind), victim.key));
+    lru_.pop_back();
+    resident_bytes_ -= victim.bytes;
+    ++tick_;
+    std::shared_ptr<const void> handle = erase_kind(victim.kind, victim.key);
+    if (handle != nullptr) {
+      condemned_.push_back(Condemned{tick_, victim.bytes, std::move(handle)});
+    }
+    evictions.add();
+    evicted_bytes.add(victim.bytes);
+  }
+}
+
+std::shared_ptr<const void> ArtifactCache::erase_kind(Kind kind,
+                                                      std::uint64_t key) {
+  switch (kind) {
+    case Kind::Tokens: return tokens_.erase(key);
+    case Kind::Ast: return asts_.erase(key);
+    case Kind::Depgraph: return depgraphs_.erase(key);
+    case Kind::Static: return static_reports_.erase(key);
+    case Kind::Dynamic: return dynamic_reports_.erase(key);
+    case Kind::Explore: return explore_results_.erase(key);
+    case Kind::Lint: return lint_reports_.erase(key);
+    case Kind::Repair: return repair_results_.erase(key);
+    case Kind::LintText: return lint_texts_.erase(key);
+    case Kind::EvidenceText: return evidence_texts_.erase(key);
+  }
+  return nullptr;
+}
+
+void ArtifactCache::set_byte_budget(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  budget_ = bytes;
+  evict_to_budget_locked();
+}
+
+std::uint64_t ArtifactCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return budget_;
+}
+
+std::uint64_t ArtifactCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return resident_bytes_;
+}
+
+std::uint64_t ArtifactCache::current_tick() const {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return tick_;
+}
+
+std::size_t ArtifactCache::reclaim_evicted(std::uint64_t min_active_tick) {
+  std::vector<Condemned> freeable;
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    auto it = condemned_.begin();
+    while (it != condemned_.end()) {
+      if (it->tick < min_active_tick) {
+        freeable.push_back(std::move(*it));
+        it = condemned_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Handles drop outside the lock: destroying a large artifact should
+  // not stall concurrent touch/evict traffic.
+  if (!freeable.empty()) {
+    obs::metrics().counter(obs::kCacheReclaimed).add(freeable.size());
+  }
+  return freeable.size();
+}
+
+std::size_t ArtifactCache::condemned_count() const {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return condemned_.size();
+}
+
+std::uint64_t env_cache_budget() {
+  const char* env = std::getenv("DRBML_CACHE_BUDGET");
+  if (env == nullptr) return 0;
+  const auto v = parse_int(env);
+  if (!v.has_value() || *v < 0) return 0;
+  return static_cast<std::uint64_t>(*v);
 }
 
 // ----------------------------------------------------- snapshot persistence
@@ -418,18 +625,33 @@ std::size_t ArtifactCache::load_snapshot(const std::string& path) {
 
   std::size_t loaded = 0;
   for (const auto& [key, count] : token_records) {
-    if (tokens_.seed(key, count)) ++loaded;
+    if (tokens_.seed(key, count)) {
+      ++loaded;
+      touch(Kind::Tokens, key, 16);
+    }
   }
   for (auto& r : text_records) {
+    // Seeded entries enter the LRU like any computed entry, so a byte
+    // budget applies to snapshot warmth too (oldest seeds evict first).
+    const std::uint64_t bytes = cost_string(r.payload);
     switch (r.tag) {
       case 'A':
-        if (asts_.seed(r.key, std::move(r.payload))) ++loaded;
+        if (asts_.seed(r.key, std::move(r.payload))) {
+          ++loaded;
+          touch(Kind::Ast, r.key, bytes);
+        }
         break;
       case 'D':
-        if (depgraphs_.seed(r.key, std::move(r.payload))) ++loaded;
+        if (depgraphs_.seed(r.key, std::move(r.payload))) {
+          ++loaded;
+          touch(Kind::Depgraph, r.key, bytes);
+        }
         break;
       default:
-        if (lint_texts_.seed(r.key, std::move(r.payload))) ++loaded;
+        if (lint_texts_.seed(r.key, std::move(r.payload))) {
+          ++loaded;
+          touch(Kind::LintText, r.key, bytes);
+        }
         break;
     }
   }

@@ -18,7 +18,13 @@
 //     touch unsynchronized global state.
 #pragma once
 
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "analysis/race.hpp"
 #include "analysis/report.hpp"
@@ -93,6 +99,40 @@ class ArtifactCache {
   /// Entries currently resident across all artifact kinds.
   [[nodiscard]] std::size_t size() const;
 
+  // ------------------------------------------------------ LRU byte budget
+  //
+  // With a budget set (`--cache-budget` / DRBML_CACHE_BUDGET), every
+  // successful probe touches the entry in an LRU list tagged with an
+  // approximate byte cost; when the resident total exceeds the budget,
+  // least-recently-used entries are *evicted* -- removed from the index
+  // so later probes recompute -- but their storage is only *reclaimed*
+  // once the caller says no outstanding reference can still point at it
+  // (OnceMap hands out references, so freeing eagerly would dangle).
+  // Single-threaded callers reclaim_evicted(UINT64_MAX) whenever
+  // convenient; the serve daemon reclaims with the eviction tick of its
+  // oldest in-flight request. With the default budget of 0 nothing is
+  // ever evicted and the cache behaves exactly as before.
+
+  /// Sets the byte budget (0 = unlimited). Lowering it below the current
+  /// resident total evicts immediately.
+  void set_byte_budget(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t byte_budget() const;
+
+  /// Approximate bytes of all resident (non-evicted) entries.
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+
+  /// Monotonic counter stamped onto evictions; a caller that records
+  /// current_tick() before using returned references may later free all
+  /// evictions stamped strictly before that tick.
+  [[nodiscard]] std::uint64_t current_tick() const;
+
+  /// Frees evicted entries whose eviction tick is < `min_active_tick`
+  /// (UINT64_MAX frees everything). Returns the number reclaimed.
+  std::size_t reclaim_evicted(std::uint64_t min_active_tick);
+
+  /// Evicted-but-unreclaimed entries (for tests and the stats verb).
+  [[nodiscard]] std::size_t condemned_count() const;
+
   /// Drops everything. Only safe while no experiment is running.
   void clear();
 
@@ -112,6 +152,39 @@ class ArtifactCache {
   std::size_t load_snapshot(const std::string& path);
 
  private:
+  /// Artifact kinds that participate in the LRU budget (features() is
+  /// excluded: it delegates to the llm-level cache).
+  enum class Kind {
+    Tokens,
+    Ast,
+    Depgraph,
+    Static,
+    Dynamic,
+    Explore,
+    Lint,
+    Repair,
+    LintText,
+    EvidenceText,
+  };
+
+  struct LruEntry {
+    Kind kind;
+    std::uint64_t key;
+    std::uint64_t bytes;
+  };
+  struct Condemned {
+    std::uint64_t tick;
+    std::uint64_t bytes;
+    std::shared_ptr<const void> handle;  // keeps evicted storage alive
+  };
+
+  /// Marks (kind, key, bytes) as most recently used and, if the budget
+  /// is exceeded, evicts from the LRU tail.
+  void touch(Kind kind, std::uint64_t key, std::uint64_t bytes);
+  /// Must be called with lru_mu_ held.
+  void evict_to_budget_locked();
+  std::shared_ptr<const void> erase_kind(Kind kind, std::uint64_t key);
+
   support::OnceMap<int> tokens_;
   support::OnceMap<std::string> asts_;
   support::OnceMap<std::string> depgraphs_;
@@ -122,7 +195,19 @@ class ArtifactCache {
   support::OnceMap<repair::RepairResult> repair_results_;
   support::OnceMap<std::string> lint_texts_;
   support::OnceMap<std::string> evidence_texts_;
+
+  mutable std::mutex lru_mu_;
+  std::uint64_t budget_ = 0;  // bytes; 0 = unlimited
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;  // bumped per eviction
+  std::list<LruEntry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<LruEntry>::iterator> lru_index_;
+  std::vector<Condemned> condemned_;
 };
+
+/// Cache byte budget from the DRBML_CACHE_BUDGET environment variable
+/// (strict integer, bytes); 0 when unset or malformed.
+[[nodiscard]] std::uint64_t env_cache_budget();
 
 /// The process-wide cache used by the experiment runners.
 [[nodiscard]] ArtifactCache& artifact_cache();

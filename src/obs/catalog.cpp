@@ -89,6 +89,15 @@ const SpanDesc kSpanExpRun{
     "exp.run", "eval",
     "One experiment runner (detail: table/figure name)."};
 
+const SpanDesc kSpanServeRequest{
+    "serve.request", "serve",
+    "One admitted serve request from dequeue to response (detail: "
+    "request id)."};
+const SpanDesc kSpanServeDrain{
+    "serve.drain", "serve",
+    "Graceful-shutdown drain: close admission, finish in-flight work, "
+    "flush metrics/trace/cache snapshot."};
+
 // --------------------------------------------------------- metric descs
 
 namespace {
@@ -167,6 +176,66 @@ const MetricDesc kCacheSnapshotLoaded{
 const MetricDesc kCacheSnapshotSaved{
     "cache.snapshot.saved", MetricKind::Counter, "count", kStable,
     "Entries written to a cache snapshot file."};
+
+const MetricDesc kCacheEvictCount{
+    "cache.evict.count", MetricKind::Counter, "count", kUnstable,
+    "Artifact-cache entries evicted by the LRU byte budget (later probes "
+    "for them recompute)."};
+const MetricDesc kCacheEvictBytes{
+    "cache.evict.bytes", MetricKind::Counter, "bytes", kUnstable,
+    "Approximate bytes released from residency by LRU eviction."};
+const MetricDesc kCacheReclaimed{
+    "cache.reclaimed", MetricKind::Counter, "count", kUnstable,
+    "Evicted entries whose storage was actually freed once no in-flight "
+    "request could still reference them."};
+
+const MetricDesc kServeRequests{
+    "serve.requests", MetricKind::Counter, "count", kUnstable,
+    "Requests read off the serve transport (including ones later "
+    "rejected)."};
+const MetricDesc kServeResponsesOk{
+    "serve.responses.ok", MetricKind::Counter, "count", kUnstable,
+    "Responses written with ok=true."};
+const MetricDesc kServeResponsesError{
+    "serve.responses.error", MetricKind::Counter, "count", kUnstable,
+    "Responses written with ok=false (any error kind)."};
+const MetricDesc kServeRejectedQueueFull{
+    "serve.rejected.queue_full", MetricKind::Counter, "count", kUnstable,
+    "Requests refused at admission because the bounded queue was full "
+    "(the backpressure signal)."};
+const MetricDesc kServeRejectedDeadline{
+    "serve.rejected.deadline", MetricKind::Counter, "count", kUnstable,
+    "Admitted requests whose deadline expired while queued; answered "
+    "deadline_expired instead of running."};
+const MetricDesc kServeRejectedMalformed{
+    "serve.rejected.malformed", MetricKind::Counter, "count", kUnstable,
+    "Lines rejected as unparseable JSON or structurally invalid "
+    "requests."};
+const MetricDesc kServeVerbAnalyze{
+    "serve.verb.analyze", MetricKind::Counter, "count", kUnstable,
+    "analyze requests executed."};
+const MetricDesc kServeVerbLint{
+    "serve.verb.lint", MetricKind::Counter, "count", kUnstable,
+    "lint requests executed."};
+const MetricDesc kServeVerbFix{
+    "serve.verb.fix", MetricKind::Counter, "count", kUnstable,
+    "fix requests executed."};
+const MetricDesc kServeVerbExplore{
+    "serve.verb.explore", MetricKind::Counter, "count", kUnstable,
+    "explore requests executed."};
+const MetricDesc kServeVerbStats{
+    "serve.verb.stats", MetricKind::Counter, "count", kUnstable,
+    "stats requests executed."};
+const MetricDesc kServeQueueDepth{
+    "serve.queue_depth", MetricKind::Histogram, "requests", kUnstable,
+    "Distribution of the task-queue depth sampled at each admission."};
+const MetricDesc kServeRequestLatency{
+    "serve.request.latency", MetricKind::Histogram, "us", kUnstable,
+    "Distribution of request latency, admission to response written "
+    "(power-of-two buckets)."};
+const MetricDesc kServeDrains{
+    "serve.drains", MetricKind::Counter, "count", kUnstable,
+    "Graceful drains executed (signal-triggered or shutdown verb)."};
 
 const MetricDesc kLintRuns{
     "lint.runs", MetricKind::Counter, "count", kStable,
@@ -333,6 +402,15 @@ const std::vector<const MetricDesc*>& metric_catalog() {
       &kCacheExploreProbe,   &kCacheExploreCompute,
       &kCacheCorrupt,        &kCacheSnapshotLoaded,
       &kCacheSnapshotSaved,
+      &kCacheEvictCount,     &kCacheEvictBytes,
+      &kCacheReclaimed,
+      &kServeRequests,       &kServeResponsesOk,
+      &kServeResponsesError, &kServeRejectedQueueFull,
+      &kServeRejectedDeadline, &kServeRejectedMalformed,
+      &kServeVerbAnalyze,    &kServeVerbLint,
+      &kServeVerbFix,        &kServeVerbExplore,
+      &kServeVerbStats,      &kServeQueueDepth,
+      &kServeRequestLatency, &kServeDrains,
       &kLintRuns,            &kLintSuppressed,
       &kLintDiagRace,        &kLintDiagDatashare,
       &kLintDiagReduction,   &kLintDiagLock,
@@ -376,6 +454,7 @@ const std::vector<const SpanDesc*>& span_catalog() {
       &kSpanExploreEntry,    &kSpanExploreSchedule,
       &kSpanExploreMinimize,
       &kSpanExpRun,
+      &kSpanServeRequest,    &kSpanServeDrain,
   };
   return all;
 }

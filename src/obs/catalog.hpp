@@ -55,6 +55,10 @@ extern const SpanDesc kSpanExploreMinimize;
 // Experiment runners (detail carries the table name).
 extern const SpanDesc kSpanExpRun;
 
+// Serve daemon (detail carries the request id).
+extern const SpanDesc kSpanServeRequest;
+extern const SpanDesc kSpanServeDrain;
+
 // --------------------------------------------------------- metric descs
 
 /// Probe/compute counter pair for one artifact-cache kind. Hits are
@@ -81,6 +85,29 @@ extern const MetricDesc kCacheExploreProbe, kCacheExploreCompute;
 extern const MetricDesc kCacheCorrupt;
 extern const MetricDesc kCacheSnapshotLoaded;
 extern const MetricDesc kCacheSnapshotSaved;
+
+// LRU byte budget (--cache-budget / DRBML_CACHE_BUDGET). Unstable:
+// eviction order depends on cross-thread probe timing.
+extern const MetricDesc kCacheEvictCount;
+extern const MetricDesc kCacheEvictBytes;
+extern const MetricDesc kCacheReclaimed;
+
+// Serve daemon (drbml serve). All unstable: request arrival, queueing,
+// and latency are timing-dependent by nature.
+extern const MetricDesc kServeRequests;
+extern const MetricDesc kServeResponsesOk;
+extern const MetricDesc kServeResponsesError;
+extern const MetricDesc kServeRejectedQueueFull;
+extern const MetricDesc kServeRejectedDeadline;
+extern const MetricDesc kServeRejectedMalformed;
+extern const MetricDesc kServeVerbAnalyze;
+extern const MetricDesc kServeVerbLint;
+extern const MetricDesc kServeVerbFix;
+extern const MetricDesc kServeVerbExplore;
+extern const MetricDesc kServeVerbStats;
+extern const MetricDesc kServeQueueDepth;       // histogram, sampled at admit
+extern const MetricDesc kServeRequestLatency;   // histogram, admit -> respond
+extern const MetricDesc kServeDrains;
 
 // Linter.
 extern const MetricDesc kLintRuns;

@@ -113,6 +113,22 @@ struct MetricsRegistry::Impl {
 
 namespace {
 
+/// Writes `body` to `path` via a sibling temp file + rename, so readers
+/// (and an interrupt landing mid-write) see either the old complete file
+/// or the new complete file, never a truncated one.
+bool write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 // Exit-hook state lives outside the singletons so the atexit callbacks
 // need no access to Impl internals.
 std::mutex g_exit_mu;
@@ -311,12 +327,7 @@ std::string MetricsRegistry::to_json(bool include_unstable) const {
 
 bool MetricsRegistry::write(const std::string& path,
                             bool include_unstable) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string body = to_json(include_unstable);
-  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  std::fclose(f);
-  return ok;
+  return write_file_atomic(path, to_json(include_unstable));
 }
 
 // ---------------------------------------------------------------- tracer
@@ -404,12 +415,7 @@ std::string Tracer::to_json() const {
 }
 
 bool Tracer::write(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string body = to_json();
-  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  std::fclose(f);
-  return ok;
+  return write_file_atomic(path, to_json());
 }
 
 void Tracer::clear() {
@@ -448,6 +454,11 @@ void enable_tracing(std::string path) {
 
 void enable_metrics(std::string path) {
   MetricsRegistry::instance().enable_to_file(std::move(path));
+}
+
+void flush_obs_outputs() {
+  metrics_exit_hook();
+  trace_exit_hook();
 }
 
 void consume_obs_flags(std::vector<std::string>& args) {

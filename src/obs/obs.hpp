@@ -319,4 +319,11 @@ void enable_metrics(std::string path);
 /// main). Unknown arguments are left untouched.
 void consume_obs_flags(std::vector<std::string>& args);
 
+/// Writes any configured --metrics/--trace output files immediately
+/// (same writers the atexit hooks run). Long-lived processes call this
+/// on graceful shutdown so observability output survives even if the
+/// process is later killed un-gracefully; writes are atomic
+/// (temp + rename), so a re-entrant exit can never truncate them.
+void flush_obs_outputs();
+
 }  // namespace drbml::obs

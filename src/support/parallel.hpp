@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
@@ -77,6 +78,81 @@ class ThreadPool {
   std::uint64_t generation_ = 0;      // bumped per batch
   bool stop_ = false;
   std::exception_ptr error_;
+};
+
+/// Priority-ordered task submission onto a fixed worker pool, with a
+/// bounded queue for admission control (the serve daemon's execution
+/// substrate). Unlike ThreadPool's indexed batches, tasks arrive one at a
+/// time, each with a priority: workers always pick the highest-priority
+/// queued task, ties resolved FIFO by submission order. try_submit
+/// refuses -- instead of blocking -- when the queue is full or the pool
+/// is closed, which is what lets a caller answer "backpressure" instead
+/// of stalling. Deadlines are the submitter's business: a task that must
+/// expire checks its own clock when it starts running.
+///
+/// Tasks must not throw (wrap work in a catch-all that encodes failure
+/// into the task's own result channel); an escaping exception is caught
+/// and counted but otherwise dropped, so one bad task cannot take the
+/// daemon down.
+class TaskPool {
+ public:
+  /// `threads >= 1` workers; `queue_limit == 0` means unbounded.
+  TaskPool(int threads, std::size_t queue_limit);
+  /// Drains gracefully: closes admission, runs everything queued, joins.
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `fn` at `priority` (higher runs sooner). Returns false --
+  /// and does not enqueue -- when the queue is at its limit or the pool
+  /// is closed.
+  bool try_submit(int priority, std::function<void()> fn);
+
+  /// Blocks until the queue is empty and no task is running.
+  void drain();
+
+  /// Stops admission; queued and running tasks still complete.
+  void close();
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::uint64_t executed() const;
+  [[nodiscard]] std::uint64_t task_exceptions() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  struct Task {
+    int priority = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO within a priority
+    std::function<void()> fn;
+  };
+  struct TaskOrder {
+    // priority_queue keeps the *largest* on top: higher priority first,
+    // then earlier submission.
+    bool operator()(const Task& a, const Task& b) const noexcept {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  const std::size_t queue_limit_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::condition_variable idle_cv_;  // drain() waits for quiescence
+  std::priority_queue<Task, std::vector<Task>, TaskOrder> queue_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t task_exceptions_ = 0;
+  bool closed_ = false;
+  bool stop_ = false;
 };
 
 namespace detail {
@@ -207,6 +283,26 @@ class OnceMap {
     if (cell->value.has_value() || cell->computing) return false;
     cell->value.emplace(std::move(v));
     return true;
+  }
+
+  /// Removes `key` from the index so later probes recompute fresh, and
+  /// returns an opaque handle that keeps the evicted cell -- and any
+  /// reference previously handed out for it -- alive until the handle is
+  /// destroyed (the caller decides when reclamation is safe). Returns
+  /// nullptr when the key is absent or its compute is still in flight
+  /// (an in-flight cell must stay indexed so the winner/loser
+  /// synchronization completes).
+  std::shared_ptr<const void> erase(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find(key);
+    if (it == cells_.end()) return nullptr;
+    {
+      std::lock_guard<std::mutex> cell_lock(it->second->mu);
+      if (it->second->computing) return nullptr;
+    }
+    std::shared_ptr<const void> handle = it->second;
+    cells_.erase(it);
+    return handle;
   }
 
   /// Drops all entries. References handed out earlier dangle once their

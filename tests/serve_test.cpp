@@ -1,0 +1,619 @@
+// Serve-daemon suite: TaskPool scheduling + backpressure, the NDJSON
+// protocol (per-verb round trips, structured rejection of malformed
+// requests), admission control under saturation, deadline expiry,
+// priority ordering, cross-jobs byte identity, graceful-shutdown drain
+// (including the cache-snapshot flush), and the ArtifactCache LRU byte
+// budget with deferred reclamation.
+//
+// Worker-blocking idiom: `respond` callbacks run on the worker thread
+// after the verb executes, so a callback that parks on a latch pins that
+// worker deterministically -- letting tests fill the bounded queue, age
+// a queued deadline past expiry, or stack up priorities before any of
+// them run. No sleeps are load-bearing; latches sequence everything.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "drb/corpus.hpp"
+#include "eval/artifact_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+
+namespace drbml::serve {
+namespace {
+
+constexpr const char* kRacyCode =
+    "int main() {\n"
+    "  int sum = 0;\n"
+    "  int a[100];\n"
+    "#pragma omp parallel for\n"
+    "  for (int i = 0; i < 100; i++) sum = sum + a[i];\n"
+    "  return sum;\n"
+    "}\n";
+
+constexpr const char* kSafeCode =
+    "int main() {\n"
+    "  int a[100];\n"
+    "#pragma omp parallel for\n"
+    "  for (int i = 0; i < 100; i++) a[i] = i;\n"
+    "  return 0;\n"
+    "}\n";
+
+/// One-shot latch: workers park in wait(), the test releases them all.
+class Latch {
+ public:
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+std::string request_line(const std::string& id, const std::string& verb,
+                         const std::string& code,
+                         const std::string& extra = "") {
+  return "{\"id\":\"" + id + "\",\"verb\":\"" + verb + "\",\"code\":\"" +
+         json::escape(code) + "\"" + extra + "}";
+}
+
+json::Value parse_response(const std::string& line) {
+  return json::parse(line);
+}
+
+std::string error_kind(const json::Value& response) {
+  return response.as_object().at("error").as_object().at("kind").as_string();
+}
+
+// ------------------------------------------------------------- TaskPool
+
+TEST(TaskPool, ExecutesEverythingSubmitted) {
+  support::TaskPool pool(4, 0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.try_submit(0, [&] { ran.fetch_add(1); }));
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(pool.executed(), 100u);
+  EXPECT_EQ(pool.task_exceptions(), 0u);
+}
+
+TEST(TaskPool, HigherPriorityRunsFirstFifoWithin) {
+  support::TaskPool pool(1, 0);
+  Latch gate;
+  std::atomic<bool> blocked{false};
+  ASSERT_TRUE(pool.try_submit(0, [&] {
+    blocked.store(true);
+    gate.wait();
+  }));
+  while (!blocked.load()) std::this_thread::yield();
+  // Queued while the only worker is pinned; the pool must reorder.
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    return [&, tag] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tag);
+    };
+  };
+  ASSERT_TRUE(pool.try_submit(0, record(1)));
+  ASSERT_TRUE(pool.try_submit(5, record(2)));
+  ASSERT_TRUE(pool.try_submit(1, record(3)));
+  ASSERT_TRUE(pool.try_submit(5, record(4)));
+  gate.open();
+  pool.drain();
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 3, 1}));
+}
+
+TEST(TaskPool, BoundedQueueRefusesWhenFull) {
+  support::TaskPool pool(1, 1);
+  Latch gate;
+  std::atomic<bool> blocked{false};
+  ASSERT_TRUE(pool.try_submit(0, [&] {
+    blocked.store(true);
+    gate.wait();
+  }));
+  while (!blocked.load()) std::this_thread::yield();
+  EXPECT_TRUE(pool.try_submit(0, [] {}));   // fills the queue slot
+  EXPECT_FALSE(pool.try_submit(0, [] {}));  // backpressure
+  EXPECT_FALSE(pool.try_submit(9, [] {}));  // priority does not bypass
+  gate.open();
+  pool.drain();
+  EXPECT_EQ(pool.executed(), 2u);
+}
+
+TEST(TaskPool, CloseStopsAdmissionButRunsQueuedWork) {
+  support::TaskPool pool(2, 0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.try_submit(0, [&] { ran.fetch_add(1); }));
+  }
+  pool.close();
+  EXPECT_TRUE(pool.closed());
+  EXPECT_FALSE(pool.try_submit(0, [&] { ran.fetch_add(1); }));
+  pool.drain();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskPool, TaskExceptionsAreCountedNotFatal) {
+  support::TaskPool pool(2, 0);
+  ASSERT_TRUE(pool.try_submit(0, [] { throw std::runtime_error("boom"); }));
+  ASSERT_TRUE(pool.try_submit(0, [] {}));
+  pool.drain();
+  EXPECT_EQ(pool.task_exceptions(), 1u);
+  EXPECT_EQ(pool.executed(), 2u);
+  // The pool survives a throwing task.
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.try_submit(0, [&] { ran.store(true); }));
+  pool.drain();
+  EXPECT_TRUE(ran.load());
+}
+
+// ------------------------------------------------- protocol round trips
+
+ServerOptions small_server() {
+  ServerOptions opts;
+  opts.jobs = 2;
+  opts.queue_limit = 0;
+  return opts;
+}
+
+TEST(ServeProtocol, AnalyzeStaticRoundTrip) {
+  Server server(small_server());
+  const json::Value r = parse_response(
+      server.handle_line(request_line("a1", "analyze", kRacyCode,
+                                      ",\"detector\":\"static\"")));
+  EXPECT_EQ(r.as_object().at("id").as_string(), "a1");
+  EXPECT_TRUE(r.as_object().at("ok").as_bool());
+  EXPECT_EQ(r.as_object().at("verb").as_string(), "analyze");
+  const json::Object& result = r.as_object().at("result").as_object();
+  EXPECT_TRUE(result.at("race").as_bool());
+  EXPECT_FALSE(result.at("pairs").as_array().empty());
+}
+
+TEST(ServeProtocol, AnalyzeHybridAndDynamicRoundTrip) {
+  Server server(small_server());
+  for (const char* detector : {"hybrid", "dynamic"}) {
+    const json::Value r = parse_response(server.handle_line(request_line(
+        "d1", "analyze", kRacyCode,
+        std::string(",\"detector\":\"") + detector + "\"")));
+    ASSERT_TRUE(r.as_object().at("ok").as_bool()) << detector;
+    EXPECT_TRUE(
+        r.as_object().at("result").as_object().at("race").as_bool())
+        << detector;
+  }
+}
+
+TEST(ServeProtocol, AnalyzeSafeCodeReportsNoRace) {
+  Server server(small_server());
+  const json::Value r = parse_response(server.handle_line(
+      request_line("s1", "analyze", kSafeCode, ",\"detector\":\"static\"")));
+  ASSERT_TRUE(r.as_object().at("ok").as_bool());
+  EXPECT_FALSE(
+      r.as_object().at("result").as_object().at("race").as_bool());
+}
+
+TEST(ServeProtocol, LintRoundTrip) {
+  Server server(small_server());
+  const json::Value r =
+      parse_response(server.handle_line(request_line("l1", "lint", kRacyCode)));
+  ASSERT_TRUE(r.as_object().at("ok").as_bool());
+  const json::Object& result = r.as_object().at("result").as_object();
+  EXPECT_FALSE(result.at("diagnostics").as_array().empty());
+}
+
+TEST(ServeProtocol, FixRoundTrip) {
+  Server server(small_server());
+  const json::Value r =
+      parse_response(server.handle_line(request_line("f1", "fix", kRacyCode)));
+  ASSERT_TRUE(r.as_object().at("ok").as_bool());
+  const json::Object& result = r.as_object().at("result").as_object();
+  EXPECT_TRUE(result.contains("status"));
+}
+
+TEST(ServeProtocol, ExploreRoundTrip) {
+  Server server(small_server());
+  const json::Value r = parse_response(
+      server.handle_line(request_line("x1", "explore", kRacyCode)));
+  ASSERT_TRUE(r.as_object().at("ok").as_bool());
+  const json::Object& result = r.as_object().at("result").as_object();
+  EXPECT_TRUE(result.contains("race"));
+  EXPECT_TRUE(result.contains("schedules_run"));
+}
+
+TEST(ServeProtocol, StatsReportsInstanceAccounting) {
+  Server server(small_server());
+  (void)server.handle_line(request_line("w1", "lint", kSafeCode));
+  const json::Value r = parse_response(
+      server.handle_line("{\"id\":\"st1\",\"verb\":\"stats\"}"));
+  ASSERT_TRUE(r.as_object().at("ok").as_bool());
+  const json::Object& srv =
+      r.as_object().at("result").as_object().at("server").as_object();
+  EXPECT_GE(srv.at("requests").as_int(), 2);
+  EXPECT_GE(srv.at("responses_ok").as_int(), 1);
+  const json::Object& cache =
+      r.as_object().at("result").as_object().at("cache").as_object();
+  EXPECT_GE(cache.at("probes").as_int(), 1);
+}
+
+TEST(ServeProtocol, EntryResolvesCorpusPrograms) {
+  Server server(small_server());
+  const json::Value r = parse_response(server.handle_line(
+      "{\"id\":\"e1\",\"verb\":\"analyze\",\"detector\":\"static\","
+      "\"entry\":\"DRB001-antidep1-orig-yes.c\"}"));
+  ASSERT_TRUE(r.as_object().at("ok").as_bool());
+  EXPECT_TRUE(
+      r.as_object().at("result").as_object().at("race").as_bool());
+}
+
+// ------------------------------------------------- malformed rejections
+
+TEST(ServeProtocol, MalformedRequestsGetStructuredErrors) {
+  Server server(small_server());
+  const struct {
+    const char* line;
+    const char* kind;
+  } cases[] = {
+      {"this is not json", "bad_json"},
+      {"[1,2,3]", "bad_request"},  // valid JSON, not a request object
+      {"{\"verb\":\"stats\"}", "bad_request"},           // missing id
+      {"{\"id\":\"\",\"verb\":\"stats\"}", "bad_request"},  // empty id
+      {"{\"id\":\"q\",\"verb\":\"frobnicate\"}", "bad_request"},
+      {"{\"id\":\"q\",\"verb\":\"analyze\"}", "bad_request"},  // no code
+      {"{\"id\":\"q\",\"verb\":\"analyze\",\"code\":\"int main(){}\","
+       "\"entry\":\"x.c\"}",
+       "bad_request"},  // code XOR entry
+      {"{\"id\":\"q\",\"verb\":\"analyze\",\"entry\":\"no-such-entry.c\"}",
+       "bad_request"},
+      {"{\"id\":\"q\",\"verb\":\"analyze\",\"code\":\"int main(){}\","
+       "\"detector\":\"psychic\"}",
+       "bad_request"},
+      {"{\"id\":\"q\",\"verb\":\"lint\",\"code\":\"int main(){}\","
+       "\"deadline_ms\":-5}",
+       "bad_request"},
+      {"{\"id\":\"q\",\"verb\":\"lint\",\"code\":\"int main(){}\","
+       "\"priority\":\"high\"}",
+       "bad_request"},
+  };
+  for (const auto& c : cases) {
+    const json::Value r = parse_response(server.handle_line(c.line));
+    EXPECT_FALSE(r.as_object().at("ok").as_bool()) << c.line;
+    EXPECT_EQ(error_kind(r), c.kind) << c.line;
+    EXPECT_FALSE(
+        r.as_object().at("error").as_object().at("message").as_string().empty())
+        << c.line;
+  }
+}
+
+TEST(ServeProtocol, UnparseableCodeIsAnalysisFailedNotCrash) {
+  Server server(small_server());
+  const json::Value r = parse_response(server.handle_line(
+      request_line("u1", "lint", "int main( { this will not parse")));
+  EXPECT_FALSE(r.as_object().at("ok").as_bool());
+  EXPECT_EQ(error_kind(r), "analysis_failed");
+}
+
+// --------------------------------------------------- admission control
+
+TEST(ServeAdmission, SaturatedQueueAnswersQueueFull) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.queue_limit = 1;
+  Server server(opts);
+
+  Latch gate;
+  std::atomic<bool> worker_pinned{false};
+  server.submit_line(request_line("pin", "lint", kSafeCode),
+                     [&](std::string) {
+                       worker_pinned.store(true);
+                       gate.wait();
+                     });
+  while (!worker_pinned.load()) std::this_thread::yield();
+
+  std::mutex mu;
+  std::map<std::string, std::string> kinds;  // id -> error kind or "ok"
+  std::condition_variable cv;
+  std::size_t responded = 0;
+  auto collect = [&](const std::string& id) {
+    return [&, id](std::string response) {
+      const json::Value r = parse_response(response);
+      std::lock_guard<std::mutex> lock(mu);
+      kinds[id] =
+          r.as_object().at("ok").as_bool() ? "ok" : error_kind(r);
+      ++responded;
+      cv.notify_one();
+    };
+  };
+  // Worker pinned: q1 takes the single queue slot, q2/q3 must be
+  // refused *immediately* (inline), before the latch opens.
+  server.submit_line(request_line("q1", "lint", kSafeCode), collect("q1"));
+  server.submit_line(request_line("q2", "lint", kSafeCode), collect("q2"));
+  server.submit_line(request_line("q3", "lint", kSafeCode), collect("q3"));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return responded >= 2; });
+    EXPECT_EQ(kinds.at("q2"), "queue_full");
+    EXPECT_EQ(kinds.at("q3"), "queue_full");
+  }
+  gate.open();
+  server.drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(kinds.at("q1"), "ok");  // queued work still completed
+}
+
+TEST(ServeAdmission, QueuedRequestPastDeadlineIsExpiredNotRun) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.queue_limit = 0;
+  Server server(opts);
+
+  Latch gate;
+  std::atomic<bool> worker_pinned{false};
+  server.submit_line(request_line("pin", "lint", kSafeCode),
+                     [&](std::string) {
+                       worker_pinned.store(true);
+                       gate.wait();
+                     });
+  while (!worker_pinned.load()) std::this_thread::yield();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string verdict;
+  server.submit_line(
+      request_line("dl", "lint", kSafeCode, ",\"deadline_ms\":1"),
+      [&](std::string response) {
+        const json::Value r = parse_response(response);
+        std::lock_guard<std::mutex> lock(mu);
+        verdict = r.as_object().at("ok").as_bool() ? "ok" : error_kind(r);
+        cv.notify_one();
+      });
+  // Age the queued request well past its 1 ms deadline, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.open();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !verdict.empty(); });
+  }
+  EXPECT_EQ(verdict, "deadline_expired");
+  server.drain();
+}
+
+TEST(ServeAdmission, HigherPriorityRequestsRunFirst) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.queue_limit = 0;
+  Server server(opts);
+
+  Latch gate;
+  std::atomic<bool> worker_pinned{false};
+  server.submit_line(request_line("pin", "lint", kSafeCode),
+                     [&](std::string) {
+                       worker_pinned.store(true);
+                       gate.wait();
+                     });
+  while (!worker_pinned.load()) std::this_thread::yield();
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&](std::string response) {
+    const json::Value r = parse_response(response);
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(r.as_object().at("id").as_string());
+  };
+  server.submit_line(request_line("low1", "lint", kSafeCode), record);
+  server.submit_line(
+      request_line("high", "lint", kSafeCode, ",\"priority\":10"), record);
+  server.submit_line(request_line("low2", "lint", kSafeCode), record);
+  gate.open();
+  server.drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<std::string>{"high", "low1", "low2"}));
+}
+
+// ----------------------------------------------------------- shutdown
+
+TEST(ServeShutdown, ShutdownAcksThenRefusesNewWork) {
+  Server server(small_server());
+  const json::Value ack = parse_response(
+      server.handle_line("{\"id\":\"bye\",\"verb\":\"shutdown\"}"));
+  ASSERT_TRUE(ack.as_object().at("ok").as_bool());
+  EXPECT_TRUE(ack.as_object()
+                  .at("result")
+                  .as_object()
+                  .at("draining")
+                  .as_bool());
+  EXPECT_TRUE(server.shutdown_requested());
+  const json::Value refused = parse_response(
+      server.handle_line(request_line("late", "lint", kSafeCode)));
+  EXPECT_FALSE(refused.as_object().at("ok").as_bool());
+  EXPECT_EQ(error_kind(refused), "shutting_down");
+  server.drain();
+}
+
+TEST(ServeShutdown, DrainCompletesAdmittedWorkExactlyOnce) {
+  ServerOptions opts;
+  opts.jobs = 2;
+  opts.queue_limit = 0;
+  Server server(opts);
+  std::atomic<int> responses{0};
+  for (int i = 0; i < 12; ++i) {
+    server.submit_line(
+        request_line("r" + std::to_string(i), "lint", kSafeCode),
+        [&](std::string) { responses.fetch_add(1); });
+  }
+  server.drain();
+  EXPECT_EQ(responses.load(), 12);
+  server.drain();  // idempotent
+  EXPECT_EQ(responses.load(), 12);
+}
+
+TEST(ServeShutdown, DrainSavesCacheSnapshot) {
+  const std::string path = ::testing::TempDir() + "serve_snapshot.cache";
+  std::remove(path.c_str());
+  {
+    ServerOptions opts;
+    opts.jobs = 1;
+    opts.queue_limit = 0;
+    opts.cache_snapshot = path;
+    Server server(opts);
+    (void)server.handle_line(request_line("s", "lint", kRacyCode));
+    server.drain();
+  }
+  eval::ArtifactCache fresh;
+  EXPECT_GT(fresh.load_snapshot(path), 0u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- determinism
+
+std::map<std::string, std::string> responses_at_jobs(int jobs) {
+  ServerOptions opts;
+  opts.jobs = jobs;
+  opts.queue_limit = 0;
+  Server server(opts);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, std::string> by_id;
+  std::size_t done = 0, sent = 0;
+  int i = 0;
+  for (const char* code : {kRacyCode, kSafeCode}) {
+    for (const char* verb : {"analyze", "lint", "fix"}) {
+      const std::string id = std::string(verb) + std::to_string(i);
+      ++sent;
+      server.submit_line(request_line(id, verb, code),
+                         [&, id](std::string response) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           by_id[id] = std::move(response);
+                           ++done;
+                           cv.notify_one();
+                         });
+    }
+    ++i;
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == sent; });
+  return by_id;
+}
+
+TEST(ServeDeterminism, ResponsesAreByteIdenticalAcrossJobs) {
+  const auto one = responses_at_jobs(1);
+  const auto eight = responses_at_jobs(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (const auto& [id, response] : one) {
+    ASSERT_TRUE(eight.count(id)) << id;
+    EXPECT_EQ(response, eight.at(id)) << id;
+  }
+}
+
+// -------------------------------------------------- LRU byte budget
+
+TEST(CacheBudget, ZeroBudgetNeverEvicts) {
+  eval::ArtifactCache cache;
+  for (int i = 0; i < 20; ++i) {
+    (void)cache.ast_text("int main() { return " + std::to_string(i) + "; }\n");
+  }
+  EXPECT_EQ(cache.condemned_count(), 0u);
+  EXPECT_EQ(cache.size(), 20u);
+}
+
+TEST(CacheBudget, EvictsLeastRecentlyUsedToBudget) {
+  eval::ArtifactCache cache;
+  cache.set_byte_budget(1);  // everything but the MRU entry must go
+  const std::string first = "int main() { return 1; }\n";
+  (void)cache.ast_text(first);
+  (void)cache.ast_text("int main() { return 2; }\n");
+  (void)cache.ast_text("int main() { return 3; }\n");
+  // Each touch evicted the previous entry; only the MRU survives.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.condemned_count(), 2u);
+  // A re-probe of an evicted key recomputes and returns the same value.
+  const std::string again = cache.ast_text(first);
+  EXPECT_FALSE(again.empty());
+}
+
+TEST(CacheBudget, ReclaimRespectsActiveTicks) {
+  eval::ArtifactCache cache;
+  cache.set_byte_budget(1);
+  (void)cache.token_count("int main() { return 1; }\n");
+  (void)cache.token_count("int main() { return 2; }\n");  // evicts #1 @ tick 1
+  (void)cache.token_count("int main() { return 3; }\n");  // evicts #2 @ tick 2
+  ASSERT_EQ(cache.condemned_count(), 2u);
+  // A request active since tick 1 may still reference eviction 1 and 2.
+  EXPECT_EQ(cache.reclaim_evicted(1), 0u);
+  EXPECT_EQ(cache.condemned_count(), 2u);
+  // Oldest active request started at tick 2: eviction 1 is unreachable.
+  EXPECT_EQ(cache.reclaim_evicted(2), 1u);
+  EXPECT_EQ(cache.condemned_count(), 1u);
+  // No active requests at all.
+  EXPECT_EQ(cache.reclaim_evicted(UINT64_MAX), 1u);
+  EXPECT_EQ(cache.condemned_count(), 0u);
+}
+
+TEST(CacheBudget, LoweringBudgetEvictsImmediately) {
+  eval::ArtifactCache cache;
+  for (int i = 0; i < 10; ++i) {
+    (void)cache.ast_text("int main() { return " + std::to_string(i) + "; }\n");
+  }
+  ASSERT_EQ(cache.size(), 10u);
+  const std::uint64_t before = cache.resident_bytes();
+  ASSERT_GT(before, 0u);
+  cache.set_byte_budget(before / 2);
+  EXPECT_LT(cache.resident_bytes(), before);
+  EXPECT_GT(cache.condemned_count(), 0u);
+  EXPECT_LT(cache.size(), 10u);
+}
+
+TEST(CacheBudget, SnapshotLoadRespectsBudget) {
+  const std::string path = ::testing::TempDir() + "budget_snapshot.cache";
+  std::remove(path.c_str());
+  eval::ArtifactCache writer;
+  for (int i = 0; i < 10; ++i) {
+    (void)writer.ast_text("int main() { return " + std::to_string(i) +
+                          "; }\n");
+  }
+  ASSERT_TRUE(writer.save_snapshot(path));
+
+  eval::ArtifactCache reader;
+  reader.set_byte_budget(writer.resident_bytes() / 2);
+  const std::size_t loaded = reader.load_snapshot(path);
+  EXPECT_GT(loaded, 0u);
+  // Seeding respects the budget: later entries evicted earlier ones.
+  EXPECT_LT(reader.size(), loaded);
+  EXPECT_LE(reader.resident_bytes(),
+            writer.resident_bytes() / 2 + 1024);  // MRU slack
+  std::remove(path.c_str());
+}
+
+TEST(CacheBudget, EnvBudgetIsStrictlyParsed) {
+  ::setenv("DRBML_CACHE_BUDGET", "4096", 1);
+  EXPECT_EQ(eval::env_cache_budget(), 4096u);
+  ::setenv("DRBML_CACHE_BUDGET", "lots", 1);
+  EXPECT_EQ(eval::env_cache_budget(), 0u);
+  ::setenv("DRBML_CACHE_BUDGET", "-3", 1);
+  EXPECT_EQ(eval::env_cache_budget(), 0u);
+  ::unsetenv("DRBML_CACHE_BUDGET");
+  EXPECT_EQ(eval::env_cache_budget(), 0u);
+}
+
+}  // namespace
+}  // namespace drbml::serve

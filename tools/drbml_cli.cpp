@@ -36,6 +36,15 @@
 //                                               and print per-stage timings
 //                                               plus the deterministic
 //                                               counter snapshot
+//   drbml serve    [--socket PATH] [--jobs N] [--queue-limit N]
+//                  [--deadline-ms N] [--cache-budget BYTES] [--cache FILE]
+//                                               long-lived detection daemon:
+//                                               NDJSON requests on stdin (or
+//                                               a unix socket), responses on
+//                                               stdout; bounded admission
+//                                               queue, priority scheduling,
+//                                               graceful SIGINT/SIGTERM
+//                                               drain (see docs/SERVE.md)
 //   drbml corpus   [--pattern P] [--limit N]    list corpus entries
 //   drbml entry    NAME                         print one entry's DRB file
 //   drbml dataset  [--out DIR]                  write DRB-ML JSON to disk
@@ -47,6 +56,9 @@
 //   --trace FILE     write a Chrome trace (chrome://tracing, Perfetto)
 //   --metrics FILE   write the deterministic metrics JSON at exit
 // and honours the DRBML_TRACE / DRBML_METRICS environment variables.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -54,6 +66,10 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "analysis/depgraph.hpp"
 #include "core/detector.hpp"
@@ -67,6 +83,7 @@
 #include "explore/witness.hpp"
 #include "lint/lint.hpp"
 #include "obs/catalog.hpp"
+#include "serve/server.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
@@ -98,6 +115,9 @@ int usage() {
       "                [FILE.c... | --entry NAME | --corpus | --synth N]\n"
       "  drbml explore --replay WITNESS FILE.c\n"
       "  drbml stats [--jobs N] [--no-repair] [--no-explore] [--cache FILE]\n"
+      "  drbml serve [--socket PATH] [--jobs N] [--queue-limit N]\n"
+      "              [--deadline-ms N] [--cache-budget BYTES] [--cache "
+      "FILE]\n"
       "  drbml corpus [--pattern P] [--limit N]\n"
       "  drbml entry NAME\n"
       "  drbml dataset [--out DIR]\n"
@@ -935,6 +955,103 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+/// Installs SIGINT/SIGTERM handlers *without* SA_RESTART, so a signal
+/// interrupts the daemon's blocking read/accept with EINTR and the serve
+/// loop sees the stop flag -- the graceful-drain path, not process death.
+void install_serve_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Serves NDJSON sessions on a unix socket, one connection at a time,
+/// until a signal or shutdown verb. Returns responses written.
+std::uint64_t serve_unix_socket(serve::Server& server,
+                                const std::string& path) {
+  sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("--socket path too long: " + path);
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) throw Error("cannot create unix socket");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    ::close(listener);
+    throw Error("cannot bind/listen on " + path);
+  }
+  std::fprintf(stderr, "serve: listening on %s\n", path.c_str());
+  std::uint64_t written = 0;
+  while (!g_serve_stop.load() && !server.shutdown_requested()) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += server.serve_fd(conn, conn, &g_serve_stop);
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return written;
+}
+
+// Long-lived detection daemon. Requests are NDJSON lines (protocol in
+// docs/SERVE.md); responses go to stdout (or back down the socket). The
+// process exits after a graceful drain on EOF, SIGINT/SIGTERM, or a
+// `shutdown` request.
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServerOptions opts;
+  opts.cache_budget = eval::env_cache_budget();
+  std::string socket_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      opts.jobs = static_cast<int>(int_flag("--jobs", args[++i]));
+    } else if (args[i] == "--queue-limit" && i + 1 < args.size()) {
+      const std::int64_t v = int_flag("--queue-limit", args[++i]);
+      if (v < 0) throw Error("--queue-limit expects >= 0 (0 = unbounded)");
+      opts.queue_limit = static_cast<std::size_t>(v);
+    } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+      const std::int64_t v = int_flag("--deadline-ms", args[++i]);
+      if (v < 0) throw Error("--deadline-ms expects >= 0 (0 = none)");
+      opts.default_deadline_ms = v;
+    } else if (args[i] == "--cache-budget" && i + 1 < args.size()) {
+      const std::int64_t v = int_flag("--cache-budget", args[++i]);
+      if (v < 0) throw Error("--cache-budget expects >= 0 bytes (0 = unlimited)");
+      opts.cache_budget = static_cast<std::uint64_t>(v);
+    } else if (args[i] == "--cache" && i + 1 < args.size()) {
+      opts.cache_snapshot = args[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  install_serve_signal_handlers();
+  serve::Server server(opts);
+  const std::uint64_t written =
+      socket_path.empty() ? server.serve_fd(STDIN_FILENO, STDOUT_FILENO,
+                                            &g_serve_stop)
+                          : serve_unix_socket(server, socket_path);
+  server.drain();
+  std::fprintf(stderr, "serve: drained after %llu responses\n",
+               static_cast<unsigned long long>(written));
+  return 0;
+}
+
 int cmd_corpus(const std::vector<std::string>& args) {
   std::string pattern;
   int limit = -1;
@@ -1027,6 +1144,7 @@ int main(int argc, char** argv) {
     if (cmd == "fix") return cmd_fix(args);
     if (cmd == "explore") return cmd_explore(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "entry") return cmd_entry(args);
     if (cmd == "dataset") return cmd_dataset(args);
