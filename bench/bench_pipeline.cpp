@@ -114,7 +114,20 @@ int main(int argc, char** argv) {
       serial.total_ms, jobs, parallel.total_ms,
       parallel.total_ms > 0.0 ? serial.total_ms / parallel.total_ms : 0.0,
       identical ? "identical" : "DIFFER (BUG)");
+  // Per-backend timing rows for the dynamic stage: the traditional-tool
+  // comparison is the only stage that executes schedules, so re-running
+  // just it under each backend isolates the bytecode VM's contribution
+  // to the end-to-end pipeline.
+  const auto subset = eval::token_filtered_subset();
+  const int backend_rc = bench::print_backend_rows(
+      "dynamic stage (traditional-tool comparison)", [&] {
+        const auto tool = eval::run_traditional_tool(
+            subset, eval::ExperimentOptions{jobs});
+        return "F1=" + format_double(tool.f1(), 3) +
+               " total=" + std::to_string(tool.total());
+      });
+
   std::printf("\nAll stages deterministic; rerunning at any job count "
               "reproduces identical numbers.\n");
-  return identical ? 0 : 3;
+  return identical && backend_rc == 0 ? 0 : 3;
 }

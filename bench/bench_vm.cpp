@@ -1,0 +1,234 @@
+// Bytecode-VM benchmark: the dynamic stage's compile-once-execute-many
+// contract, measured. Every corpus entry is parsed and resolved once,
+// then executed for a batch of schedule seeds under the AST-walking
+// interpreter and under the register-bytecode VM (which compiles each
+// entry once and reuses the module across all seeds, as the dynamic
+// detector and the exploration engine do).
+//
+// The two backends must be bit-identical -- verdicts, pairs, output,
+// steps, and decision traces are fingerprinted per (entry, seed) and
+// compared; any divergence fails the bench. Wall clock, schedules/sec,
+// and the speedup are printed and written to BENCH_vm.json (override
+// with --out FILE), where scripts/check.sh enforces the >=5x gate.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/resolve.hpp"
+#include "bench_util.hpp"
+#include "drb/corpus.hpp"
+#include "minic/parser.hpp"
+#include "runtime/bc/bc.hpp"
+#include "runtime/bc/compile.hpp"
+#include "runtime/interp.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace drbml;
+
+constexpr int kSeedsPerEntry = 20;
+
+struct PreparedEntry {
+  std::string name;
+  minic::Program prog;
+  analysis::Resolution res;
+};
+
+std::string fingerprint(const runtime::RunResult& r) {
+  std::string out;
+  out += r.report.race_detected ? "race" : "clean";
+  out += ";exit=" + std::to_string(r.exit_code);
+  out += ";steps=" + std::to_string(r.steps);
+  out += ";fault=" + r.fault_message;
+  for (const auto& p : r.report.pairs) {
+    out += ";" + p.first.expr_text + "@" + std::to_string(p.first.loc.line) +
+           "/" + p.second.expr_text + "@" + std::to_string(p.second.loc.line);
+  }
+  for (const auto& region : r.trace.regions) {
+    out += ";[";
+    for (const auto& d : region) {
+      out += std::to_string(d.step) + ":" + std::to_string(d.target) + ",";
+    }
+    out += "]";
+  }
+  out += ";out=" + r.output;
+  return out;
+}
+
+struct BackendRun {
+  double wall_ms = 0;
+  double compile_ms = 0;  // vm only: module lowering, amortized over seeds
+  std::uint64_t schedules = 0;
+  std::uint64_t steps = 0;
+  std::vector<std::string> fingerprints;
+
+  [[nodiscard]] double schedules_per_sec() const {
+    return wall_ms > 0 ? 1000.0 * static_cast<double>(schedules) / wall_ms
+                       : 0.0;
+  }
+};
+
+BackendRun run_backend(std::vector<PreparedEntry>& entries,
+                       runtime::Backend backend) {
+  BackendRun result;
+  const auto start = Clock::now();
+  for (PreparedEntry& e : entries) {
+    runtime::RunOptions opts;
+    opts.backend = backend;
+    opts.capture_trace = true;
+
+    std::unique_ptr<runtime::bc::Module> module;
+    if (backend == runtime::Backend::Vm) {
+      const auto c0 = Clock::now();
+      module = std::make_unique<runtime::bc::Module>(
+          runtime::bc::compile_verified(*e.prog.unit));
+      result.compile_ms +=
+          std::chrono::duration<double, std::milli>(Clock::now() - c0)
+              .count();
+      opts.module = module.get();
+    }
+
+    for (int s = 0; s < kSeedsPerEntry; ++s) {
+      opts.seed = static_cast<std::uint64_t>(s) + 1;
+      const runtime::RunResult r =
+          runtime::run_program(*e.prog.unit, e.res, opts);
+      ++result.schedules;
+      result.steps += r.steps;
+      result.fingerprints.push_back(fingerprint(r));
+    }
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  obs::consume_obs_flags(args);
+  std::string out_path = "BENCH_vm.json";
+  double min_speedup = 0.0;  // 0: report only, no gate
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--min-speedup" && i + 1 < args.size()) {
+      min_speedup = std::stod(args[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_vm [--out FILE] [--min-speedup N]\n");
+      return 2;
+    }
+  }
+
+  std::printf("%s",
+              heading("Bytecode VM -- dynamic stage, interp vs vm").c_str());
+
+  std::vector<PreparedEntry> entries;
+  for (const drb::CorpusEntry& e : drb::corpus()) {
+    PreparedEntry p;
+    p.name = e.name;
+    p.prog = minic::parse_program(e.body);
+    p.res = analysis::resolve(*p.prog.unit);
+    entries.push_back(std::move(p));
+  }
+
+  // Warm-up pass (page in code, allocator steady-state), then measure.
+  {
+    std::vector<PreparedEntry> warm;
+    for (std::size_t i = 0; i < 8 && i < entries.size(); ++i) {
+      PreparedEntry p;
+      p.name = entries[i].name;
+      p.prog = minic::parse_program(drb::corpus()[i].body);
+      p.res = analysis::resolve(*p.prog.unit);
+      warm.push_back(std::move(p));
+    }
+    (void)run_backend(warm, runtime::Backend::Interp);
+    (void)run_backend(warm, runtime::Backend::Vm);
+  }
+
+  const BackendRun interp = run_backend(entries, runtime::Backend::Interp);
+  const BackendRun vm = run_backend(entries, runtime::Backend::Vm);
+
+  const bool identical = interp.fingerprints == vm.fingerprints;
+  std::size_t divergences = 0;
+  if (!identical) {
+    for (std::size_t i = 0; i < interp.fingerprints.size(); ++i) {
+      if (interp.fingerprints[i] != vm.fingerprints[i]) {
+        if (++divergences <= 3) {
+          const std::size_t entry = i / kSeedsPerEntry;
+          std::fprintf(stderr,
+                       "DIVERGENCE %s seed=%zu\n  interp: %.200s\n  "
+                       "vm:     %.200s\n",
+                       entries[entry].name.c_str(), i % kSeedsPerEntry + 1,
+                       interp.fingerprints[i].c_str(),
+                       vm.fingerprints[i].c_str());
+        }
+      }
+    }
+  }
+
+  const double speedup =
+      vm.wall_ms > 0 ? interp.wall_ms / vm.wall_ms : 0.0;
+
+  TextTable t({"Backend", "Schedules", "Wall (ms)", "Sched/s", "Steps"});
+  t.add_row({"interp", std::to_string(interp.schedules),
+             format_double(interp.wall_ms, 1),
+             format_double(interp.schedules_per_sec(), 0),
+             std::to_string(interp.steps)});
+  t.add_row({"vm", std::to_string(vm.schedules),
+             format_double(vm.wall_ms, 1),
+             format_double(vm.schedules_per_sec(), 0),
+             std::to_string(vm.steps)});
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\n[vm] %zu entries x %d seeds | compile %.1f ms (amortized "
+      "%.3f ms/schedule) | speedup %.2fx | verdicts %s\n",
+      entries.size(), kSeedsPerEntry, vm.compile_ms,
+      vm.schedules > 0
+          ? vm.compile_ms / static_cast<double>(vm.schedules)
+          : 0.0,
+      speedup, identical ? "bit-identical" : "DIVERGED (BUG)");
+
+  json::Object root;
+  root.set("entries", json::Value(static_cast<std::int64_t>(entries.size())));
+  root.set("seeds_per_entry",
+           json::Value(static_cast<std::int64_t>(kSeedsPerEntry)));
+  const auto backend_json = [](const BackendRun& r) {
+    json::Object o;
+    o.set("wall_ms", json::Value(r.wall_ms));
+    o.set("schedules", json::Value(static_cast<std::int64_t>(r.schedules)));
+    o.set("schedules_per_sec", json::Value(r.schedules_per_sec()));
+    o.set("steps", json::Value(static_cast<std::int64_t>(r.steps)));
+    return o;
+  };
+  root.set("interp", json::Value(backend_json(interp)));
+  {
+    json::Object o = backend_json(vm);
+    o.set("compile_ms", json::Value(vm.compile_ms));
+    root.set("vm", json::Value(std::move(o)));
+  }
+  root.set("speedup", json::Value(speedup));
+  root.set("verdicts_identical", json::Value(identical));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json::Value(std::move(root)).dump_pretty() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) return 3;
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr, "speedup %.2fx below the %.1fx gate\n", speedup,
+                 min_speedup);
+    return 4;
+  }
+  return 0;
+}

@@ -29,7 +29,12 @@
 # analyze/lint requests over the stdio transport with zero drops and
 # zero errors, the repeats must hit the warm shared cache, and the
 # bench_serve load generator must sustain its latency/QPS contract
-# (refreshing BENCH_serve.json). Stage 3 rebuilds
+# (refreshing BENCH_serve.json). Stage 2g is the bytecode-VM gate: the
+# differential suite (ctest -L vm) proves the VM backend bit-identical
+# to the AST interpreter over the full corpus, and bench_vm fails the
+# build if the VM's dynamic-stage sweep is less than 5x faster than the
+# interp reference or any fingerprint diverges (refreshing
+# BENCH_vm.json). Stage 3 rebuilds
 # under ThreadSanitizer (-DDRBML_SANITIZE=thread) and runs the
 # `parallel`-labelled suites -- the thread pool, the memoized artifact
 # caches, the parallel experiment executor, the lint and repair
@@ -125,6 +130,16 @@ rm -rf "$serve_tmp"
 # BENCH_serve.json artifact.
 build/bench/bench_serve --out BENCH_serve.json | tail -n 2
 
+echo "== stage 2g: bytecode-VM differential gate =="
+# The VM differential suite proves the bytecode backend bit-identical to
+# the AST walker on every corpus entry (verdicts, decision traces,
+# witnesses), and bench_vm enforces the performance contract: the VM on
+# its fiber scheduling substrate must execute the dynamic-stage sweep at
+# least 5x faster than the interp reference, with every (entry, seed)
+# fingerprint identical. Refreshes the committed BENCH_vm.json artifact.
+(cd build && ctest -L vm --output-on-failure)
+build/bench/bench_vm --out BENCH_vm.json --min-speedup 5 | tail -n 2
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping TSan stage (--fast) =="
   exit 0
@@ -134,6 +149,7 @@ echo "== stage 3: ThreadSanitizer build of the parallel suites =="
 cmake -B build-tsan -S . -DDRBML_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   parallel_test parallel_determinism_test detector_differential_test \
-  explore_test metamorphic_test lint_test repair_test obs_test
+  explore_test metamorphic_test lint_test repair_test obs_test \
+  vm_differential_test
 (cd build-tsan && ctest -L parallel --output-on-failure)
 echo "== all checks passed =="

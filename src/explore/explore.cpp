@@ -8,6 +8,7 @@
 #include "minic/parser.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "runtime/bc/compile.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
@@ -74,6 +75,16 @@ ExploreResult explore_source(std::string_view source,
   minic::Program prog = minic::parse_program(source);
   analysis::Resolution res = analysis::resolve(*prog.unit);
 
+  // Compile once; every schedule (and the minimizer's replays) reuses the
+  // same verified module.
+  runtime::bc::Module module;
+  ExploreOptions eopts = opts;
+  if (eopts.run.backend == runtime::Backend::Vm &&
+      eopts.run.module == nullptr) {
+    module = runtime::bc::compile_verified(*prog.unit);
+    eopts.run.module = &module;
+  }
+
   ExploreResult result;
   std::set<std::uint64_t> coverage;
   int plateau = 0;
@@ -81,7 +92,7 @@ ExploreResult explore_source(std::string_view source,
   runtime::RunOptions racy_run;
 
   for (int i = 0; i < opts.max_schedules; ++i) {
-    const runtime::RunOptions run = schedule_run_options(opts, i);
+    const runtime::RunOptions run = schedule_run_options(eopts, i);
     runtime::RunResult rr = [&] {
       obs::Span span(obs::kSpanExploreSchedule, std::to_string(i));
       return runtime::run_program(*prog.unit, res, run);

@@ -85,6 +85,10 @@ const SpanDesc kSpanExploreMinimize{
     "explore.minimize", "explore",
     "Delta-debugging a racy schedule trace to a minimal witness."};
 
+const SpanDesc kSpanVmCompile{
+    "vm.compile", "runtime",
+    "Lowering one resolved translation unit to a bytecode module."};
+
 const SpanDesc kSpanExpRun{
     "exp.run", "eval",
     "One experiment runner (detail: table/figure name)."};
@@ -312,6 +316,27 @@ const MetricDesc kSchedStepsPerReplay{
     "sched.steps_per_replay", MetricKind::Histogram, "steps", kStable,
     "Distribution of scheduler steps per replay (power-of-two buckets)."};
 
+const MetricDesc kVmModules{
+    "vm.modules", MetricKind::Counter, "count", kStable,
+    "Bytecode modules compiled from resolved translation units."};
+const MetricDesc kVmChunks{
+    "vm.chunks", MetricKind::Counter, "count", kStable,
+    "Bytecode chunks emitted (function bodies, parallel-region bodies, "
+    "worksharing innermost bodies, sections)."};
+const MetricDesc kVmInstructions{
+    "vm.instructions", MetricKind::Counter, "count", kStable,
+    "Bytecode instructions emitted across all chunks."};
+const MetricDesc kVmFallbackSites{
+    "vm.fallback_sites", MetricKind::Counter, "count", kStable,
+    "Statements the bytecode compiler routed through the AST walker "
+    "(OpenMP constructs execute via ExecStmt by design)."};
+const MetricDesc kVmRuns{
+    "vm.runs", MetricKind::Counter, "count", kStable,
+    "run_program invocations that executed under the VM backend."};
+const MetricDesc kVmVerifyFailures{
+    "vm.verify_failures", MetricKind::Counter, "count", kStable,
+    "Bytecode modules rejected by the structural verifier."};
+
 const MetricDesc kDetectEntries{
     "detect.entries", MetricKind::Counter, "count", kStable,
     "Sources analyzed through RaceDetector::analyze_batch."};
@@ -423,6 +448,9 @@ const std::vector<const MetricDesc*>& metric_catalog() {
       &kInterpReplays,       &kInterpFaults,
       &kInterpRaces,         &kSchedSteps,
       &kSchedStepsPerReplay,
+      &kVmModules,           &kVmChunks,
+      &kVmInstructions,      &kVmFallbackSites,
+      &kVmRuns,              &kVmVerifyFailures,
       &kDetectEntries,
       &kAnalysisCandidatePairs, &kAnalysisDischargedSerial,
       &kAnalysisDischargedPhase, &kAnalysisDischargedMhp,
@@ -453,6 +481,7 @@ const std::vector<const SpanDesc*>& span_catalog() {
       &kSpanRepairEntry,     &kSpanRepairVerify,
       &kSpanExploreEntry,    &kSpanExploreSchedule,
       &kSpanExploreMinimize,
+      &kSpanVmCompile,
       &kSpanExpRun,
       &kSpanServeRequest,    &kSpanServeDrain,
   };

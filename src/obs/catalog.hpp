@@ -52,6 +52,9 @@ extern const SpanDesc kSpanExploreEntry;
 extern const SpanDesc kSpanExploreSchedule;
 extern const SpanDesc kSpanExploreMinimize;
 
+// Bytecode VM (compile-once execution backend).
+extern const SpanDesc kSpanVmCompile;
+
 // Experiment runners (detail carries the table name).
 extern const SpanDesc kSpanExpRun;
 
@@ -137,6 +140,14 @@ extern const MetricDesc kInterpFaults;
 extern const MetricDesc kInterpRaces;
 extern const MetricDesc kSchedSteps;
 extern const MetricDesc kSchedStepsPerReplay;  // histogram
+
+// Bytecode VM: compilation volume and execution-backend selection.
+extern const MetricDesc kVmModules;
+extern const MetricDesc kVmChunks;
+extern const MetricDesc kVmInstructions;
+extern const MetricDesc kVmFallbackSites;
+extern const MetricDesc kVmRuns;
+extern const MetricDesc kVmVerifyFailures;
 
 // Detector facade.
 extern const MetricDesc kDetectEntries;

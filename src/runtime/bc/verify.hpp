@@ -1,0 +1,30 @@
+// Structural bytecode verifier: no module executes unless it passes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "runtime/bc/bc.hpp"
+
+namespace drbml::runtime::bc {
+
+/// A structural defect found in a Module. `chunk`/`pc` point at the
+/// offending instruction (pc == size for chunk-level defects).
+struct VerifyError {
+  std::size_t chunk = 0;
+  std::size_t pc = 0;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks every chunk of `m` for structural soundness: known opcodes,
+/// in-range register operands and jump targets, valid pool references,
+/// and no fall-through off the end of a chunk. On success sets
+/// `m.verified = true` and returns nullopt; otherwise returns the first
+/// defect found and leaves the module unverified (run_program refuses to
+/// execute it).
+std::optional<VerifyError> verify(Module& m);
+
+}  // namespace drbml::runtime::bc

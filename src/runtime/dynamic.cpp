@@ -2,6 +2,7 @@
 
 #include "minic/parser.hpp"
 #include "obs/catalog.hpp"
+#include "runtime/bc/compile.hpp"
 
 namespace drbml::runtime {
 
@@ -17,10 +18,19 @@ analysis::RaceReport DynamicRaceDetector::analyze_source(
   minic::Program prog = minic::parse_program(source);
   analysis::Resolution res = analysis::resolve(*prog.unit);
 
+  // Compile once, execute every schedule seed against the same module.
+  bc::Module module;
+  if (opts_.run.backend == Backend::Vm && opts_.run.module == nullptr) {
+    module = bc::compile_verified(*prog.unit);
+  }
+
   analysis::RaceReport merged;
   for (std::uint64_t seed : opts_.schedule_seeds) {
     RunOptions run = opts_.run;
     run.seed = seed;
+    if (run.backend == Backend::Vm && run.module == nullptr) {
+      run.module = &module;
+    }
     const std::string seed_label = "seed=" + std::to_string(seed);
     RunResult result = [&] {
       obs::Span span(obs::kSpanInterpReplay, seed_label);

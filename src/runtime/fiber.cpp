@@ -1,0 +1,179 @@
+#include "runtime/fiber.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#if DRBML_FIBER_ASM || DRBML_FIBER_UCONTEXT
+#include <sys/mman.h>
+#endif
+
+namespace drbml::runtime {
+
+namespace {
+
+#if DRBML_FIBER_ASM || DRBML_FIBER_UCONTEXT
+
+// 8 MiB of lazily-committed address space per fiber -- matching the
+// default pthread stack, so both substrates share one recursion-depth
+// limit -- plus a PROT_NONE guard page that turns stack overflow into a
+// clean fault instead of silent corruption. Freed stacks recycle through
+// a per-thread pool: a run allocates stacks once per OS thread, not once
+// per parallel region.
+constexpr std::size_t kStackBytes = std::size_t{8} << 20;
+constexpr std::size_t kGuardBytes = 4096;
+
+struct StackPool {
+  std::vector<void*> free_list;
+  ~StackPool() {
+    for (void* p : free_list) ::munmap(p, kGuardBytes + kStackBytes);
+  }
+};
+thread_local StackPool t_pool;
+
+void* acquire_stack() {
+  if (!t_pool.free_list.empty()) {
+    void* p = t_pool.free_list.back();
+    t_pool.free_list.pop_back();
+    return p;
+  }
+  void* p = ::mmap(nullptr, kGuardBytes + kStackBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) std::abort();
+  ::mprotect(p, kGuardBytes, PROT_NONE);
+  return p;
+}
+
+void release_stack(void* p) { t_pool.free_list.push_back(p); }
+
+#endif  // DRBML_FIBER_ASM || DRBML_FIBER_UCONTEXT
+
+// The fiber being resumed for the first time. Its trampoline reads the
+// entry/arg pair from here: a fresh fiber's initial frame is synthesized
+// by start() and cannot carry C++ arguments through the restore sequence.
+thread_local Fiber* t_starting = nullptr;
+
+}  // namespace
+
+struct FiberAccess {
+  [[noreturn]] static void run_starting() {
+    Fiber* self = t_starting;
+    t_starting = nullptr;
+    Fiber::Entry entry = self->entry_;
+    self->entry_ = nullptr;  // armed -> running; transfers now plain resumes
+    entry(self->arg_);
+    // Entries transfer away for the last time instead of returning; there
+    // is no frame to return into.
+    std::abort();
+  }
+};
+
+extern "C" [[noreturn]] void drbml_fiber_trampoline() {
+  FiberAccess::run_starting();
+}
+
+Fiber::~Fiber() {
+#if DRBML_FIBER_ASM || DRBML_FIBER_UCONTEXT
+  if (stack_ != nullptr) release_stack(stack_);
+#endif
+}
+
+#if DRBML_FIBER_ASM
+
+// SysV x86-64 cooperative switch. Everything caller-saved is dead across
+// a call by the C ABI, so only rbp/rbx/r12-r15 and the FP control words
+// (mxcsr, x87 cw) need saving: push them on the current stack, publish
+// rsp through save_sp, adopt new_sp, restore, and `ret` -- which either
+// resumes a suspended drbml_fiber_switch call or enters a fresh fiber's
+// trampoline through the frame start() synthesized.
+asm(".text\n"
+    ".align 16\n"
+    ".globl drbml_fiber_switch\n"
+    ".hidden drbml_fiber_switch\n"
+    ".type drbml_fiber_switch, @function\n"
+    "drbml_fiber_switch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr (%rsp)\n"
+    "  fnstcw 4(%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  ldmxcsr (%rsp)\n"
+    "  fldcw 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size drbml_fiber_switch, . - drbml_fiber_switch\n");
+
+extern "C" void drbml_fiber_switch(void** save_sp, void* new_sp);
+
+bool Fiber::supported() noexcept { return true; }
+
+void Fiber::start(Entry entry, void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  if (stack_ == nullptr) stack_ = acquire_stack();
+  const auto base = reinterpret_cast<std::uintptr_t>(stack_);
+  const std::uintptr_t top =
+      (base + kGuardBytes + kStackBytes) & ~std::uintptr_t{15};
+  // Synthesize the frame drbml_fiber_switch expects to restore, bottom to
+  // top: [mxcsr|fcw] [r15 r14 r13 r12 rbx rbp] [retaddr = trampoline].
+  // top-72 keeps rsp == 8 (mod 16) at the trampoline's first instruction,
+  // exactly as if it had been reached by a call.
+  const std::uintptr_t sp = top - 72;
+  std::memset(reinterpret_cast<void*>(sp), 0, 72);
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  std::memcpy(reinterpret_cast<void*>(sp), &mxcsr, sizeof(mxcsr));
+  std::memcpy(reinterpret_cast<void*>(sp + 4), &fcw, sizeof(fcw));
+  void (*tramp)() = &drbml_fiber_trampoline;
+  std::memcpy(reinterpret_cast<void*>(sp + 56), &tramp, sizeof(tramp));
+  sp_ = reinterpret_cast<void*>(sp);
+}
+
+void Fiber::transfer(Fiber& from, Fiber& to) {
+  if (to.entry_ != nullptr) t_starting = &to;
+  drbml_fiber_switch(&from.sp_, to.sp_);
+}
+
+#elif DRBML_FIBER_UCONTEXT
+
+bool Fiber::supported() noexcept { return true; }
+
+void Fiber::start(Entry entry, void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  if (stack_ == nullptr) stack_ = acquire_stack();
+  if (getcontext(&uc_) != 0) std::abort();
+  uc_.uc_stack.ss_sp = static_cast<char*>(stack_) + kGuardBytes;
+  uc_.uc_stack.ss_size = kStackBytes;
+  uc_.uc_link = nullptr;  // entries never return through the trampoline
+  makecontext(&uc_, reinterpret_cast<void (*)()>(&drbml_fiber_trampoline), 0);
+}
+
+void Fiber::transfer(Fiber& from, Fiber& to) {
+  if (to.entry_ != nullptr) t_starting = &to;
+  if (swapcontext(&from.uc_, &to.uc_) != 0) std::abort();
+}
+
+#else
+
+bool Fiber::supported() noexcept { return false; }
+void Fiber::start(Entry, void*) { std::abort(); }
+void Fiber::transfer(Fiber&, Fiber&) { std::abort(); }
+
+#endif
+
+}  // namespace drbml::runtime

@@ -1,0 +1,96 @@
+// User-space stackful fibers: the execution substrate for the VM backend.
+//
+// CoopScheduler is strictly token-passing -- exactly one worker of a
+// simulated team runs at any instant -- so a team does not need OS
+// threads at all. The VM backend multiplexes every worker onto the
+// calling thread and hands the token over with a user-space context
+// switch (~25ns) instead of a condition-variable round trip through the
+// kernel (~2us). Scheduling *decisions* still flow through exactly the
+// same CoopScheduler code on both substrates, which keeps decision
+// traces, race reports, and witnesses bit-identical between them; the
+// differential suite enforces that.
+//
+// Two implementations behind one interface:
+//   - bare x86-64 SysV switch: saves the callee-saved registers plus the
+//     FP control words and swaps stack pointers (fiber.cpp, top-level
+//     asm). Used in plain builds.
+//   - ucontext_t swapcontext: used under Thread/AddressSanitizer, whose
+//     runtime interceptors understand swapcontext and keep shadow stacks
+//     coherent across the switch. Also the portable fallback off x86-64.
+// On platforms with neither, supported() is false and the scheduler
+// stays on the reference thread substrate.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DRBML_FIBER_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DRBML_FIBER_SANITIZED 1
+#endif
+#endif
+#ifndef DRBML_FIBER_SANITIZED
+#define DRBML_FIBER_SANITIZED 0
+#endif
+
+#if defined(__x86_64__) && defined(__linux__) && !DRBML_FIBER_SANITIZED
+#define DRBML_FIBER_ASM 1
+#else
+#define DRBML_FIBER_ASM 0
+#endif
+
+#if !DRBML_FIBER_ASM && defined(__unix__)
+#define DRBML_FIBER_UCONTEXT 1
+#include <ucontext.h>
+#else
+#define DRBML_FIBER_UCONTEXT 0
+#endif
+
+namespace drbml::runtime {
+
+/// One suspended execution context. A default-constructed Fiber is an
+/// empty save slot: the first transfer *out of* it adopts the calling
+/// thread's context (this is how the scheduler's driver suspends itself
+/// while worker fibers run). start() instead arms the fiber to run an
+/// entry function on a fresh guarded stack at its first resume.
+///
+/// Lifecycle rules the scheduler upholds: an armed fiber's entry must
+/// never return -- it transfers away for the last time and is then never
+/// resumed again. Fibers are created, run, and destroyed on one OS
+/// thread; stacks recycle through a per-thread pool.
+class Fiber {
+ public:
+  using Entry = void (*)(void*);
+
+  Fiber() = default;
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// True when this build has a working fiber implementation.
+  [[nodiscard]] static bool supported() noexcept;
+
+  /// Arms the fiber: entry(arg) starts running at the first transfer into
+  /// it. Allocates (or reuses) a lazily-committed stack with a PROT_NONE
+  /// guard page below it.
+  void start(Entry entry, void* arg);
+
+  /// Saves the current context into `from` and resumes `to`. Returns when
+  /// something transfers back into `from`.
+  static void transfer(Fiber& from, Fiber& to);
+
+ private:
+  friend struct FiberAccess;
+
+  Entry entry_ = nullptr;  // non-null until first resume
+  void* arg_ = nullptr;
+  void* stack_ = nullptr;  // mmap'd block; null for adopted contexts
+#if DRBML_FIBER_ASM
+  void* sp_ = nullptr;
+#elif DRBML_FIBER_UCONTEXT
+  ucontext_t uc_{};
+#endif
+};
+
+}  // namespace drbml::runtime

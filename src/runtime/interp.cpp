@@ -1,16 +1,23 @@
 #include "runtime/interp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <string_view>
 
 #include "minic/printer.hpp"
+#include "obs/catalog.hpp"
+#include "runtime/bc/bc.hpp"
+#include "runtime/bc/compile.hpp"
 #include "runtime/memory.hpp"
 #include "runtime/sched.hpp"
 #include "runtime/strategy.hpp"
@@ -22,6 +29,20 @@ namespace drbml::runtime {
 using namespace minic;
 
 namespace {
+
+/// -1: follow DRBML_BACKEND / the built-in default; otherwise a Backend.
+std::atomic<int> g_backend_override{-1};
+
+/// The VM backend multiplexes each simulated team onto the calling thread
+/// (fiber substrate: ~25ns token handoffs instead of kernel condvar round
+/// trips); the interp backend stays on the reference thread substrate.
+/// DRBML_VM_THREADS=1 forces threads for the VM too -- an A/B switch for
+/// debugging substrate-equivalence questions.
+bool vm_fibers_enabled() {
+  static const bool kForceThreads =
+      std::getenv("DRBML_VM_THREADS") != nullptr;
+  return Fiber::supported() && !kForceThreads;
+}
 
 using Frame = std::map<const VarDecl*, ObjRef>;
 
@@ -93,6 +114,45 @@ struct ThreadCtx {
   std::int64_t cur_iter = 0;
   int no_yield_depth = 0;  // inside atomic: suppress preemption
   std::vector<LastSlot> last_slots;
+
+  // VM register arena: bump-allocated frames for nested chunk
+  // invocations. Sized once and never reallocated (live RegSpans hold
+  // pointers into it).
+  std::vector<Value> reg_arena;
+  std::size_t reg_top = 0;
+};
+
+/// Hard cap on the per-ThreadCtx register arena; frames beyond it spill
+/// to the heap. The actual arena is sized per module (a multiple of its
+/// largest chunk frame), because a fresh ThreadCtx exists per worker per
+/// parallel region and value-initializing a worst-case arena each time
+/// dominated the VM's runtime.
+constexpr std::size_t kRegArenaCap = 4096;
+
+/// RAII register frame for one chunk invocation, carved from the
+/// context's arena (or heap-allocated on overflow). `arena_size` is the
+/// lazily-applied first-use size of the context's arena (live RegSpans
+/// hold raw pointers into it, so it never grows afterwards).
+struct RegSpan {
+  ThreadCtx& ctx;
+  std::size_t saved_top;
+  Value* regs = nullptr;
+  std::vector<Value> overflow;
+
+  RegSpan(ThreadCtx& c, std::size_t need, std::size_t arena_size)
+      : ctx(c), saved_top(c.reg_top) {
+    if (ctx.reg_arena.empty()) ctx.reg_arena.resize(arena_size);
+    if (ctx.reg_top + need <= ctx.reg_arena.size()) {
+      regs = ctx.reg_arena.data() + ctx.reg_top;
+      ctx.reg_top += need;
+    } else {
+      overflow.resize(need);
+      regs = overflow.data();
+    }
+  }
+  RegSpan(const RegSpan&) = delete;
+  RegSpan& operator=(const RegSpan&) = delete;
+  ~RegSpan() { ctx.reg_top = saved_top; }
 };
 
 /// A pending reduction: combine `priv` into `shared_ref` with `op`.
@@ -292,7 +352,17 @@ class Interp {
  public:
   Interp(const TranslationUnit& tu, const analysis::Resolution& res,
          const RunOptions& opts)
-      : tu_(tu), res_(res), opts_(opts) {}
+      : tu_(tu),
+        res_(res),
+        opts_(opts),
+        module_(opts.backend == Backend::Vm ? opts.module : nullptr),
+        reg_arena_size_(
+            module_ == nullptr
+                ? 0
+                : std::min(kRegArenaCap,
+                           std::max<std::size_t>(
+                               64, 4 * static_cast<std::size_t>(
+                                           module_->max_frame)))) {}
 
   RunResult run() {
     RunResult result;
@@ -320,7 +390,7 @@ class Interp {
       }
       Value ret = Value::of_int(0);
       try {
-        exec_stmt(main_ctx, *main_fn->body);
+        exec_body(main_ctx, *main_fn->body);
       } catch (ReturnSignal& sig) {
         ret = sig.value;
       } catch (const ExitSignal& sig) {
@@ -516,7 +586,7 @@ class Interp {
     on_write_at(ctx, ref, expr_to_string(expr), access_loc(expr));
   }
 
-  void on_read_at(ThreadCtx& ctx, ObjRef ref, std::string text,
+  void on_read_at(ThreadCtx& ctx, ObjRef ref, const std::string& text,
                   SourceLoc loc) {
     note_step(ctx);
     mem_.check_bounds(ref);
@@ -527,15 +597,25 @@ class Interp {
     if (!cell.write.before(ctx.vc) && cell.last_write.tid != ctx.tid) {
       report_race(cell.last_write, 'w', text, loc, 'r', obj);
     }
-    cell.reads.set(ctx.tid, ctx.vc.get(ctx.tid));
+    // About to promote the read epoch? Move its provenance into the
+    // per-tid map first so the shared-mode write check can find it.
+    if (!cell.reads.shared() && cell.reads.epoch().valid() &&
+        cell.reads.epoch().tid != ctx.tid) {
+      cell.last_reads[cell.reads.epoch().tid] = std::move(cell.read_stamp);
+    }
+    cell.reads.record(ctx.tid, ctx.vc.get(ctx.tid));
     AccessStamp stamp;
-    stamp.text = std::move(text);
+    stamp.text = text;
     stamp.loc = loc;
     stamp.tid = ctx.tid;
-    cell.last_reads[ctx.tid] = std::move(stamp);
+    if (cell.reads.shared()) {
+      cell.last_reads[ctx.tid] = std::move(stamp);
+    } else {
+      cell.read_stamp = std::move(stamp);
+    }
   }
 
-  void on_write_at(ThreadCtx& ctx, ObjRef ref, std::string text,
+  void on_write_at(ThreadCtx& ctx, ObjRef ref, const std::string& text,
                    SourceLoc loc) {
     note_step(ctx);
     mem_.check_bounds(ref);
@@ -547,20 +627,26 @@ class Interp {
       report_race(cell.last_write, 'w', text, loc, 'w', obj);
     }
     if (!cell.reads.leq(ctx.vc)) {
-      for (const auto& [tid, stamp] : cell.last_reads) {
-        if (tid == ctx.tid) continue;
-        if (cell.reads.get(tid) > ctx.vc.get(tid)) {
-          report_race(stamp, 'r', text, loc, 'w', obj);
+      if (cell.reads.shared()) {
+        for (const auto& [tid, stamp] : cell.last_reads) {
+          if (tid == ctx.tid) continue;
+          if (cell.reads.get(tid) > ctx.vc.get(tid)) {
+            report_race(stamp, 'r', text, loc, 'w', obj);
+          }
         }
+      } else {
+        // Epoch mode with an unordered read: the reader is necessarily a
+        // different thread (a thread's own reads are always <= its clock).
+        report_race(cell.read_stamp, 'r', text, loc, 'w', obj);
       }
     }
     cell.write = Epoch{ctx.tid, ctx.vc.get(ctx.tid)};
     AccessStamp stamp;
-    stamp.text = std::move(text);
+    stamp.text = text;
     stamp.loc = loc;
     stamp.tid = ctx.tid;
     cell.last_write = std::move(stamp);
-    cell.reads = VectorClock{};
+    cell.reads.clear();
     cell.last_reads.clear();
   }
 
@@ -610,7 +696,6 @@ class Interp {
         return lookup(ctx, id.decl);
       }
       case ExprKind::Subscript: {
-        const auto& sub = static_cast<const Subscript&>(e);
         // Resolve the chain: base object + flattened offset.
         std::vector<std::int64_t> indices;
         const Expr* cur = &e;
@@ -638,35 +723,9 @@ class Interp {
           if (!base.valid()) throw RuntimeFault("dereference of null pointer");
         }
         const MemObject& obj = mem_.object(base.object);
-        std::int64_t offset = base.offset;
-        if (!obj.dims.empty() && indices.size() > 1) {
-          // Row-major multi-dim indexing.
-          std::int64_t stride = 1;
-          std::vector<std::int64_t> strides(obj.dims.size(), 1);
-          for (int i = static_cast<int>(obj.dims.size()) - 1; i >= 0; --i) {
-            strides[static_cast<std::size_t>(i)] = stride;
-            stride *= obj.dims[static_cast<std::size_t>(i)];
-          }
-          for (std::size_t i = 0; i < indices.size(); ++i) {
-            const std::size_t dim_index =
-                obj.dims.size() >= indices.size()
-                    ? obj.dims.size() - indices.size() + i
-                    : i;
-            offset += indices[i] * strides[dim_index];
-          }
-        } else {
-          for (std::int64_t idx : indices) offset += idx;
-          if (!obj.dims.empty() && indices.size() == 1 &&
-              obj.dims.size() > 1) {
-            // a[i] on a 2-D array: scale by the row stride.
-            std::int64_t stride = 1;
-            for (std::size_t i = 1; i < obj.dims.size(); ++i) {
-              stride *= obj.dims[i];
-            }
-            offset = base.offset + indices[0] * stride;
-          }
-        }
-        return ObjRef{base.object, offset};
+        return ObjRef{base.object,
+                      subscript_offset(obj, base, indices.data(),
+                                       indices.size())};
       }
       case ExprKind::Unary: {
         const auto& u = static_cast<const Unary&>(e);
@@ -682,6 +741,40 @@ class Interp {
         break;
     }
     throw RuntimeFault("expression is not an lvalue: " + expr_to_string(e));
+  }
+
+  /// Flattened element offset of a subscript chain on `obj`: row-major
+  /// multi-dim indexing with the interpreter's partial-index conventions.
+  /// `indices` are in source order (outermost dimension first).
+  [[nodiscard]] static std::int64_t subscript_offset(
+      const MemObject& obj, ObjRef base, const std::int64_t* indices,
+      std::size_t count) {
+    std::int64_t offset = base.offset;
+    if (!obj.dims.empty() && count > 1) {
+      // Row-major multi-dim indexing.
+      std::int64_t stride = 1;
+      std::vector<std::int64_t> strides(obj.dims.size(), 1);
+      for (int i = static_cast<int>(obj.dims.size()) - 1; i >= 0; --i) {
+        strides[static_cast<std::size_t>(i)] = stride;
+        stride *= obj.dims[static_cast<std::size_t>(i)];
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t dim_index =
+            obj.dims.size() >= count ? obj.dims.size() - count + i : i;
+        offset += indices[i] * strides[dim_index];
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) offset += indices[i];
+      if (!obj.dims.empty() && count == 1 && obj.dims.size() > 1) {
+        // a[i] on a 2-D array: scale by the row stride.
+        std::int64_t stride = 1;
+        for (std::size_t i = 1; i < obj.dims.size(); ++i) {
+          stride *= obj.dims[i];
+        }
+        offset = base.offset + indices[0] * stride;
+      }
+    }
+    return offset;
   }
 
   void store_raw(int obj, std::int64_t offset, Value v) {
@@ -813,25 +906,30 @@ class Interp {
     }
     Value l = eval(ctx, *b.lhs);
     Value r = eval(ctx, *b.rhs);
+    return eval_binop_values(l, r, b.op);
+  }
 
+  /// Strict (non-short-circuit) binary operator on already-evaluated
+  /// operands; shared by the AST walker and the VM's BinOp handler.
+  static Value eval_binop_values(Value l, Value r, BinaryOp op) {
     // Pointer arithmetic.
     if (l.is_ptr() || r.is_ptr()) {
-      if (b.op == BinaryOp::Add) {
+      if (op == BinaryOp::Add) {
         ObjRef p = l.is_ptr() ? l.as_ptr() : r.as_ptr();
         const std::int64_t k = l.is_ptr() ? r.as_int() : l.as_int();
         return Value::of_ptr({p.object, p.offset + k});
       }
-      if (b.op == BinaryOp::Sub && l.is_ptr() && !r.is_ptr()) {
+      if (op == BinaryOp::Sub && l.is_ptr() && !r.is_ptr()) {
         ObjRef p = l.as_ptr();
         return Value::of_ptr({p.object, p.offset - r.as_int()});
       }
-      if (b.op == BinaryOp::Sub && l.is_ptr() && r.is_ptr()) {
+      if (op == BinaryOp::Sub && l.is_ptr() && r.is_ptr()) {
         return Value::of_int(l.as_ptr().offset - r.as_ptr().offset);
       }
-      if (b.op == BinaryOp::Eq) {
+      if (op == BinaryOp::Eq) {
         return Value::of_int(l.as_ptr() == r.as_ptr() ? 1 : 0);
       }
-      if (b.op == BinaryOp::Ne) {
+      if (op == BinaryOp::Ne) {
         return Value::of_int(l.as_ptr() == r.as_ptr() ? 0 : 1);
       }
     }
@@ -841,7 +939,7 @@ class Interp {
     if (fl) {
       const double x = l.as_double();
       const double y = r.as_double();
-      switch (b.op) {
+      switch (op) {
         case BinaryOp::Add: return Value::of_double(x + y);
         case BinaryOp::Sub: return Value::of_double(x - y);
         case BinaryOp::Mul: return Value::of_double(x * y);
@@ -858,7 +956,7 @@ class Interp {
     }
     const std::int64_t x = l.as_int();
     const std::int64_t y = r.as_int();
-    switch (b.op) {
+    switch (op) {
       case BinaryOp::Add: return Value::of_int(x + y);
       case BinaryOp::Sub: return Value::of_int(x - y);
       case BinaryOp::Mul: return Value::of_int(x * y);
@@ -969,6 +1067,26 @@ class Interp {
   }
 
   Value eval_call(ThreadCtx& ctx, const Call& c);
+
+  /// Calls a user-defined function with already-evaluated arguments
+  /// (shared by eval_call and the VM's CallUser handler). Defined in
+  /// interp_builtins.inc.
+  Value invoke_user(ThreadCtx& ctx, const FunctionDecl& fn,
+                    std::vector<Value> args);
+
+  // ------------------------------------------------------------ vm
+  // Defined in interp_vm.inc.
+
+  /// Executes a structured body: its compiled chunk when the VM backend
+  /// has one, the AST walker otherwise. Every body-level entry point
+  /// (function bodies, OpenMP construct bodies, sections children) routes
+  /// through here so the two backends interleave freely.
+  Flow exec_body(ThreadCtx& ctx, const Stmt& s);
+  Flow run_chunk(ThreadCtx& ctx, const bc::Chunk& ch);
+  Flow run_chunk_frame(ThreadCtx& ctx, const bc::Chunk& ch, Value* regs);
+  [[nodiscard]] ObjRef cached_slot(const ThreadCtx& ctx, Value* regs,
+                                   const bc::Chunk& ch,
+                                   const bc::AccessSite& site);
 
   // ------------------------------------------------------------ statements
 
@@ -1106,6 +1224,9 @@ class Interp {
   std::map<std::string, LockState> global_critical_;
   std::map<const void*, int> ws_visit_counts_;  // per ws-loop encounters
   std::uint64_t rand_state_ = 0x853c49e6748fea9bULL;
+  /// Compiled bytecode for tu_ (VM backend), or null (AST walker).
+  const bc::Module* module_ = nullptr;
+  std::size_t reg_arena_size_ = 0;  // per-ThreadCtx arena first-use size
 };
 
 // Implementation of the OpenMP construct handlers and builtin calls lives
@@ -1113,13 +1234,46 @@ class Interp {
 // further members of Interp and must stay inside this anonymous namespace.
 #include "runtime/interp_builtins.inc"
 #include "runtime/interp_omp.inc"
+#include "runtime/interp_vm.inc"
 
 }  // namespace
+
+Backend default_backend() {
+  const int forced = g_backend_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  static const Backend env_default = [] {
+    const char* env = std::getenv("DRBML_BACKEND");
+    if (env != nullptr && std::string_view(env) == "interp") {
+      return Backend::Interp;
+    }
+    return Backend::Vm;
+  }();
+  return env_default;
+}
+
+void set_default_backend(Backend b) {
+  g_backend_override.store(static_cast<int>(b), std::memory_order_relaxed);
+}
 
 RunResult run_program(const TranslationUnit& unit,
                       const analysis::Resolution& res,
                       const RunOptions& opts) {
-  Interp interp(unit, res, opts);
+  RunOptions o = opts;
+  std::unique_ptr<bc::Module> owned;
+  if (o.backend == Backend::Vm) {
+    if (o.module == nullptr) {
+      // One-shot caller: compile (and verify) for this run only.
+      owned = std::make_unique<bc::Module>(bc::compile_verified(unit));
+      o.module = owned.get();
+    } else if (!o.module->verified) {
+      throw Error(
+          "bytecode module is not verified; refusing to execute "
+          "(pass it through bc::verify or use bc::compile_verified)");
+    }
+    static obs::Counter& runs = obs::metrics().counter(obs::kVmRuns);
+    runs.add();
+  }
+  Interp interp(unit, res, o);
   return interp.run();
 }
 

@@ -30,11 +30,26 @@
 
 namespace drbml::runtime {
 
+namespace bc {
+struct Module;
+}  // namespace bc
+
 /// How parallel regions are scheduled. Uniform is the legacy seeded
 /// random walk (preempt every N shared accesses, uniform random target).
 /// Pct runs the PCT priority-based strategy (see runtime/strategy.hpp).
 /// Replay re-executes a recorded ScheduleTrace bit-identically.
 enum class ScheduleStrategy { Uniform, Pct, Replay };
+
+/// Execution backend: the AST-walking interpreter (reference semantics)
+/// or the register-bytecode VM (compile once, execute many schedules).
+/// Both produce bit-identical verdicts, traces, and output.
+enum class Backend { Interp, Vm };
+
+/// Process-wide default backend: the DRBML_BACKEND environment variable
+/// ("interp" selects the AST walker; anything else, or unset, selects the
+/// VM) unless overridden via set_default_backend (the CLI's --backend).
+[[nodiscard]] Backend default_backend();
+void set_default_backend(Backend b);
 
 struct RunOptions {
   int num_threads = 4;
@@ -61,6 +76,14 @@ struct RunOptions {
   bool capture_trace = false;
   /// Collect the interleaving-coverage signature into RunResult::coverage.
   bool collect_coverage = false;
+  /// Execution backend. With Backend::Vm, run_program executes compiled
+  /// bytecode: either `module` (compile-once callers) or a module it
+  /// compiles itself for this run.
+  Backend backend = default_backend();
+  /// Optional pre-compiled bytecode for `unit` (must be compiled from the
+  /// same resolved TranslationUnit and verified). Not owned; must outlive
+  /// the run. Ignored under Backend::Interp.
+  const bc::Module* module = nullptr;
 };
 
 struct RunResult {

@@ -26,9 +26,12 @@ struct AccessStamp {
 /// Shadow state of one memory element (FastTrack-style).
 struct ShadowCell {
   Epoch write;
-  VectorClock reads;
+  AdaptiveReadClock reads;
   AccessStamp last_write;
-  std::map<int, AccessStamp> last_reads;  // per tid
+  /// Provenance of the epoch-mode (single) reader; once `reads` promotes,
+  /// per-tid provenance moves to `last_reads`.
+  AccessStamp read_stamp;
+  std::map<int, AccessStamp> last_reads;  // per tid (shared mode)
 };
 
 /// One allocated object: a scalar (size 1) or a flattened array.

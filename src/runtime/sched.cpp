@@ -21,42 +21,47 @@ int CoopScheduler::self() const { return t_worker_index; }
 
 int CoopScheduler::pick_runnable(int exclude) {
   // Collect Ready workers; prefer not to pick `exclude` unless it is the
-  // only one.
-  std::vector<int> ready;
+  // only one. Scratch buffer reused across calls: this runs at every
+  // switch point, so a fresh allocation per call is measurable.
+  pick_buf_.clear();
   for (int i = 0; i < static_cast<int>(states_.size()); ++i) {
     if (states_[static_cast<std::size_t>(i)] == State::Ready && i != exclude) {
-      ready.push_back(i);
+      pick_buf_.push_back(i);
     }
   }
-  if (ready.empty()) {
+  if (pick_buf_.empty()) {
     if (exclude >= 0 &&
         states_[static_cast<std::size_t>(exclude)] == State::Ready) {
       return exclude;
     }
     return -1;
   }
-  return ready[rng_.below(ready.size())];
+  return pick_buf_[rng_.below(pick_buf_.size())];
 }
 
-std::vector<int> CoopScheduler::ready_peers(int exclude) const {
-  std::vector<int> ready;
+const std::vector<int>& CoopScheduler::ready_peers(int exclude) const {
+  // Scratch buffers reused across calls: deciders query the peer set at
+  // every yield point (should_preempt), which is the hottest scheduler
+  // path after the yield itself. The returned reference is valid until
+  // the next ready_peers call.
+  peers_buf_.clear();
   for (int i = 0; i < static_cast<int>(states_.size()); ++i) {
     if (states_[static_cast<std::size_t>(i)] == State::Ready && i != exclude) {
-      ready.push_back(i);
+      peers_buf_.push_back(i);
     }
   }
   if (decider_ != nullptr && decider_->filter_spinners()) {
-    std::vector<int> awake;
-    for (int i : ready) {
-      if (!spinning_[static_cast<std::size_t>(i)]) awake.push_back(i);
+    awake_buf_.clear();
+    for (int i : peers_buf_) {
+      if (!spinning_[static_cast<std::size_t>(i)]) awake_buf_.push_back(i);
     }
-    if (!awake.empty()) return awake;
+    if (!awake_buf_.empty()) return awake_buf_;
   }
-  return ready;
+  return peers_buf_;
 }
 
 int CoopScheduler::decide_next(int exclude, bool forced) {
-  std::vector<int> ready = ready_peers(exclude);
+  const std::vector<int>& ready = ready_peers(exclude);
   if (ready.empty()) {
     if (exclude >= 0 &&
         states_[static_cast<std::size_t>(exclude)] == State::Ready) {
@@ -84,6 +89,11 @@ void CoopScheduler::maybe_release_barrier() {
   }
 }
 
+std::unique_lock<std::mutex> CoopScheduler::guard() {
+  return fibers_ ? std::unique_lock<std::mutex>()
+                 : std::unique_lock<std::mutex>(mu_);
+}
+
 void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me,
                                 bool forced) {
   const int next = decider_ != nullptr ? decide_next(me, forced)
@@ -105,6 +115,12 @@ void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me,
   }
   if (next != me) record(forced, next);
   current_ = next;
+  if (fibers_) {
+    if (me < 0 || next == me) return;
+    transfer_to(me, next);
+    if (aborting_) throw TeamAborted{};
+    return;
+  }
   cv_.notify_all();
   if (me < 0) return;
   cv_.wait(lock, [&] {
@@ -120,7 +136,7 @@ void CoopScheduler::switch_from(std::unique_lock<std::mutex>& lock, int me,
 }
 
 void CoopScheduler::yield_point() {
-  std::unique_lock<std::mutex> lock(mu_);
+  auto lock = guard();
   if (aborting_) throw TeamAborted{};
   ++steps_;
   if (steps_ > step_limit_) {
@@ -147,13 +163,13 @@ void CoopScheduler::yield_point() {
 }
 
 void CoopScheduler::yield_now() {
-  std::unique_lock<std::mutex> lock(mu_);
+  auto lock = guard();
   if (aborting_) throw TeamAborted{};
   switch_from(lock, t_worker_index, /*forced=*/true);
 }
 
 void CoopScheduler::barrier_wait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  auto lock = guard();
   if (aborting_) throw TeamAborted{};
   const int me = t_worker_index;
   const std::uint64_t gen = barrier_generation_;
@@ -185,18 +201,18 @@ void CoopScheduler::block_until(const std::function<bool()>& ready) {
   };
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      auto lock = guard();
       if (aborting_) {
         leave_wait(lock);
         throw TeamAborted{};
       }
     }
     if (ready()) {
-      std::unique_lock<std::mutex> lock(mu_);
+      auto lock = guard();
       leave_wait(lock);
       return;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    auto lock = guard();
     if (aborting_) {
       leave_wait(lock);
       throw TeamAborted{};
@@ -271,6 +287,18 @@ void CoopScheduler::run_team(std::vector<std::function<void()>> workers) {
   trace_.clear();
   if (decider_ != nullptr && n > 0) decider_->begin(n);
 
+  if (fibers_ && n > 0 && Fiber::supported()) {
+    run_team_fibers(workers);
+  } else {
+    run_team_threads(workers);
+  }
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void CoopScheduler::run_team_threads(
+    std::vector<std::function<void()>>& workers) {
+  const int n = static_cast<int>(workers.size());
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
   for (int i = 0; i < n; ++i) {
@@ -323,8 +351,104 @@ void CoopScheduler::run_team(std::vector<std::function<void()>> workers) {
     cv_.notify_all();
   }
   for (auto& t : threads) t.join();
+}
 
-  if (first_error_) std::rethrow_exception(first_error_);
+void CoopScheduler::run_team_fibers(
+    std::vector<std::function<void()>>& workers) {
+  const int n = static_cast<int>(workers.size());
+  // Initial token grant: the same decision code as the thread substrate.
+  int first = 0;
+  if (decider_ != nullptr) {
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    first = decider_->pick(all, /*current=*/-1, /*step=*/0, /*forced=*/true);
+  }
+
+  // The driver may itself be a worker fiber of an enclosing scheduler
+  // (nested regions serialize but still build a team); save its identity
+  // so nested run_team calls nest cleanly.
+  CoopScheduler* const prev_sched = t_scheduler;
+  const int prev_index = t_worker_index;
+
+  fiber_jobs_ = &workers;
+  fiber_args_.clear();
+  fiber_args_.reserve(static_cast<std::size_t>(n));
+  worker_fibers_.clear();
+  worker_fibers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fiber_args_.push_back(FiberArg{this, i});
+    auto f = std::make_unique<Fiber>();
+    f->start(&CoopScheduler::fiber_entry, &fiber_args_.back());
+    worker_fibers_.push_back(std::move(f));
+  }
+
+  if (first >= 0) {
+    record(/*forced=*/true, first);
+    current_ = first;
+    // Suspend the driver; it resumes when the last fiber completes (or
+    // the abort chain has unwound every live fiber).
+    transfer_to(/*me=*/-1, first);
+  }
+
+  t_scheduler = prev_sched;
+  t_worker_index = prev_index;
+  worker_fibers_.clear();
+  fiber_args_.clear();
+  fiber_jobs_ = nullptr;
+}
+
+void CoopScheduler::transfer_to(int me, int next) {
+  Fiber& from = me < 0 ? driver_fiber_
+                       : *worker_fibers_[static_cast<std::size_t>(me)];
+  Fiber& to = next < 0 ? driver_fiber_
+                       : *worker_fibers_[static_cast<std::size_t>(next)];
+  Fiber::transfer(from, to);
+  // Resumed: whatever ran in between rewrote the scheduler thread-locals.
+  t_scheduler = this;
+  t_worker_index = me;
+}
+
+void CoopScheduler::fiber_entry(void* arg) {
+  auto* fa = static_cast<FiberArg*>(arg);
+  fa->sched->fiber_worker_main(fa->index);
+}
+
+void CoopScheduler::fiber_worker_main(int i) {
+  t_scheduler = this;
+  t_worker_index = i;
+  try {
+    if (!aborting_) (*fiber_jobs_)[static_cast<std::size_t>(i)]();
+  } catch (const TeamAborted&) {
+    // unwound by abort
+  } catch (...) {
+    if (!first_error_) first_error_ = std::current_exception();
+    aborting_ = true;
+  }
+  // Completion bookkeeping, mirroring the thread substrate's exit block.
+  states_[static_cast<std::size_t>(i)] = State::Done;
+  --live_;
+  maybe_release_barrier();
+  int next = -1;
+  if (!aborting_) {
+    next = decider_ != nullptr ? decide_next(i, true) : pick_runnable(i);
+    if (next >= 0) record(/*forced=*/true, next);
+    current_ = next;  // -1 when everyone is done
+  } else {
+    // Abort: resume each remaining fiber in turn so TeamAborted unwinds
+    // its stack before the driver regains control (the thread substrate
+    // gets this from the cv broadcast; fibers must chain explicitly).
+    for (int k = 0; k < static_cast<int>(states_.size()); ++k) {
+      if (states_[static_cast<std::size_t>(k)] != State::Done) {
+        next = k;
+        break;
+      }
+    }
+    current_ = next;
+  }
+  // Final transfer: Done workers are never picked again, so control never
+  // returns here and the fiber's stack goes back to the pool intact.
+  transfer_to(i, next);
+  // not reached -- the trampoline aborts if an entry ever returns
 }
 
 }  // namespace drbml::runtime

@@ -1,10 +1,19 @@
 // Cooperative deterministic scheduler for simulated OpenMP teams.
 //
-// Workers run on real std::threads, but exactly one runs at a time: a
-// token is handed from worker to worker at explicit yield points, with all
-// scheduling decisions drawn from a seeded RNG. This gives genuinely
-// interleaved executions (including preemption inside critical sections
-// and busy-wait loops) while staying bit-for-bit reproducible.
+// Exactly one worker runs at a time: a token is handed from worker to
+// worker at explicit yield points, with all scheduling decisions drawn
+// from a seeded RNG. This gives genuinely interleaved executions
+// (including preemption inside critical sections and busy-wait loops)
+// while staying bit-for-bit reproducible.
+//
+// Two execution substrates carry the token. On the reference substrate
+// workers are real std::threads and handoffs go through a condition
+// variable; on the fiber substrate (set_fibers) workers are user-space
+// stackful contexts multiplexed on the calling thread and handoffs are
+// ~25ns context switches -- the VM backend's throughput lever, since
+// kernel handoffs dominate schedule-exploration wall clock. Every
+// scheduling decision (RNG draw, decider hook, trace record) runs the
+// same code on both substrates, so decision traces are bit-identical.
 //
 // Scheduling policy is pluggable: with no SchedDecider installed the
 // scheduler runs the legacy uniform random walk (preempt every N yields,
@@ -18,9 +27,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "runtime/fiber.hpp"
 #include "support/rng.hpp"
 
 namespace drbml::runtime {
@@ -105,6 +116,11 @@ class CoopScheduler {
   /// thread that is not itself a worker of this scheduler.
   void run_team(std::vector<std::function<void()>> workers);
 
+  /// Selects the fiber substrate for subsequent run_team calls: workers
+  /// become user-space fibers on the calling thread instead of OS
+  /// threads. Falls back to threads when Fiber::supported() is false.
+  void set_fibers(bool on) noexcept { fibers_ = on; }
+
   /// Installs a scheduling policy (not owned; must outlive run_team).
   /// nullptr restores the legacy uniform random walk.
   void set_decider(SchedDecider* decider) noexcept { decider_ = decider; }
@@ -147,6 +163,29 @@ class CoopScheduler {
  private:
   enum class State { Ready, AtBarrier, Done };
 
+  struct FiberArg {
+    CoopScheduler* sched = nullptr;
+    int index = -1;
+  };
+
+  /// Scheduler-state guard: locks the mutex on the thread substrate. The
+  /// fiber substrate runs every worker on one OS thread, so there is
+  /// nothing to lock and this returns an empty lock.
+  [[nodiscard]] std::unique_lock<std::mutex> guard();
+
+  void run_team_threads(std::vector<std::function<void()>>& workers);
+  void run_team_fibers(std::vector<std::function<void()>>& workers);
+
+  /// Fiber substrate: saves the running context into `me`'s fiber (-1 =
+  /// the driver) and resumes `next`'s; restores the scheduler
+  /// thread-locals after being resumed.
+  void transfer_to(int me, int next);
+
+  /// Body of one worker fiber: runs the job, then the completion
+  /// bookkeeping, then transfers away for the last time.
+  void fiber_worker_main(int i);
+  static void fiber_entry(void* arg);
+
   /// Pre: lock held. Picks the next runnable worker and wakes it; current
   /// worker then waits until it owns the token again (or abort).
   void switch_from(std::unique_lock<std::mutex>& lock, int me, bool forced);
@@ -157,8 +196,9 @@ class CoopScheduler {
   [[nodiscard]] int pick_runnable(int exclude);
 
   /// Pre: lock held. Ready workers other than `exclude`, ascending,
-  /// spin-filtered when the decider asks for it.
-  [[nodiscard]] std::vector<int> ready_peers(int exclude) const;
+  /// spin-filtered when the decider asks for it. Returns a reference to
+  /// a reused scratch buffer, valid until the next call.
+  [[nodiscard]] const std::vector<int>& ready_peers(int exclude) const;
 
   /// Pre: lock held. Decider-routed equivalent of pick_runnable.
   [[nodiscard]] int decide_next(int exclude, bool forced);
@@ -184,6 +224,14 @@ class CoopScheduler {
   bool recording_ = false;
   RegionTrace trace_;
   std::vector<char> spinning_;  // workers currently inside block_until
+  std::vector<int> pick_buf_;           // pick_runnable scratch
+  mutable std::vector<int> peers_buf_;  // ready_peers scratch
+  mutable std::vector<int> awake_buf_;  // ready_peers spin-filter scratch
+  bool fibers_ = false;
+  Fiber driver_fiber_;  // save slot for the thread driving run_team
+  std::vector<std::unique_ptr<Fiber>> worker_fibers_;
+  std::vector<FiberArg> fiber_args_;
+  std::vector<std::function<void()>>* fiber_jobs_ = nullptr;
 };
 
 /// The scheduler owning the calling thread, or nullptr on the driver

@@ -68,4 +68,56 @@ struct Epoch {
   }
 };
 
+/// FastTrack-style adaptive read clock: a scalar Epoch while only one
+/// thread has read the element since the last write, promoted to a full
+/// VectorClock on the first read by a second thread.
+///
+/// Promotion never changes a happens-before answer: while a single thread
+/// `t` is reading, the full-VC state would be exactly {t: last read clock}
+/// (a thread's own clock is monotonic, so the latest read dominates), and
+/// that is what the epoch stores — promotion rebuilds precisely that
+/// vector before adding the second reader.
+class AdaptiveReadClock {
+ public:
+  /// Record a read by `tid` at clock `now`.
+  void record(int tid, std::uint32_t now) {
+    if (!shared_) {
+      if (!epoch_.valid() || epoch_.tid == tid) {
+        epoch_ = Epoch{tid, now};
+        return;
+      }
+      // Second distinct reader: promote the epoch into a vector.
+      vc_.set(epoch_.tid, epoch_.clock);
+      shared_ = true;
+    }
+    vc_.set(tid, now);
+  }
+
+  /// True if every recorded read happens-before-or-equals clock `c`.
+  [[nodiscard]] bool leq(const VectorClock& c) const noexcept {
+    if (shared_) return vc_.leq(c);
+    return !epoch_.valid() || epoch_.clock <= c.get(epoch_.tid);
+  }
+
+  [[nodiscard]] std::uint32_t get(int tid) const noexcept {
+    if (shared_) return vc_.get(tid);
+    return epoch_.valid() && epoch_.tid == tid ? epoch_.clock : 0;
+  }
+
+  /// Forget all reads (a write resets the read set).
+  void clear() {
+    epoch_ = Epoch{};
+    vc_ = VectorClock{};
+    shared_ = false;
+  }
+
+  [[nodiscard]] bool shared() const noexcept { return shared_; }
+  [[nodiscard]] const Epoch& epoch() const noexcept { return epoch_; }
+
+ private:
+  Epoch epoch_;
+  VectorClock vc_;
+  bool shared_ = false;
+};
+
 }  // namespace drbml::runtime

@@ -121,12 +121,14 @@ std::string mutate_swap_decls(const std::string& src) {
   return out;
 }
 
-bool explored_verdict(const std::string& src) {
+bool explored_verdict(const std::string& src,
+                      runtime::Backend backend = runtime::default_backend()) {
   ExploreOptions opts;
   opts.strategy = Strategy::Pct;
   opts.max_schedules = 4;
   opts.plateau_window = 2;
   opts.minimize = false;
+  opts.run.backend = backend;
   return explore_source(src, opts).race_detected;
 }
 
@@ -176,6 +178,49 @@ TEST(Metamorphic, RacePreservingMutationsKeepExploredVerdict) {
     EXPECT_EQ(verdicts[i].original, verdicts[i].mutated)
         << cases[i].name << " flipped under " << cases[i].mutation
         << " mutation";
+  }
+}
+
+// The metamorphic property must hold across execution backends too: a
+// mutated kernel explored under the bytecode VM agrees with the original
+// explored under the AST walker (and vice versa). A backend whose
+// schedule space drifted would fail here even if each backend were
+// internally self-consistent.
+TEST(Metamorphic, MutationsKeepVerdictAcrossBackends) {
+  drb::SynthConfig config;
+  config.count = 24;
+  config.seed = 77;
+  const std::vector<drb::SynthEntry> kernels = drb::synthesize(config);
+
+  struct Case {
+    std::string name;
+    std::string original;
+    std::string mutated;
+  };
+  std::vector<Case> cases;
+  for (const drb::SynthEntry& e : kernels) {
+    cases.push_back({e.name, e.code, mutate_rename(mutate_pad_bounds(e.code))});
+  }
+
+  struct Verdicts {
+    bool orig_interp;
+    bool orig_vm;
+    bool mut_interp;
+    bool mut_vm;
+  };
+  const std::vector<Verdicts> verdicts = support::parallel_map(
+      0, cases, [](const Case& c) -> Verdicts {
+        return {explored_verdict(c.original, runtime::Backend::Interp),
+                explored_verdict(c.original, runtime::Backend::Vm),
+                explored_verdict(c.mutated, runtime::Backend::Interp),
+                explored_verdict(c.mutated, runtime::Backend::Vm)};
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Verdicts& v = verdicts[i];
+    EXPECT_EQ(v.orig_interp, v.orig_vm) << cases[i].name;
+    EXPECT_EQ(v.mut_interp, v.mut_vm) << cases[i].name;
+    EXPECT_EQ(v.orig_vm, v.mut_interp)
+        << cases[i].name << " flipped across mutation + backend";
   }
 }
 

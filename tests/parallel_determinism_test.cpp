@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 
 #include "bench_util.hpp"
+#include "drb/corpus.hpp"
 #include "eval/experiments.hpp"
 #include "llm/persona.hpp"
+#include "runtime/dynamic.hpp"
+#include "support/parallel.hpp"
 
 namespace drbml::eval {
 namespace {
@@ -82,6 +85,42 @@ TEST(ParallelDeterminism, VarIdMatchesSerial) {
   EXPECT_EQ(serial.fp, parallel.fp);
   EXPECT_EQ(serial.tn, parallel.tn);
   EXPECT_EQ(serial.fn, parallel.fn);
+}
+
+// The bytecode-VM backend must be deterministic under the parallel
+// executor too: dynamic verdicts computed at jobs=1 are byte-identical
+// to jobs=8 (each worker compiles and runs its own modules; nothing may
+// leak across workers).
+TEST(ParallelDeterminism, VmBackendVerdictsMatchAcrossJobCounts) {
+  const std::vector<drb::CorpusEntry>& entries = drb::corpus();
+
+  const auto verdicts = [&](int jobs) {
+    return support::parallel_map(
+        jobs, entries, [](const drb::CorpusEntry& e) -> std::string {
+          runtime::DynamicDetectorOptions opts;
+          opts.run.backend = runtime::Backend::Vm;
+          opts.run.module = nullptr;
+          const analysis::RaceReport report =
+              runtime::DynamicRaceDetector(opts).analyze_source(e.body);
+          std::string fp = report.race_detected ? "race" : "clean";
+          for (const auto& p : report.pairs) {
+            fp += ";" + p.first.expr_text + "@" +
+                  std::to_string(p.first.loc.line) + ":" +
+                  std::to_string(p.first.loc.col) + "/" + p.second.expr_text +
+                  "@" + std::to_string(p.second.loc.line) + ":" +
+                  std::to_string(p.second.loc.col);
+          }
+          for (const auto& d : report.diagnostics) fp += "|" + d;
+          return fp;
+        });
+  };
+
+  const std::vector<std::string> serial = verdicts(1);
+  const std::vector<std::string> parallel = verdicts(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << entries[i].name;
+  }
 }
 
 TEST(ParallelDeterminism, CrossValidationMatchesSerial) {

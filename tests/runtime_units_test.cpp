@@ -3,6 +3,8 @@
 // annotations (sharing classes, phases, locksets) inspected directly.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "analysis/access.hpp"
 #include "analysis/resolve.hpp"
 #include "minic/parser.hpp"
@@ -81,6 +83,95 @@ TEST(Epoch, BeforeChecksSingleComponent) {
   c.set(2, 4);
   EXPECT_FALSE(runtime::Epoch({2, 5}).before(c));
   EXPECT_TRUE(runtime::Epoch{}.before(c));  // invalid epoch precedes all
+}
+
+// ----------------------------------------------------- AdaptiveReadClock
+
+TEST(AdaptiveReadClock, StaysEpochForSingleReader) {
+  runtime::AdaptiveReadClock rc;
+  EXPECT_FALSE(rc.shared());
+  rc.record(3, 5);
+  rc.record(3, 9);  // same thread: epoch overwritten, no promotion
+  EXPECT_FALSE(rc.shared());
+  EXPECT_EQ(rc.epoch().tid, 3);
+  EXPECT_EQ(rc.epoch().clock, 9u);
+  EXPECT_EQ(rc.get(3), 9u);
+  EXPECT_EQ(rc.get(0), 0u);
+}
+
+TEST(AdaptiveReadClock, PromotesOnSecondDistinctReader) {
+  runtime::AdaptiveReadClock rc;
+  rc.record(1, 4);
+  rc.record(2, 6);
+  EXPECT_TRUE(rc.shared());
+  // Promotion preserved the first reader's component exactly.
+  EXPECT_EQ(rc.get(1), 4u);
+  EXPECT_EQ(rc.get(2), 6u);
+}
+
+TEST(AdaptiveReadClock, LeqMatchesEpochSemantics) {
+  runtime::AdaptiveReadClock rc;
+  EXPECT_TRUE(rc.leq(runtime::VectorClock{}));  // empty reads precede all
+  rc.record(2, 5);
+  runtime::VectorClock c;
+  c.set(2, 5);
+  EXPECT_TRUE(rc.leq(c));
+  c.set(2, 4);
+  runtime::AdaptiveReadClock rc2;
+  rc2.record(2, 5);
+  EXPECT_FALSE(rc2.leq(c));
+}
+
+TEST(AdaptiveReadClock, ClearResetsToEpochMode) {
+  runtime::AdaptiveReadClock rc;
+  rc.record(0, 1);
+  rc.record(1, 1);
+  ASSERT_TRUE(rc.shared());
+  rc.clear();
+  EXPECT_FALSE(rc.shared());
+  EXPECT_FALSE(rc.epoch().valid());
+  EXPECT_TRUE(rc.leq(runtime::VectorClock{}));
+}
+
+// Randomized oracle: an AdaptiveReadClock fed an arbitrary interleaving
+// of (tid, clock) reads must answer every leq() query exactly like the
+// full VectorClock that recorded the same reads. Clocks per thread are
+// nondecreasing, as in a real execution (a thread's own clock only
+// advances). This is the promotion-never-changes-the-HB-answer proof,
+// executed.
+TEST(AdaptiveReadClock, AgreesWithVectorClockOracle) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    runtime::AdaptiveReadClock adaptive;
+    runtime::VectorClock oracle;
+    std::uint32_t clocks[4] = {1, 1, 1, 1};
+
+    const int reads = static_cast<int>(next() % 6);  // 0..5: hits both modes
+    for (int r = 0; r < reads; ++r) {
+      const int tid = static_cast<int>(next() % 4);
+      clocks[tid] += static_cast<std::uint32_t>(next() % 3);
+      adaptive.record(tid, clocks[tid]);
+      // The oracle keeps the last read per thread, like the promoted VC.
+      oracle.set(tid, clocks[tid]);
+    }
+
+    for (int q = 0; q < 8; ++q) {
+      runtime::VectorClock query;
+      for (int t = 0; t < 4; ++t) {
+        query.set(t, static_cast<std::uint32_t>(next() % 8));
+      }
+      EXPECT_EQ(adaptive.leq(query), oracle.leq(query))
+          << "trial " << trial << " query " << q
+          << (adaptive.shared() ? " (promoted)" : " (epoch mode)");
+    }
+  }
 }
 
 // ------------------------------------------------------------- Memory

@@ -1,0 +1,348 @@
+// Differential testing of the bytecode VM against the AST-walking
+// interpreter -- the harness that makes the backend refactor safe.
+//
+// The VM's contract is bit-identity, not mere agreement: for every corpus
+// entry and every schedule seed, both backends must produce the same race
+// verdict, the same race pairs, the same program output, the same step
+// count, the same recorded schedule-decision trace, and the same coverage
+// signature. Anything weaker would let the VM drift into "a different
+// but also plausible" schedule space, silently invalidating replayable
+// witnesses and cached verdicts.
+//
+// The verifier suite at the bottom proves malformed bytecode is rejected
+// with a structured error before a single instruction executes.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/resolve.hpp"
+#include "drb/corpus.hpp"
+#include "explore/explore.hpp"
+#include "minic/parser.hpp"
+#include "runtime/bc/bc.hpp"
+#include "runtime/bc/compile.hpp"
+#include "runtime/bc/verify.hpp"
+#include "runtime/interp.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace drbml {
+namespace {
+
+using runtime::Backend;
+using runtime::RunOptions;
+using runtime::RunResult;
+
+RunOptions base_options(std::uint64_t seed) {
+  RunOptions opts;
+  opts.seed = seed;
+  opts.capture_trace = true;
+  opts.collect_coverage = true;
+  return opts;
+}
+
+/// Renders everything the two backends must agree on into one string, so
+/// a mismatch fails with a readable diff.
+std::string fingerprint(const RunResult& r) {
+  std::string out;
+  out += "race=" + std::to_string(r.report.race_detected ? 1 : 0);
+  out += " exit=" + std::to_string(r.exit_code);
+  out += " faulted=" + std::to_string(r.faulted ? 1 : 0);
+  out += " steps=" + std::to_string(r.steps);
+  out += "\nfault: " + r.fault_message;
+  out += "\npairs:\n";
+  const auto access = [](const analysis::RaceAccess& a) {
+    return a.expr_text + "@" + std::to_string(a.loc.line) + ":" +
+           std::to_string(a.loc.col) + ":" + a.op;
+  };
+  for (const auto& p : r.report.pairs) {
+    out += "  " + access(p.first) + " vs " + access(p.second) + "\n";
+  }
+  out += "trace:";
+  for (const auto& region : r.trace.regions) {
+    out += " [";
+    for (const auto& d : region) {
+      out += std::to_string(d.step) + ":" + std::to_string(d.target) +
+             (d.forced ? "f" : "") + ",";
+    }
+    out += "]";
+  }
+  out += "\ncoverage:";
+  for (std::uint64_t h : r.coverage) out += " " + std::to_string(h);
+  out += "\noutput:\n" + r.output;
+  return out;
+}
+
+RunResult run_backend(const minic::TranslationUnit& unit,
+                      const analysis::Resolution& res, RunOptions opts,
+                      Backend backend) {
+  opts.backend = backend;
+  return runtime::run_program(unit, res, opts);
+}
+
+// Every corpus entry, every backend-observable artifact, three seeds.
+// Parallel over entries (8 workers) so the suite carries the `parallel`
+// label honestly and stays fast enough for the TSan pass.
+TEST(VmDifferential, CorpusBitIdenticalAcrossBackends) {
+  const std::vector<drb::CorpusEntry>& entries = drb::corpus();
+  ASSERT_EQ(entries.size(), 202u);
+
+  const std::vector<std::string> failures = support::parallel_map(
+      8, entries, [&](const drb::CorpusEntry& e) -> std::string {
+        minic::Program prog = minic::parse_program(e.body);
+        analysis::Resolution res = analysis::resolve(*prog.unit);
+        for (std::uint64_t seed : {1ULL, 7ULL, 1234567ULL}) {
+          const RunOptions opts = base_options(seed);
+          const std::string interp = fingerprint(
+              run_backend(*prog.unit, res, opts, Backend::Interp));
+          const std::string vm =
+              fingerprint(run_backend(*prog.unit, res, opts, Backend::Vm));
+          if (interp != vm) {
+            return e.name + " seed=" + std::to_string(seed) +
+                   "\n--- interp ---\n" + interp + "\n--- vm ---\n" + vm;
+          }
+        }
+        return {};
+      });
+
+  for (const std::string& f : failures) {
+    EXPECT_TRUE(f.empty()) << "backend divergence on " << f;
+  }
+}
+
+// PCT schedules stress preemption at every shared access; the decision
+// traces must still be bit-identical (the VM emits the same access
+// sequence, so the same yield points and the same PCT priorities).
+TEST(VmDifferential, CorpusBitIdenticalUnderPct) {
+  const std::vector<drb::CorpusEntry>& entries = drb::corpus();
+
+  const std::vector<std::string> failures = support::parallel_map(
+      8, entries, [&](const drb::CorpusEntry& e) -> std::string {
+        minic::Program prog = minic::parse_program(e.body);
+        analysis::Resolution res = analysis::resolve(*prog.unit);
+        RunOptions opts = base_options(99);
+        opts.strategy = runtime::ScheduleStrategy::Pct;
+        const std::string interp =
+            fingerprint(run_backend(*prog.unit, res, opts, Backend::Interp));
+        const std::string vm =
+            fingerprint(run_backend(*prog.unit, res, opts, Backend::Vm));
+        if (interp != vm) {
+          return e.name + "\n--- interp ---\n" + interp + "\n--- vm ---\n" +
+                 vm;
+        }
+        return {};
+      });
+
+  for (const std::string& f : failures) {
+    EXPECT_TRUE(f.empty()) << "PCT backend divergence on " << f;
+  }
+}
+
+// The exploration engine end-to-end: schedules run, first-race index,
+// coverage union, and the minimized witness must not depend on the
+// backend. Racy entries only (exploration of race-free entries is
+// covered by the schedule-trace identity above).
+TEST(VmDifferential, ExplorationWitnessesBackendIndependent) {
+  const std::vector<drb::CorpusEntry>& all = drb::corpus();
+  std::vector<drb::CorpusEntry> racy;
+  for (const auto& e : all) {
+    if (e.race) racy.push_back(e);
+  }
+  ASSERT_GT(racy.size(), 50u);
+  racy.resize(48);  // budget: exploration is the expensive path
+
+  const std::vector<std::string> failures = support::parallel_map(
+      8, racy, [&](const drb::CorpusEntry& e) -> std::string {
+        explore::ExploreOptions opts;
+        opts.max_schedules = 8;
+        opts.max_minimize_replays = 32;
+
+        opts.run.backend = Backend::Interp;
+        const explore::ExploreResult interp =
+            explore::explore_source(e.body, opts);
+        opts.run.backend = Backend::Vm;
+        opts.run.module = nullptr;
+        const explore::ExploreResult vm =
+            explore::explore_source(e.body, opts);
+
+        std::string diff;
+        if (interp.race_detected != vm.race_detected) {
+          diff += "race_detected differs; ";
+        }
+        if (interp.schedules_run != vm.schedules_run) {
+          diff += "schedules_run differs; ";
+        }
+        if (interp.first_race_schedule != vm.first_race_schedule) {
+          diff += "first_race_schedule differs; ";
+        }
+        if (interp.coverage != vm.coverage) diff += "coverage differs; ";
+        if (interp.witness != vm.witness) diff += "witness differs; ";
+        if (interp.witness_decisions != vm.witness_decisions) {
+          diff += "witness_decisions differs; ";
+        }
+        return diff.empty() ? std::string{} : e.name + ": " + diff;
+      });
+
+  for (const std::string& f : failures) {
+    EXPECT_TRUE(f.empty()) << "exploration divergence on " << f;
+  }
+}
+
+// A witness minimized under one backend must replay (and still race)
+// under the other: replayability is what makes witnesses shippable.
+TEST(VmDifferential, WitnessesReplayAcrossBackends) {
+  const drb::CorpusEntry* entry = nullptr;
+  for (const auto& e : drb::corpus()) {
+    if (e.race) {
+      entry = &e;
+      break;
+    }
+  }
+  ASSERT_NE(entry, nullptr);
+
+  explore::ExploreOptions opts;
+  opts.max_schedules = 16;
+  opts.run.backend = Backend::Interp;
+  const explore::ExploreResult interp_result =
+      explore::explore_source(entry->body, opts);
+  ASSERT_TRUE(interp_result.race_detected);
+  ASSERT_FALSE(interp_result.witness.empty());
+
+  const explore::Witness w = explore::decode_witness(interp_result.witness);
+  RunOptions base;
+  base.backend = Backend::Vm;
+  const RunResult vm_replay = explore::replay_witness(entry->body, w, base);
+  EXPECT_TRUE(vm_replay.report.race_detected)
+      << "witness minimized under interp does not race under vm";
+
+  base.backend = Backend::Interp;
+  const RunResult interp_replay =
+      explore::replay_witness(entry->body, w, base);
+  EXPECT_EQ(fingerprint(interp_replay), fingerprint(vm_replay));
+}
+
+// ------------------------------------------------------------- verifier
+
+runtime::bc::Module compile_entry(const std::string& body,
+                                  minic::Program& prog) {
+  prog = minic::parse_program(body);
+  analysis::resolve(*prog.unit);
+  return runtime::bc::compile(*prog.unit);
+}
+
+TEST(VmVerifier, AcceptsEveryCorpusModule) {
+  for (const auto& e : drb::corpus()) {
+    minic::Program prog;
+    runtime::bc::Module m = compile_entry(e.body, prog);
+    const auto err = runtime::bc::verify(m);
+    EXPECT_FALSE(err.has_value())
+        << e.name << ": " << (err ? err->to_string() : "");
+    EXPECT_TRUE(m.verified);
+  }
+}
+
+TEST(VmVerifier, RejectsTruncatedChunk) {
+  minic::Program prog;
+  runtime::bc::Module m =
+      compile_entry("int main() { int x = 1; return x; }", prog);
+  ASSERT_FALSE(m.chunks.empty());
+  ASSERT_GT(m.chunks[0].code.size(), 1u);
+  m.chunks[0].code.pop_back();  // drop the terminating Halt
+  const auto err = runtime::bc::verify(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(m.verified);
+  EXPECT_NE(err->to_string().find("chunk"), std::string::npos);
+}
+
+TEST(VmVerifier, RejectsOutOfRangeRegister) {
+  minic::Program prog;
+  runtime::bc::Module m =
+      compile_entry("int main() { int x = 1; return x; }", prog);
+  ASSERT_FALSE(m.chunks.empty());
+  bool patched = false;
+  for (auto& in : m.chunks[0].code) {
+    if (in.op == runtime::bc::Op::Const) {
+      in.a = 60001;  // far beyond frame_size()
+      patched = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(patched);
+  const auto err = runtime::bc::verify(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(m.verified);
+}
+
+TEST(VmVerifier, RejectsWildJumpTarget) {
+  minic::Program prog;
+  runtime::bc::Module m = compile_entry(
+      "int main() { int i; for (i = 0; i < 3; i++) {} return 0; }", prog);
+  bool patched = false;
+  for (auto& ch : m.chunks) {
+    for (auto& in : ch.code) {
+      if (in.op == runtime::bc::Op::Jump ||
+          in.op == runtime::bc::Op::JumpIfFalse) {
+        in.imm = static_cast<std::int32_t>(ch.code.size()) + 7;
+        patched = true;
+        break;
+      }
+    }
+    if (patched) break;
+  }
+  ASSERT_TRUE(patched) << "expected a jump in the compiled loop";
+  const auto err = runtime::bc::verify(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(m.verified);
+}
+
+TEST(VmVerifier, RejectsOutOfRangePoolIndex) {
+  minic::Program prog;
+  runtime::bc::Module m =
+      compile_entry("int main() { int x = 42; return x; }", prog);
+  bool patched = false;
+  for (auto& ch : m.chunks) {
+    for (auto& in : ch.code) {
+      if (in.op == runtime::bc::Op::Const) {
+        in.imm = static_cast<std::int32_t>(m.consts.size());
+        patched = true;
+        break;
+      }
+    }
+    if (patched) break;
+  }
+  ASSERT_TRUE(patched);
+  const auto err = runtime::bc::verify(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(m.verified);
+}
+
+TEST(VmVerifier, UnverifiedModuleIsNeverExecuted) {
+  const std::string src = "int main() { int x = 1; return x; }";
+  minic::Program prog = minic::parse_program(src);
+  analysis::Resolution res = analysis::resolve(*prog.unit);
+  runtime::bc::Module m = runtime::bc::compile(*prog.unit);
+  ASSERT_FALSE(m.verified);  // compile() does not verify
+
+  RunOptions opts;
+  opts.backend = Backend::Vm;
+  opts.module = &m;
+  EXPECT_THROW(
+      { (void)runtime::run_program(*prog.unit, res, opts); }, Error);
+}
+
+TEST(VmVerifier, CompileVerifiedRoundTrips) {
+  // compile_verified must round-trip: whatever it returns is verified and
+  // carries a chunk for main's body.
+  minic::Program prog = minic::parse_program(
+      "int main() { int a = 1; int b = 2; return a + b; }");
+  analysis::resolve(*prog.unit);
+  runtime::bc::Module m = runtime::bc::compile_verified(*prog.unit);
+  EXPECT_TRUE(m.verified);
+  EXPECT_FALSE(m.chunks.empty());
+  EXPECT_EQ(m.find(nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace drbml
